@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+The Table I / Fig. 4 grid is the expensive shared artifact: a session-scoped
+fixture computes it once and both benchmarks consume it.  Scale follows the
+environment: the default schedule covers a 3-dataset subset with reduced
+epochs (minutes, structurally identical to the paper's protocol);
+``REPRO_FULL=1`` switches to all 13 datasets at paper-like epoch counts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import DATASET_NAMES
+from repro.evaluation.experiments import ExperimentConfig, run_dataset_grid, full_scale
+
+#: Reduced-schedule dataset subset: small and fast.
+QUICK_DATASETS = ["iris", "seeds"]
+
+
+def benchmark_config() -> ExperimentConfig:
+    if full_scale():
+        return ExperimentConfig(epochs=600, patience=120, surrogate_n_q=1500,
+                                surrogate_epochs=120, n_restarts=3, finetune_epochs=150)
+    return ExperimentConfig(epochs=420, patience=100, warmup_epochs=60, anneal_epochs=160,
+                            surrogate_n_q=800, surrogate_epochs=60, finetune_epochs=80,
+                            n_restarts=2)
+
+
+def benchmark_datasets() -> list[str]:
+    if full_scale():
+        return list(DATASET_NAMES)
+    return QUICK_DATASETS
+
+
+@pytest.fixture(scope="session")
+def experiment_grid():
+    """The dataset × AF × budget grid of records (Table I / Fig. 4 data)."""
+    return run_dataset_grid(benchmark_datasets(), config=benchmark_config())
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,98 @@
+"""Ablation — AL multiplier mechanics vs plain quadratic penalty.
+
+DESIGN.md ablation 1: does the smoothed multiplier (λ' updates, Eq. 4)
+actually matter, or would the quadratic term μ/2·max(0, c)² alone (a pure
+exterior penalty with no dual variable) do as well?  The classic result:
+without the multiplier the quadratic penalty needs μ → ∞ for exact
+feasibility, so at matched finite μ the AL variant should satisfy the hard
+budget at least as often.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from benchmarks.conftest import benchmark_config, run_once
+from repro.autograd.tensor import Tensor
+from repro.evaluation.experiments import dataset_split, make_network, unconstrained_max_power
+from repro.pdk.params import ActivationKind
+from repro.training import train_model, train_power_constrained
+
+DATASET = "iris"
+KIND = ActivationKind.RELU
+
+
+@dataclass
+class QuadraticPenaltyObjective:
+    """μ/2·max(0, c)² with NO multiplier update (the ablated variant)."""
+
+    power_budget: float
+    mu: float = 5.0
+    warmup_epochs: int = 60
+    feasibility_rtol: float = 1e-3
+
+    def constraint(self, power: Tensor) -> Tensor:
+        return (power - self.power_budget) * (1.0 / self.power_budget)
+
+    def training_loss(self, loss: Tensor, power: Tensor, epoch: int) -> Tensor:
+        if epoch < self.warmup_epochs:
+            return loss
+        c = self.constraint(power)
+        violation = c.relu()
+        return loss + violation * violation * (0.5 * self.mu)
+
+    def on_epoch_end(self, power_value: float, epoch: int) -> None:
+        return None
+
+    def is_feasible(self, power_value: float) -> bool:
+        return power_value <= self.power_budget * (1.0 + self.feasibility_rtol)
+
+
+def test_al_vs_quadratic_penalty(benchmark):
+    config = benchmark_config()
+    split = dataset_split(DATASET, seed=config.seed)
+
+    def build():
+        max_power, _ = unconstrained_max_power(DATASET, KIND, config, split=split)
+        budget = 0.3 * max_power
+        results = {}
+        for seed_offset in range(3):
+            seed = config.seed + 100 * seed_offset + 1
+            al_net = make_network(DATASET, KIND, seed, config)
+            results.setdefault("al", []).append(
+                train_power_constrained(
+                    al_net, split, power_budget=budget, mu=config.mu,
+                    mu_growth=config.mu_growth, warmup_epochs=config.warmup_epochs,
+                    settings=config.trainer_settings(),
+                )
+            )
+            quad_net = make_network(DATASET, KIND, seed, config)
+            objective = QuadraticPenaltyObjective(
+                power_budget=budget, mu=config.mu, warmup_epochs=config.warmup_epochs
+            )
+            results.setdefault("quadratic", []).append(
+                train_model(quad_net, split, objective, settings=config.trainer_settings())
+            )
+        return budget, results
+
+    budget, results = run_once(benchmark, build)
+
+    lines = [f"hard budget: {budget * 1e3:.4f} mW"]
+    feasibility = {}
+    for variant, runs in results.items():
+        feasible = sum(r.feasible for r in runs)
+        feasibility[variant] = feasible
+        best = max((r.test_accuracy for r in runs if r.feasible), default=0.0)
+        lines.append(
+            f"{variant:10s}: feasible {feasible}/{len(runs)}, "
+            f"best feasible acc {best * 100:.1f}%, "
+            f"powers {[round(r.power * 1e3, 4) for r in runs]} mW"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    Path(__file__).parent.joinpath("ablation_al_output.txt").write_text(text)
+
+    # The multiplier variant must be at least as reliably feasible.
+    assert feasibility["al"] >= feasibility["quadratic"]
+    assert feasibility["al"] >= 2  # of 3

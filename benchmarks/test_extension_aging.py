@@ -1,0 +1,79 @@
+"""Extension — accuracy over device lifetime (aging-aware analysis).
+
+Companion direction from the paper's group (Aging-Aware Training, ICCAD'22
+[34]): printed EGTs drift (V_th up, K down) over their service life, and a
+disposable classifier must clear its accuracy floor until end of life.
+This benchmark trains one budgeted circuit and sweeps its age from fresh
+print to end of service at three aging severities.
+
+Asserted shape: the fresh circuit works; accuracy degrades (weakly)
+monotonically with age; heavier aging never yields a longer functional
+lifetime.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import benchmark_config, run_once
+from repro.evaluation.experiments import dataset_split, make_network, unconstrained_max_power
+from repro.evaluation.lifetime import run_lifetime_analysis
+from repro.pdk.aging import AgingModel
+from repro.pdk.params import ActivationKind
+from repro.training import train_power_constrained
+
+DATASET = "seeds"
+KIND = ActivationKind.CLIPPED_RELU
+SEVERITIES = {
+    "mild": AgingModel(delta_vth=0.04, delta_k=0.08, spread=0.0),
+    "nominal": AgingModel(delta_vth=0.08, delta_k=0.15, spread=0.0),
+    "harsh": AgingModel(delta_vth=0.16, delta_k=0.30, spread=0.0),
+}
+
+
+def test_lifetime_degradation(benchmark):
+    config = benchmark_config()
+    split = dataset_split(DATASET, seed=config.seed)
+
+    def build():
+        max_power, _ = unconstrained_max_power(DATASET, KIND, config, split=split)
+        net = make_network(DATASET, KIND, config.seed + 21, config)
+        trained = train_power_constrained(
+            net, split, power_budget=0.6 * max_power, mu=config.mu,
+            mu_growth=config.mu_growth, warmup_epochs=config.warmup_epochs,
+            anneal_epochs=config.anneal_epochs,
+            settings=config.trainer_settings(),
+        )
+        net.eval()
+        reports = {
+            name: run_lifetime_analysis(
+                net, split.x_test, split.y_test, aging,
+                taus=np.linspace(0.0, 1.0, 5), accuracy_floor=0.55,
+            )
+            for name, aging in SEVERITIES.items()
+        }
+        return trained, reports
+
+    trained, reports = run_once(benchmark, build)
+
+    lines = [f"trained: acc {trained.test_accuracy * 100:.1f}% (fresh)"]
+    for name, report in reports.items():
+        trajectory = " ".join(f"{a * 100:5.1f}" for a in report.accuracy_mean)
+        lines.append(f"{name:8s} acc% over tau [0..1]: {trajectory}  "
+                     f"functional lifetime τ={report.functional_lifetime():.2f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    Path(__file__).parent.joinpath("extension_aging_output.txt").write_text(text)
+
+    nominal = reports["nominal"]
+    assert nominal.fresh_accuracy > 0.5
+    # End of life never beats fresh by more than noise.
+    for report in reports.values():
+        assert report.end_of_life_accuracy <= report.fresh_accuracy + 0.05
+    # Severity ordering: harsher aging → no longer functional lifetime.
+    assert (
+        reports["harsh"].functional_lifetime()
+        <= reports["mild"].functional_lifetime() + 1e-9
+    )

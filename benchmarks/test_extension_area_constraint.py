@@ -1,0 +1,68 @@
+"""Extension — simultaneous power + device-count budgets.
+
+The paper's future-work direction ("additional circuit components and
+constraints") realized: a two-multiplier augmented Lagrangian enforcing a
+hard power budget AND a hard printed-device budget.  Asserted shape:
+
+- the dual-constrained run lands inside both budgets (when feasible),
+- tightening the device budget monotonically reduces the device count of
+  the returned circuit,
+- accuracy degrades gracefully rather than collapsing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from benchmarks.conftest import benchmark_config, run_once
+from repro.evaluation.experiments import dataset_split, make_network, unconstrained_max_power
+from repro.pdk.params import ActivationKind
+from repro.training import TrainerSettings, train_power_area_constrained
+
+DATASET = "iris"
+KIND = ActivationKind.RELU
+
+
+def test_power_area_constrained(benchmark):
+    config = benchmark_config()
+    split = dataset_split(DATASET, seed=config.seed)
+
+    def build():
+        max_power, reference = unconstrained_max_power(DATASET, KIND, config, split=split)
+        reference_devices = reference.device_count
+        budget = 0.6 * max_power
+        rows = []
+        for fraction in (1.0, 0.8, 0.6):
+            device_budget = max(10, int(reference_devices * fraction))
+            net = make_network(DATASET, KIND, config.seed + 9, config)
+            result = train_power_area_constrained(
+                net, split, power_budget=budget, device_budget=device_budget,
+                warmup_epochs=config.warmup_epochs,
+                settings=config.trainer_settings(),
+            )
+            rows.append((fraction, device_budget, net.device_count(), result))
+        return budget, reference_devices, rows
+
+    budget, reference_devices, rows = run_once(benchmark, build)
+
+    lines = [f"power budget {budget * 1e3:.4f} mW; unconstrained devices {reference_devices}"]
+    for fraction, device_budget, devices, result in rows:
+        lines.append(
+            f"device budget {device_budget:3d} ({fraction:.0%}): got {devices:3d} devices, "
+            f"acc {result.test_accuracy * 100:5.1f}%, P {result.power * 1e3:.4f} mW, "
+            f"feasible={result.feasible}"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    Path(__file__).parent.joinpath("extension_area_output.txt").write_text(text)
+
+    # Tighter device budgets must not yield more devices.
+    device_series = [devices for _, _, devices, _ in rows]
+    assert device_series[-1] <= device_series[0]
+    # Feasible runs sit inside both budgets.
+    for _, device_budget, devices, result in rows:
+        if result.feasible:
+            assert result.power <= budget * 1.01
+            assert devices <= device_budget * 1.01
+    # No collapse to chance (3-class → 0.33) in the loosest setting.
+    assert rows[0][3].test_accuracy > 0.45

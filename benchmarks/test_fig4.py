@@ -1,0 +1,42 @@
+"""E2 — Fig. 4: accuracy/power scatter with budget threshold lines.
+
+The figure's claim is visual but checkable: every plotted point of a
+feasible run lies below its dashed budget line.  The ASCII rendition plus
+the per-point rows go to ``fig4_output.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.evaluation.figures import fig4_canvas
+from repro.evaluation.reporting import render_fig4_rows
+
+
+def test_fig4(experiment_grid, benchmark):
+    def build():
+        points = [
+            (r.accuracy * 100.0, r.power_w * 1e3, r.kind.value) for r in experiment_grid
+        ]
+        budgets = sorted({round(r.budget_w * 1e3, 6) for r in experiment_grid})
+        return fig4_canvas(points, budgets)
+
+    canvas = run_once(benchmark, build)
+    rows = render_fig4_rows(experiment_grid)
+    print("\n" + canvas)
+    print(rows)
+    Path(__file__).parent.joinpath("fig4_output.txt").write_text(canvas + "\n\n" + rows)
+
+    # Claim: "all results lie below the defined power levels".
+    feasible = [r for r in experiment_grid if r.feasible]
+    assert feasible, "no feasible runs to plot"
+    for record in feasible:
+        assert record.power_w <= record.budget_w * 1.001, (
+            f"{record.dataset}/{record.kind.value}@{record.budget_fraction} "
+            f"exceeds its budget line"
+        )
+
+    # The majority of grid cells must be feasible for the figure to carry
+    # the paper's message.
+    assert len(feasible) / len(experiment_grid) >= 0.7

@@ -1,0 +1,106 @@
+"""E5 — headline claims: accuracy-to-power ratio and single-run efficiency.
+
+The paper: "For low-power scenarios (≈20 % of the original power), our
+method demonstrates a 52× improvement in accuracy-to-power ratio over the
+baseline.  At higher power budgets (≈80 %), it achieves a 59× improvement."
+The baseline row (Table I right) pairs α=1 with the 20 % row and α=0.25
+with the 80 % row; its accuracy-to-power ratio is poor because the
+penalty objective, even at its strongest, leaves power high relative to
+what the hard constraint enforces.
+
+Reproduction finding: with a *well-conditioned* penalty baseline
+(normalized reference power — unlike [13]'s raw-power penalty), the
+baseline's accuracy-to-power ratio is competitive, so the 52×/59× magnitude
+is an artifact of the baseline's conditioning.  What survives — and is
+asserted here — is the operational core of the claim:
+
+- the AL circuit is *feasible* at both prescribed budgets (hard guarantee),
+- the penalty baseline cannot TARGET a budget: its delivered power lands
+  far (>10 %) from the prescribed P̄ at both paired α values — which is
+  precisely why the paper's baseline needs up to 150 runs per dataset to
+  locate budget-compliant designs,
+- the measured accuracy-to-power ratios are reported for the record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import benchmark_config, run_once
+from repro.evaluation.experiments import (
+    dataset_split,
+    make_network,
+    run_budget_experiment,
+    unconstrained_max_power,
+)
+from repro.evaluation.metrics import ratio_improvement
+from repro.pdk.params import ActivationKind
+from repro.training import train_penalty
+
+DATASET = "seeds"
+KIND = ActivationKind.CLIPPED_RELU  # the paper's low-power champion
+
+
+def test_headline_accuracy_to_power(benchmark):
+    config = benchmark_config()
+    split = dataset_split(DATASET, seed=config.seed)
+
+    def build():
+        max_power, _ = unconstrained_max_power(DATASET, KIND, config, split=split)
+        al = {
+            fraction: run_budget_experiment(
+                DATASET, KIND, fraction, config, max_power_w=max_power, split=split
+            )
+            for fraction in (0.2, 0.8)
+        }
+        # Baseline pairing of Table I: α=1 ↔ 20 %, α=0.25 ↔ 80 %.
+        baseline = {}
+        for fraction, alpha in ((0.2, 1.0), (0.8, 0.25)):
+            net = make_network(DATASET, KIND, config.seed + 31, config)
+            baseline[fraction] = train_penalty(
+                net, split, alpha=alpha, settings=config.trainer_settings()
+            )
+        return al, baseline
+
+    al, baseline = run_once(benchmark, build)
+
+    lines = []
+    improvements = {}
+    for fraction in (0.2, 0.8):
+        al_record = al[fraction]
+        base = baseline[fraction]
+        improvement = ratio_improvement(
+            al_record.accuracy * 100.0,
+            al_record.power_w * 1e3,
+            base.test_accuracy * 100.0,
+            base.power * 1e3,
+        )
+        improvements[fraction] = improvement
+        lines.append(
+            f"budget {int(fraction * 100)}%: AL acc {al_record.accuracy * 100:.1f}% @ "
+            f"{al_record.power_w * 1e3:.4f} mW | baseline acc {base.test_accuracy * 100:.1f}% @ "
+            f"{base.power * 1e3:.4f} mW | ratio improvement {improvement:.1f}x (paper: 52x/59x)"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    Path(__file__).parent.joinpath("headline_output.txt").write_text(text)
+
+    # Hard-constraint guarantee: AL is feasible at both budgets.
+    assert al[0.2].feasible and al[0.8].feasible
+    for fraction in (0.2, 0.8):
+        assert al[fraction].power_w <= al[fraction].budget_w * 1.001
+
+    # Budget-targeting failure of the baseline: its delivered power misses
+    # the prescribed budget by a wide margin at both paired α values.
+    for fraction in (0.2, 0.8):
+        budget = al[fraction].budget_w
+        baseline_power = baseline[fraction].power
+        miss = abs(baseline_power - budget) / budget
+        print(f"baseline power misses the {int(fraction*100)}% budget by {miss*100:.0f}%")
+        assert miss > 0.10
+
+    # Ratios are positive and recorded (magnitude is baseline-conditioning
+    # dependent; see EXPERIMENTS.md E5).
+    assert improvements[0.2] > 0 and improvements[0.8] > 0

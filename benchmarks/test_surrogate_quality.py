@@ -1,0 +1,65 @@
+"""E7 — surrogate power model quality (§III-A).
+
+Fits the P^AF surrogate for each activation function (and P^N for the
+negation circuit) on Sobol-sampled circuit-simulation data and reports
+R² / MAE in log-power space.  Includes the sample-budget sensitivity
+ablation DESIGN.md calls out: quality as a function of the Sobol budget.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments import full_scale
+from repro.pdk.params import ActivationKind
+from repro.power.dataset import generate_power_dataset, generate_negation_dataset
+from repro.power.surrogate import fit_surrogate
+
+
+def test_surrogate_quality(benchmark):
+    n_q = 1200 if full_scale() else 600
+    epochs = 120 if full_scale() else 60
+
+    def build():
+        reports = {}
+        for kind in ActivationKind:
+            dataset = generate_power_dataset(kind, n_q=n_q, seed=0)
+            model = fit_surrogate(dataset, epochs=epochs, seed=0, label=kind.value)
+            reports[kind.value] = model.report
+        neg_dataset = generate_negation_dataset(n_q=n_q // 2, seed=0)
+        reports["negation"] = fit_surrogate(neg_dataset, epochs=epochs, seed=0).report
+        return reports
+
+    reports = run_once(benchmark, build)
+
+    lines = [f"{'circuit':16s} {'R2':>8s} {'test MAE(log10 P)':>18s} {'samples':>8s}"]
+    for name, report in reports.items():
+        lines.append(f"{name:16s} {report.test_r2:8.4f} {report.test_mae_log:18.4f} {report.n_samples:8d}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    Path(__file__).parent.joinpath("surrogate_quality_output.txt").write_text(text)
+
+    for name, report in reports.items():
+        assert report.test_r2 > 0.75, f"{name} surrogate underfits (R2={report.test_r2:.3f})"
+        assert report.test_mae_log < 0.6, f"{name} surrogate MAE too high"
+
+
+def test_surrogate_sample_budget_ablation(benchmark):
+    """Quality vs Sobol budget: more simulations → monotone-ish better fit."""
+    budgets = [100, 400, 1200]
+
+    def build():
+        scores = []
+        for n_q in budgets:
+            dataset = generate_power_dataset(ActivationKind.TANH, n_q=n_q, seed=0)
+            model = fit_surrogate(dataset, epochs=50, seed=0)
+            scores.append(model.report.test_r2)
+        return scores
+
+    scores = run_once(benchmark, build)
+    text = "\n".join(f"n_q={n:5d}: R2={r:.4f}" for n, r in zip(budgets, scores))
+    print("\n" + text)
+    Path(__file__).parent.joinpath("surrogate_ablation_output.txt").write_text(text)
+    assert scores[-1] > scores[0] - 0.02  # no degradation with more data
+    assert scores[-1] > 0.75

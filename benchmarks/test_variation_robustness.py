@@ -1,0 +1,73 @@
+"""Extension — Monte-Carlo process-variation robustness of trained circuits.
+
+pPDK [29], the technology the paper simulates with, is a *variability* model
+for printed EGTs; any circuit claimed deployable must survive printing
+scatter.  This benchmark trains one budgeted circuit, then Monte-Carlo
+samples printed instances at increasing variation severity and reports
+accuracy/power spreads and parametric yield.
+
+Asserted shape: yield decreases monotonically (within noise) as variation
+grows, and the nominal corner matches the trained result.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from benchmarks.conftest import benchmark_config, run_once
+from repro.evaluation.experiments import dataset_split, make_network, unconstrained_max_power
+from repro.evaluation.montecarlo import run_monte_carlo
+from repro.pdk.params import ActivationKind
+from repro.pdk.variation import VariationSpec
+from repro.training import train_power_constrained
+
+DATASET = "seeds"
+KIND = ActivationKind.RELU
+SIGMA_SCALES = (0.5, 1.0, 2.0)
+N_SAMPLES = 60
+
+
+def test_variation_robustness(benchmark):
+    config = benchmark_config()
+    split = dataset_split(DATASET, seed=config.seed)
+
+    def build():
+        max_power, _ = unconstrained_max_power(DATASET, KIND, config, split=split)
+        budget = 0.6 * max_power
+        net = make_network(DATASET, KIND, config.seed + 13, config)
+        trained = train_power_constrained(
+            net, split, power_budget=budget, mu=config.mu,
+            mu_growth=config.mu_growth, warmup_epochs=config.warmup_epochs,
+            settings=config.trainer_settings(),
+        )
+        net.eval()
+        reports = {}
+        for scale in SIGMA_SCALES:
+            reports[scale] = run_monte_carlo(
+                net, split.x_test, split.y_test,
+                VariationSpec().scaled(scale),
+                n_samples=N_SAMPLES, seed=7,
+                power_budget=budget, accuracy_floor=0.5,
+            )
+        return budget, trained, reports
+
+    budget, trained, reports = run_once(benchmark, build)
+
+    lines = [
+        f"trained: acc {trained.test_accuracy * 100:.1f}%, P {trained.power * 1e3:.4f} mW, "
+        f"budget {budget * 1e3:.4f} mW"
+    ]
+    for scale, report in reports.items():
+        lines.append(f"--- variation x{scale} ---")
+        lines.append(report.summary())
+    text = "\n".join(lines)
+    print("\n" + text)
+    Path(__file__).parent.joinpath("variation_output.txt").write_text(text)
+
+    nominal = reports[SIGMA_SCALES[0]]
+    assert nominal.nominal_accuracy > 0.5  # trained circuit works
+
+    # Spread grows with severity.
+    assert reports[2.0].power_std >= reports[0.5].power_std
+    # Yield does not improve as variation worsens (small-sample slack).
+    assert reports[2.0].parametric_yield <= reports[0.5].parametric_yield + 0.1

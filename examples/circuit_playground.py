@@ -1,0 +1,76 @@
+"""Circuit playground: explore the printed activation circuits directly.
+
+Uses the SPICE substrate and the differentiable transfer models to sweep
+each printed activation circuit, print its transfer curve and power curve
+(Fig. 3(c–f)), and cross-check the two code paths against each other.
+Useful both as a sanity tour of the PDK and as a template for adding new
+printed circuit primitives.
+
+Run:  python examples/circuit_playground.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.evaluation.figures import AsciiCanvas
+from repro.pdk.circuits import simulate_activation, activation_device_count
+from repro.pdk.params import ActivationKind, design_space
+from repro.pdk.transfer import TransferModel
+
+V_GRID = np.linspace(-1.0, 1.0, 33)
+
+
+def transfer_canvas(v: np.ndarray, out: np.ndarray, title: str) -> str:
+    canvas = AsciiCanvas((float(v.min()), float(v.max())),
+                         (min(-0.05, float(out.min())), max(1.0, float(out.max()))),
+                         height=12)
+    canvas.curve(v, out, marker="*")
+    return f"{title}\n" + canvas.render(x_label="V_in (V)", y_label="V_out (V)")
+
+
+def main() -> None:
+    for kind in ActivationKind:
+        space = design_space(kind)
+        q = space.center()
+        model = TransferModel(kind)
+
+        # Differentiable transfer model (vectorized, one broadcast solve):
+        v_out, power = model.output_and_power(Tensor(V_GRID), [Tensor(x) for x in q])
+
+        # Cross-check a few points against the full MNA circuit solver:
+        checks = [simulate_activation(kind, q, float(v)) for v in (-0.5, 0.0, 0.5)]
+        model_at = dict(zip((-0.5, 0.0, 0.5), zip(v_out.data[::16], power.data[::16])))
+        worst = max(
+            abs(spice_v - float(model.output_and_power(Tensor(np.array([v])), [Tensor(x) for x in q])[0].data[0]))
+            for v, (spice_v, _) in zip((-0.5, 0.0, 0.5), checks)
+        )
+
+        print("=" * 74)
+        print(f"{kind.value} — {activation_device_count(kind)} printed components, "
+              f"{space.dimension} learnable parameters q = {list(space.names)}")
+        print(transfer_canvas(V_GRID, v_out.data, "transfer"))
+        power_uw = power.data * 1e6
+        canvas = AsciiCanvas((-1.0, 1.0), (0.0, float(power_uw.max()) * 1.1 + 1e-9), height=10)
+        canvas.curve(V_GRID, power_uw, marker="*")
+        print("power\n" + canvas.render(x_label="V_in (V)", y_label="power uW"))
+        print(f"transfer model vs SPICE solver, worst |dV| at 3 probes: {worst:.2e} V")
+
+        # Show that gradients flow into the physical parameters:
+        q_tensors = [Tensor(x, requires_grad=True) for x in q]
+        _, p = model.output_and_power(Tensor(np.array([0.3])), q_tensors)
+        p.sum().backward()
+        sensitivities = {
+            name: float(t.grad) * x  # d(power)/d(ln q): scale-free sensitivity
+            for name, t, x in zip(space.names, q_tensors, q)
+        }
+        ranked = sorted(sensitivities.items(), key=lambda kv: -abs(kv[1]))[:3]
+        print("top power sensitivities d P / d ln q at V_in=0.3:")
+        for name, value in ranked:
+            print(f"   {name:6s}: {value:+.3e} W per e-fold")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Quickstart: train a printed neuromorphic classifier under a hard power budget.
+
+Walks the full pipeline of the paper on one benchmark dataset:
+
+1. fit the surrogate power models (cached after the first run),
+2. load a benchmark dataset and split it 60/20/20,
+3. train unconstrained to find the maximum power P_max,
+4. train with the augmented Lagrangian under a 40 % budget — ONE run,
+5. report accuracy, power, feasibility and printed device count.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ActivationKind,
+    PNCConfig,
+    PrintedNeuralNetwork,
+    TrainerSettings,
+    get_cached_surrogate,
+    load_dataset,
+    train_power_constrained,
+    train_unconstrained,
+    train_val_test_split,
+)
+
+DATASET = "iris"
+ACTIVATION = ActivationKind.CLIPPED_RELU
+BUDGET_FRACTION = 0.4
+SETTINGS = TrainerSettings(epochs=250, patience=80)
+
+
+def make_network(seed: int, af_surrogate, neg_surrogate) -> PrintedNeuralNetwork:
+    data = load_dataset(DATASET)
+    return PrintedNeuralNetwork(
+        data.n_features,
+        data.n_classes,
+        PNCConfig(kind=ACTIVATION),
+        np.random.default_rng(seed),
+        af_surrogate,
+        neg_surrogate,
+    )
+
+
+def main() -> None:
+    print(f"== Power-constrained pNC training on '{DATASET}' with {ACTIVATION.value} ==")
+
+    print("[1/4] fitting surrogate power models (cached)...")
+    af_surrogate = get_cached_surrogate(ACTIVATION, n_q=800, epochs=60)
+    neg_surrogate = get_cached_surrogate("negation", n_q=500, epochs=60)
+    if af_surrogate.report:
+        print(f"      P^AF fit: R2={af_surrogate.report.test_r2:.3f} "
+              f"on {af_surrogate.report.n_samples} circuit simulations")
+
+    print("[2/4] loading data (60/20/20 split)...")
+    data = load_dataset(DATASET)
+    split = train_val_test_split(data, seed=0)
+    print(f"      {data.n_samples} samples, {data.n_features} features, {data.n_classes} classes")
+
+    print("[3/4] unconstrained training to find the maximum power...")
+    reference = train_unconstrained(make_network(0, af_surrogate, neg_surrogate), split, settings=SETTINGS)
+    max_power = max(reference.power_trace)
+    print(f"      unconstrained: acc {reference.test_accuracy*100:.1f}%, "
+          f"P_max {max_power*1e3:.4f} mW, {reference.device_count} devices")
+
+    budget = BUDGET_FRACTION * max_power
+    print(f"[4/4] augmented Lagrangian training under a hard "
+          f"{int(BUDGET_FRACTION*100)}% budget = {budget*1e3:.4f} mW (single run)...")
+    net = make_network(1, af_surrogate, neg_surrogate)
+    result = train_power_constrained(net, split, power_budget=budget, mu=5.0, settings=SETTINGS)
+
+    print("\n== Result ==")
+    print(f"  test accuracy : {result.test_accuracy*100:.2f}%")
+    print(f"  circuit power : {result.power*1e3:.4f} mW (budget {budget*1e3:.4f} mW)")
+    print(f"  feasible      : {result.feasible}")
+    print(f"  devices       : {result.device_count} printed components "
+          f"({result.counts['activation_circuits']} activation circuits, "
+          f"{result.counts['negation_circuits']} negation circuits)")
+    print(f"  epochs        : {result.epochs_run} (best checkpoint at {result.best_epoch})")
+
+
+if __name__ == "__main__":
+    main()

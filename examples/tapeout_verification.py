@@ -1,0 +1,72 @@
+"""Tape-out check: verify a trained pNC against its full flat netlist.
+
+The training model evaluates the circuit layer by layer with idealized
+interfaces.  Before committing a design to ink, flatten the WHOLE classifier
+— every crossbar resistor, negation circuit and activation circuit — into a
+single netlist, solve its DC operating point with the MNA simulator, and
+compare decisions, output voltages and power against the layered model.
+Also writes the flattened design as a standard ``.cir`` SPICE file.
+
+Run:  python examples/tapeout_verification.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    ActivationKind,
+    PNCConfig,
+    PrintedNeuralNetwork,
+    TrainerSettings,
+    get_cached_surrogate,
+    load_dataset,
+    train_power_constrained,
+    train_val_test_split,
+)
+from repro.circuits import export_network, verify_against_model
+from repro.spice.export import save_spice_file
+
+DATASET = "iris"
+ACTIVATION = ActivationKind.RELU
+SETTINGS = TrainerSettings(epochs=250, patience=80)
+
+
+def main() -> None:
+    print(f"== Tape-out verification on '{DATASET}' with {ACTIVATION.value} ==")
+    data = load_dataset(DATASET)
+    split = train_val_test_split(data, seed=0)
+    af = get_cached_surrogate(ACTIVATION, n_q=800, epochs=60)
+    neg = get_cached_surrogate("negation", n_q=500, epochs=60)
+
+    net = PrintedNeuralNetwork(
+        data.n_features, data.n_classes, PNCConfig(kind=ACTIVATION),
+        np.random.default_rng(2), af, neg,
+    )
+    result = train_power_constrained(net, split, power_budget=3e-4, settings=SETTINGS)
+    print(f"trained: acc {result.test_accuracy * 100:.1f}%  "
+          f"P {result.power * 1e3:.4f} mW  feasible={result.feasible}  "
+          f"devices={net.device_count()}")
+
+    print("\n[1/3] flat-netlist verification (ideal negation — matches the model)")
+    report = verify_against_model(net, split.x_test, n_samples=12, negation="ideal")
+    print(report.summary())
+
+    print("\n[2/3] flat-netlist verification (real printed negation circuits)")
+    report_real = verify_against_model(net, split.x_test, n_samples=12, negation="circuit")
+    print(report_real.summary())
+
+    print("\n[3/3] exporting the flattened design as SPICE")
+    exported = export_network(net, split.x_test[0], negation="circuit")
+    out_path = Path("pnc_flat.cir")
+    save_spice_file(exported.circuit, out_path, title=f"pNC {DATASET} {ACTIVATION.value}")
+    n_r = len(exported.circuit.resistors)
+    n_m = len(exported.circuit.transistors)
+    print(f"wrote {out_path} — {n_r} resistors, {n_m} transistors, "
+          f"{len(exported.circuit.nodes())} nodes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Power-Constrained Printed Neuromorphic Hardware Training — reproduction.
+
+Full reimplementation of the DAC 2025 paper by Gheshlaghi, Zhao, Pal,
+Hefenbrock, Beigl and Tahoori: training printed analog neuromorphic circuits
+(pNCs) under *hard* power budgets with an augmented Lagrangian method, using
+data-driven surrogate power models for four printed activation circuits.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import (ActivationKind, PNCConfig, PrintedNeuralNetwork,
+...                    get_cached_surrogate, load_dataset,
+...                    train_val_test_split, train_power_constrained)
+>>> af = get_cached_surrogate(ActivationKind.RELU, n_q=400, epochs=40)
+>>> neg = get_cached_surrogate("negation", n_q=300, epochs=40)
+>>> data = load_dataset("iris")
+>>> split = train_val_test_split(data)
+>>> net = PrintedNeuralNetwork(data.n_features, data.n_classes,
+...                            PNCConfig(kind=ActivationKind.RELU),
+...                            np.random.default_rng(0), af, neg)
+>>> # hard 0.1 mW budget, single training run:
+>>> result = train_power_constrained(net, split, power_budget=1e-4)
+
+Package layout
+--------------
+``repro.autograd``   numpy reverse-mode autodiff (training substrate)
+``repro.spice``      nonlinear DC circuit simulator (SPICE substitute)
+``repro.pdk``        printed PDK: device ranges, activation circuits,
+                     differentiable transfer models
+``repro.circuits``   the trainable pNC (crossbars + learnable activations)
+``repro.power``      crossbar power, device counts, surrogate power models
+``repro.datasets``   the 13 benchmark datasets (synthetic equivalents)
+``repro.training``   augmented Lagrangian method + penalty baseline
+``repro.evaluation`` experiment grid and paper-artifact renderers
+"""
+
+from repro.pdk.params import ActivationKind, ALL_ACTIVATIONS, PDK, DEFAULT_PDK
+from repro.circuits import PrintedNeuralNetwork, PNCConfig, CrossbarLayer, PrintedActivation
+from repro.power.surrogate import get_cached_surrogate, fit_surrogate, SurrogatePowerModel
+from repro.datasets import load_dataset, train_val_test_split, DATASET_NAMES
+from repro.training import (
+    train_power_constrained,
+    train_penalty,
+    train_unconstrained,
+    penalty_pareto_sweep,
+    pareto_front,
+    finetune,
+    tune_mu,
+    TrainerSettings,
+    TrainResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivationKind",
+    "ALL_ACTIVATIONS",
+    "PDK",
+    "DEFAULT_PDK",
+    "PrintedNeuralNetwork",
+    "PNCConfig",
+    "CrossbarLayer",
+    "PrintedActivation",
+    "get_cached_surrogate",
+    "fit_surrogate",
+    "SurrogatePowerModel",
+    "load_dataset",
+    "train_val_test_split",
+    "DATASET_NAMES",
+    "train_power_constrained",
+    "train_penalty",
+    "train_unconstrained",
+    "penalty_pareto_sweep",
+    "pareto_front",
+    "finetune",
+    "tune_mu",
+    "TrainerSettings",
+    "TrainResult",
+    "__version__",
+]

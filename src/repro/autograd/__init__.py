@@ -1,0 +1,37 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This subpackage is the training substrate of the reproduction: the paper
+trains printed neuromorphic circuits with PyTorch, which is not available in
+this environment, so we provide a compatible reverse-mode engine.  It exposes
+
+- :class:`~repro.autograd.tensor.Tensor` — an ndarray wrapper that records a
+  computational graph and supports broadcasting-aware backpropagation,
+- :mod:`~repro.autograd.functional` — neural-network math (softmax,
+  cross-entropy, activation functions, smooth indicator relaxations),
+- :mod:`~repro.autograd.nn` — ``Module`` / ``Parameter`` abstractions,
+- :mod:`~repro.autograd.optim` — SGD and Adam optimizers plus learning-rate
+  schedulers (the paper uses full-batch Adam with plateau-halving).
+
+The engine intentionally mirrors a small but faithful subset of the PyTorch
+semantics the paper relies on: computational-graph construction on the fly,
+``backward()`` accumulation into ``.grad``, ``no_grad`` contexts, and
+straight-through estimators for the non-differentiable device-count
+indicators.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled, tensor
+from repro.autograd import functional
+from repro.autograd import nn
+from repro.autograd import optim
+from repro.autograd import init
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "nn",
+    "optim",
+    "init",
+]

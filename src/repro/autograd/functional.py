@@ -1,0 +1,139 @@
+"""Neural-network math on :class:`~repro.autograd.tensor.Tensor`.
+
+Provides the loss functions and nonlinearities used by the paper's training
+pipeline, plus the *smooth indicator* relaxations (sigmoid soft counts and
+straight-through estimators) that §III-B of the paper introduces for the
+device-count terms of the power model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid ``1 / (1 + exp(-x))``."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit ``max(0, x)``."""
+    return x.relu()
+
+
+def clipped_relu(x: Tensor, ceiling: float = 1.0) -> Tensor:
+    """ReLU clipped at ``ceiling`` — matches the p-Clipped_ReLU ideal shape."""
+    return x.clip(0.0, ceiling)
+
+
+def softplus(x: Tensor, beta: float = 1.0) -> Tensor:
+    """Numerically stable softplus ``log(1 + exp(beta * x)) / beta``."""
+    scaled = x * beta
+    # log(1 + e^s) = max(s, 0) + log(1 + e^{-|s|})
+    positive = scaled.relu()
+    stable = ((-(scaled.abs())).exp() + 1.0).log()
+    return (positive + stable) * (1.0 / beta)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` with the max-subtraction trick."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    log_norm = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_norm
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    return log_softmax(logits, axis=axis).exp()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy loss between raw ``logits`` and integer ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, n_classes)`` tensor of unnormalized scores.  In the pNC
+        context these are the (scaled) output-neuron voltages.
+    targets:
+        ``(batch,)`` integer class labels (numpy array, no gradient).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("cross_entropy expects 2-D logits (batch, classes)")
+    if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+        raise ValueError("targets must be 1-D and match the batch dimension")
+    log_probs = log_softmax(logits, axis=-1)
+    batch = np.arange(targets.shape[0])
+    picked = log_probs[(batch, targets)]
+    return -(picked.mean())
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error; used when fitting surrogate power models."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target_t
+    return (diff * diff).mean()
+
+
+def accuracy(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Classification accuracy in [0, 1] from logits (argmax decision)."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predictions = scores.argmax(axis=-1)
+    return float((predictions == np.asarray(targets)).mean())
+
+
+# ----------------------------------------------------------------------
+# Smooth indicator relaxations (paper §III-B)
+# ----------------------------------------------------------------------
+
+def soft_indicator(x: Tensor, sharpness: float = 10.0) -> Tensor:
+    """Sigmoid relaxation of the indicator ``1_{x > 0}``.
+
+    The paper replaces the non-differentiable ``1_{|θ| > 0}`` used in the
+    activation-circuit count (Eq. 2) with ``σ(|θ|)`` so the count receives
+    gradients.  ``sharpness`` controls how closely the sigmoid approximates
+    the step; the paper's formulation corresponds to ``sharpness`` times the
+    conductance magnitude.
+    """
+    return (x * sharpness).sigmoid()
+
+
+def hard_indicator(x: Tensor | np.ndarray, threshold: float = 0.0) -> np.ndarray:
+    """Exact indicator ``1_{x > threshold}`` (no gradient; reporting only)."""
+    data = x.data if isinstance(x, Tensor) else np.asarray(x)
+    return (data > threshold).astype(np.float64)
+
+
+def straight_through_indicator(x: Tensor, threshold: float = 0.0, sharpness: float = 10.0) -> Tensor:
+    """Indicator with straight-through gradient.
+
+    Forward pass returns the *hard* indicator ``1_{x > threshold}`` so power
+    reports stay exact, while the backward pass uses the derivative of the
+    sigmoid relaxation — the "soft count for differentiability" device of the
+    paper, applied in straight-through form.
+    """
+    soft = soft_indicator(x - threshold, sharpness=sharpness)
+    hard = hard_indicator(x, threshold=threshold)
+    # hard = soft + (hard - soft).detach(): forward value is hard, gradient is soft's.
+    correction = Tensor(hard - soft.data)
+    return soft + correction
+
+
+def row_max(x: Tensor) -> Tensor:
+    """Row-wise maximum (over the output axis), as used in Eq. 2.
+
+    For a crossbar parameter matrix ``θ`` of shape ``(M+2, N)`` the paper
+    takes the per-*activation-circuit* maximum over the incoming conductance
+    indicators.  Each column of ``θ`` corresponds to one output/activation
+    circuit, so the reduction runs over the input axis (axis 0), producing a
+    length-``N`` vector.
+    """
+    return x.max(axis=0)

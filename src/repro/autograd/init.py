@@ -1,0 +1,54 @@
+"""Seeded parameter initializers.
+
+The paper initializes pNC parameters randomly per activation function and per
+run (10 seeds for the baseline Pareto sweep), so all initializers take an
+explicit :class:`numpy.random.Generator` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform(rng: np.random.Generator, shape: tuple[int, ...], low: float, high: float) -> np.ndarray:
+    """Uniform initialization in ``[low, high)``."""
+    if high <= low:
+        raise ValueError("high must exceed low")
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(rng: np.random.Generator, shape: tuple[int, ...], mean: float = 0.0, std: float = 1.0) -> np.ndarray:
+    """Gaussian initialization."""
+    if std < 0:
+        raise ValueError("std must be non-negative")
+    return rng.normal(mean, std, size=shape)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple[int, int]) -> np.ndarray:
+    """Glorot/Xavier uniform for dense weight matrices."""
+    fan_in, fan_out = shape
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def surrogate_conductance(
+    rng: np.random.Generator,
+    shape: tuple[int, ...],
+    magnitude_low: float,
+    magnitude_high: float,
+    negative_fraction: float = 0.5,
+) -> np.ndarray:
+    """Initialize signed surrogate conductances θ for a crossbar.
+
+    Magnitudes are drawn log-uniformly inside the printable conductance range
+    and signs are flipped with probability ``negative_fraction`` — the sign of
+    θ encodes whether a negation circuit precedes the resistor (paper §II-B).
+    """
+    if not 0.0 <= negative_fraction <= 1.0:
+        raise ValueError("negative_fraction must be in [0, 1]")
+    if magnitude_low <= 0 or magnitude_high <= magnitude_low:
+        raise ValueError("need 0 < magnitude_low < magnitude_high")
+    log_low, log_high = np.log10(magnitude_low), np.log10(magnitude_high)
+    magnitudes = 10.0 ** rng.uniform(log_low, log_high, size=shape)
+    signs = np.where(rng.random(shape) < negative_fraction, -1.0, 1.0)
+    return magnitudes * signs

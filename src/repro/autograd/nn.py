@@ -1,0 +1,182 @@
+"""Module / Parameter abstractions mirroring the subset of ``torch.nn`` used.
+
+A :class:`Module` owns named :class:`Parameter` tensors and child modules,
+exposes ``parameters()`` for optimizers, and supports state-dict style
+save/load so training runs can warm-start (the augmented Lagrangian loop in
+the paper warm-starts θ and q between outer iterations).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.autograd import functional as F
+
+
+class Parameter(Tensor):
+    """A tensor registered as a learnable parameter of a module.
+
+    ``lr_scale`` multiplies the optimizer's learning rate for this parameter
+    only — the lightweight equivalent of PyTorch parameter groups, used to
+    slow down the physically sensitive activation parameters q relative to
+    the crossbar conductances θ.
+    """
+
+    def __init__(self, data, name: str = "", lr_scale: float = 1.0):
+        super().__init__(data, requires_grad=True, name=name)
+        self.lr_scale = float(lr_scale)
+
+
+class Module:
+    """Base class for all differentiable components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; both are discovered automatically for ``parameters()`` and
+    ``state_dict()``.
+    """
+
+    def __init__(self):
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every learnable parameter of this module and its children."""
+        for param in self._parameters.values():
+            yield param
+        for child in self._modules.values():
+            yield from child.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot all parameter values (copies)."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameter values from :meth:`state_dict` output."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, value in state.items():
+            param = params[name]
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.data.shape}")
+            param.data = value.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` (used by the surrogate power MLPs)."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        scale = np.sqrt(2.0 / (in_features + out_features))
+        self.weight = Parameter(rng.normal(0.0, scale, size=(in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features))
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class ReLULayer(Module):
+    """Stateless ReLU activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class TanhLayer(Module):
+    """Stateless tanh activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for index, layer in enumerate(layers):
+            setattr(self, f"layer_{index}", layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+def mlp(
+    in_features: int,
+    hidden: list[int],
+    out_features: int,
+    rng: np.random.Generator | None = None,
+    activation: type[Module] = ReLULayer,
+) -> Sequential:
+    """Build a standard MLP ``in -> hidden... -> out`` with the given activation.
+
+    The paper's surrogate power models are 15-layer MLPs; :func:`mlp` lets the
+    surrogate module express that directly.
+    """
+    rng = rng or np.random.default_rng()
+    sizes = [in_features] + list(hidden)
+    layers: list[Module] = []
+    for a, b in zip(sizes[:-1], sizes[1:]):
+        layers.append(Linear(a, b, rng=rng))
+        layers.append(activation())
+    layers.append(Linear(sizes[-1], out_features, rng=rng))
+    return Sequential(*layers)

@@ -1,0 +1,155 @@
+"""Optimizers and learning-rate schedulers.
+
+The paper trains with full-batch Adam at an initial learning rate of 0.1 and
+halves the learning rate after 100 epochs without validation improvement
+(plateau schedule).  Both pieces live here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.autograd.nn import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum > 0:
+                velocity *= self.momentum
+                velocity += param.grad
+                update = velocity
+            else:
+                update = param.grad
+            param.data -= self.lr * getattr(param, "lr_scale", 1.0) * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2014) — the paper's training optimizer."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.1,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            lr = self.lr * getattr(param, "lr_scale", 1.0)
+            param.data -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def set_lr(self, lr: float) -> None:
+        """Adjust the learning rate (used by schedulers)."""
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+
+
+class ReduceLROnPlateau:
+    """Halve the learning rate after ``patience`` epochs without improvement.
+
+    Mirrors the paper's schedule: "halving the learning rate after 100 epochs
+    without improvement on the validation set".
+    """
+
+    def __init__(
+        self,
+        optimizer: Adam | SGD,
+        patience: int = 100,
+        factor: float = 0.5,
+        min_lr: float = 1e-5,
+        mode: str = "max",
+    ):
+        if mode not in ("max", "min"):
+            raise ValueError("mode must be 'max' or 'min'")
+        self.optimizer = optimizer
+        self.patience = patience
+        self.factor = factor
+        self.min_lr = min_lr
+        self.mode = mode
+        self.best: float | None = None
+        self.stale_epochs = 0
+        self.num_reductions = 0
+
+    def _improved(self, metric: float) -> bool:
+        if self.best is None:
+            return True
+        if self.mode == "max":
+            return metric > self.best + 1e-12
+        return metric < self.best - 1e-12
+
+    def step(self, metric: float) -> bool:
+        """Record a validation metric; returns True if the LR was reduced."""
+        if self._improved(metric):
+            self.best = metric
+            self.stale_epochs = 0
+            return False
+        self.stale_epochs += 1
+        if self.stale_epochs >= self.patience:
+            new_lr = max(self.optimizer.lr * self.factor, self.min_lr)
+            if new_lr < self.optimizer.lr:
+                self.optimizer.lr = new_lr
+                self.num_reductions += 1
+            self.stale_epochs = 0
+            return True
+        return False

@@ -1,0 +1,463 @@
+"""Reverse-mode autodiff tensor built on numpy.
+
+The :class:`Tensor` class wraps a ``numpy.ndarray`` and records the operations
+applied to it in a dynamically built computational graph.  Calling
+:meth:`Tensor.backward` walks the graph in reverse topological order and
+accumulates gradients into every reachable leaf that has ``requires_grad``.
+
+Design notes
+------------
+* Gradients are plain ``numpy.ndarray`` objects stored on ``Tensor.grad``;
+  they always have exactly the shape of ``Tensor.data``.
+* Broadcasting is handled by :func:`unbroadcast`, which sums a gradient back
+  down to the shape the operand originally had.
+* A module-level switch (:func:`no_grad`) disables graph recording, matching
+  the PyTorch inference idiom the paper's evaluation loops use.
+* Only float64 data participates in differentiation; integer tensors may be
+  created for indexing but never require gradients.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+_GRAD_STATE = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autodiff graph."""
+    return getattr(_GRAD_STATE, "enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (like ``torch.no_grad``)."""
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
+    try:
+        yield
+    finally:
+        _GRAD_STATE.enabled = previous
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    Broadcasting can (a) prepend axes and (b) stretch axes of size one.  The
+    gradient of a broadcast operand is the sum of the output gradient over all
+    broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were stretched from size one.
+    stretched = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if stretched:
+        grad = grad.sum(axis=stretched, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+def tensor(value, requires_grad: bool = False) -> "Tensor":
+    """Create a :class:`Tensor` from any array-like value."""
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64``.
+    requires_grad:
+        Whether gradients should be accumulated into this tensor during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100.0  # ensure ndarray + Tensor dispatches to Tensor
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{grad_flag})"
+
+    def item(self) -> float:
+        """Return the scalar payload of a single-element tensor."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._raise_item()
+
+    @staticmethod
+    def _raise_item() -> float:
+        raise ValueError("item() only valid for single-element tensors")
+
+    def numpy(self) -> np.ndarray:
+        """Return a copy of the underlying array (detached from the graph)."""
+        return self.data.copy()
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a graph node if gradients are enabled and needed."""
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Incoming gradient; defaults to ones (required to be omitted only
+            for scalar outputs, mirroring PyTorch).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without gradient requires a scalar output")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order via iterative DFS (avoids recursion limits).
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        # Seed and propagate.
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: accumulate into .grad
+                node._accumulate(node_grad)
+            if node._backward is not None:
+                node._push_parent_grads(node_grad, grads)
+
+    def _push_parent_grads(self, node_grad: np.ndarray, grads: dict[int, np.ndarray]) -> None:
+        """Invoke the local backward fn, routing parent grads via ``grads``."""
+        parent_grads = self._backward(node_grad)
+        if parent_grads is None:
+            return
+        for parent, pgrad in zip(self._parents, parent_grads):
+            if pgrad is None or not parent.requires_grad:
+                continue
+            pgrad = unbroadcast(np.asarray(pgrad, dtype=np.float64), parent.data.shape)
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + pgrad
+            else:
+                grads[key] = pgrad
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data + other_t.data
+        return Tensor._make(data, (self, other_t), lambda g: (g, g))
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, (self,), lambda g: (-g,))
+
+    def __sub__(self, other) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data - other_t.data
+        return Tensor._make(data, (self, other_t), lambda g: (g, -g))
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data * other_t.data
+        a, b = self.data, other_t.data
+        return Tensor._make(data, (self, other_t), lambda g: (g * b, g * a))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        a, b = self.data, other_t.data
+        data = a / b
+        return Tensor._make(data, (self, other_t), lambda g: (g / b, -g * a / (b * b)))
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        a = self.data
+        data = a**exponent
+        return Tensor._make(data, (self,), lambda g: (g * exponent * a ** (exponent - 1),))
+
+    def __matmul__(self, other) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        a, b = self.data, other_t.data
+        data = a @ b
+
+        def backward(g: np.ndarray):
+            if a.ndim == 1 and b.ndim == 1:
+                return (g * b, g * a)
+            if a.ndim == 1:
+                # (k,) @ (k, n) -> (n,)
+                return (g @ b.T, np.outer(a, g))
+            if b.ndim == 1:
+                # (m, k) @ (k,) -> (m,)
+                return (np.outer(g, b), a.T @ g)
+            ga = g @ np.swapaxes(b, -1, -2)
+            gb = np.swapaxes(a, -1, -2) @ g
+            return (ga, gb)
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    def __rmatmul__(self, other) -> "Tensor":
+        return Tensor(other) @ self
+
+    # Comparisons return plain numpy bool arrays (no gradient flows).
+    def __gt__(self, other):
+        return self.data > _as_array(other)
+
+    def __lt__(self, other):
+        return self.data < _as_array(other)
+
+    def __ge__(self, other):
+        return self.data >= _as_array(other)
+
+    def __le__(self, other):
+        return self.data <= _as_array(other)
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        data = self.data.reshape(shape)
+        return Tensor._make(data, (self,), lambda g: (g.reshape(original),))
+
+    def transpose(self, axes: Iterable[int] | None = None) -> "Tensor":
+        axes_t = tuple(axes) if axes is not None else None
+        data = np.transpose(self.data, axes_t)
+        if axes_t is None:
+            inverse = None
+        else:
+            inverse = tuple(np.argsort(axes_t))
+
+        def backward(g: np.ndarray):
+            return (np.transpose(g, inverse),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+        shape = self.data.shape
+
+        def backward(g: np.ndarray):
+            out = np.zeros(shape, dtype=np.float64)
+            np.add.at(out, index, g)
+            return (out,)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                return (np.broadcast_to(g, shape).copy(),)
+            g_expanded = g if keepdims else np.expand_dims(g, axis)
+            return (np.broadcast_to(g_expanded, shape).copy(),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                mask = (self.data == data).astype(np.float64)
+                mask /= mask.sum()
+                return (mask * g,)
+            expanded = data if keepdims else np.expand_dims(data, axis)
+            mask = (self.data == expanded).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            g_expanded = g if keepdims else np.expand_dims(g, axis)
+            return (mask * np.broadcast_to(g_expanded, shape),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Elementwise math
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * data,))
+
+    def log(self) -> "Tensor":
+        a = self.data
+        return Tensor._make(np.log(a), (self,), lambda g: (g / a,))
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * 0.5 / data,))
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        return Tensor._make(np.abs(self.data), (self,), lambda g: (g * sign,))
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * (1.0 - data * data),))
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500)))
+        return Tensor._make(data, (self,), lambda g: (g * data * (1.0 - data),))
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(np.float64)
+        return Tensor._make(self.data * mask, (self,), lambda g: (g * mask,))
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        data = np.clip(self.data, low, high)
+        mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
+        return Tensor._make(data, (self,), lambda g: (g * mask,))
+
+    def where(self, condition: np.ndarray, other: "Tensor") -> "Tensor":
+        """Select ``self`` where ``condition`` else ``other`` (cond is data)."""
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        cond = np.asarray(condition, dtype=bool)
+        data = np.where(cond, self.data, other_t.data)
+
+        def backward(g: np.ndarray):
+            return (np.where(cond, g, 0.0), np.where(cond, 0.0, g))
+
+        return Tensor._make(data, (self, other_t), backward)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    arrays = [t.data for t in tensors]
+    data = np.concatenate(arrays, axis=axis)
+    sizes = [a.shape[axis] for a in arrays]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray):
+        slices = []
+        for i in range(len(arrays)):
+            idx = [slice(None)] * g.ndim
+            idx[axis] = slice(int(offsets[i]), int(offsets[i + 1]))
+            slices.append(g[tuple(idx)])
+        return tuple(slices)
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient routing."""
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray):
+        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor._make(data, tuple(tensors), backward)

@@ -1,0 +1,31 @@
+"""Printed neuromorphic circuit (pNC) model — the trainable system.
+
+Composes the substrates into the paper's trainable circuit abstraction:
+
+- :class:`~repro.circuits.crossbar.CrossbarLayer` — resistor crossbar MAC
+  with signed surrogate conductances θ (sign = negation circuit present),
+- :class:`~repro.circuits.activations.PrintedActivation` — learnable printed
+  activation circuit with physical parameters q = [R, W, L],
+- :class:`~repro.circuits.pnc.PrintedNeuralNetwork` — the full #in-3-#out
+  pNC with end-to-end differentiable power accounting
+  ``P = P^C + N^N · P^N + N^AF · P^AF`` per neuron layer.
+"""
+
+from repro.circuits.crossbar import CrossbarLayer
+from repro.circuits.negation import ideal_negation, NEGATION_NOMINAL_Q
+from repro.circuits.activations import PrintedActivation
+from repro.circuits.pnc import PrintedNeuralNetwork, PowerBreakdown, PNCConfig
+from repro.circuits.netlist_export import export_network, verify_against_model, ExportedNetwork
+
+__all__ = [
+    "CrossbarLayer",
+    "ideal_negation",
+    "NEGATION_NOMINAL_Q",
+    "PrintedActivation",
+    "PrintedNeuralNetwork",
+    "PowerBreakdown",
+    "PNCConfig",
+    "export_network",
+    "verify_against_model",
+    "ExportedNetwork",
+]

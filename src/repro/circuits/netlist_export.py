@@ -1,0 +1,289 @@
+"""Flatten a trained printed network into one verifiable circuit netlist.
+
+The training model evaluates the pNC layer by layer with idealized
+interfaces (crossbar outputs are unloaded, negation is exactly −V).  Before
+"printing", one wants a tape-out check: build the *entire* classifier as a
+single flat netlist — every crossbar resistor, every negation circuit,
+every activation circuit — solve its DC operating point with the MNA
+simulator, and compare outputs, decisions, and power against the layered
+model.  The deviations quantify exactly the interface idealizations:
+
+- negation: ``ideal`` mode uses a gain −1 VCVS (matching the model's
+  ``neg(V) = −V``); ``circuit`` mode prints the real inverting amplifier,
+  exposing its finite gain,
+- activation input loading: the p-sigmoid/p-tanh gate dividers draw current
+  from the crossbar summing nodes, which the layered model ignores.
+
+Entry points: :func:`export_network` (netlist for one input sample) and
+:func:`verify_against_model` (batch comparison report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.circuits.negation import NEGATION_NOMINAL_Q
+from repro.circuits.pnc import PrintedNeuralNetwork
+from repro.pdk.params import ActivationKind
+from repro.spice import Circuit, solve_dc, total_power
+
+MICRO = 1.0e-6
+
+
+def _instantiate_activation(
+    circuit: Circuit,
+    kind: ActivationKind,
+    q: np.ndarray,
+    prefix: str,
+    in_node: str,
+    out_node: str,
+    vdd_node: str,
+    vss_node: str,
+) -> None:
+    """Add one activation circuit between ``in_node`` and ``out_node``.
+
+    Mirrors the topologies of :func:`repro.pdk.circuits.build_activation_circuit`
+    with namespaced internal nodes so many instances coexist in one netlist.
+    """
+    if kind is ActivationKind.RELU:
+        r_s, w_1, l_1 = q
+        circuit.add_egt(f"{prefix}_m1", vdd_node, in_node, out_node, w_1, l_1)
+        circuit.add_resistor(f"{prefix}_rs", out_node, "0", r_s)
+        return
+    if kind is ActivationKind.CLIPPED_RELU:
+        r_d, r_s, w_1, l_1, w_c, l_c = q
+        drain = f"{prefix}_d"
+        circuit.add_resistor(f"{prefix}_rd", vdd_node, drain, r_d)
+        circuit.add_egt(f"{prefix}_m1", drain, in_node, out_node, w_1, l_1)
+        circuit.add_resistor(f"{prefix}_rs", out_node, "0", r_s)
+        circuit.add_egt(f"{prefix}_mc", out_node, out_node, "0", w_c, l_c)
+        return
+    if kind is ActivationKind.SIGMOID:
+        r_d1, r_d2, r_1, r_2, w_1, l_1, w_2, l_2 = q
+        g1, mid = f"{prefix}_g1", f"{prefix}_mid"
+        circuit.add_resistor(f"{prefix}_rd1", in_node, g1, r_d1)
+        circuit.add_resistor(f"{prefix}_rd2", g1, "0", r_d2)
+        circuit.add_resistor(f"{prefix}_r1", vdd_node, mid, r_1)
+        circuit.add_egt(f"{prefix}_m1", mid, g1, "0", w_1, l_1)
+        circuit.add_resistor(f"{prefix}_r2", vdd_node, out_node, r_2)
+        circuit.add_egt(f"{prefix}_m2", out_node, mid, "0", w_2, l_2)
+        return
+    if kind is ActivationKind.TANH:
+        r_d1, r_d2, r_1, r_d3, r_d4, r_2, w_1, l_1, w_2, l_2 = q
+        g1, mid, g2 = f"{prefix}_g1", f"{prefix}_mid", f"{prefix}_g2"
+        circuit.add_resistor(f"{prefix}_rd1", in_node, g1, r_d1)
+        circuit.add_resistor(f"{prefix}_rd2", g1, vss_node, r_d2)
+        circuit.add_resistor(f"{prefix}_r1", vdd_node, mid, r_1)
+        circuit.add_egt(f"{prefix}_m1", mid, g1, vss_node, w_1, l_1)
+        circuit.add_resistor(f"{prefix}_rd3", mid, g2, r_d3)
+        circuit.add_resistor(f"{prefix}_rd4", g2, vss_node, r_d4)
+        circuit.add_resistor(f"{prefix}_r2", vdd_node, out_node, r_2)
+        circuit.add_egt(f"{prefix}_m2", out_node, g2, vss_node, w_2, l_2)
+        return
+    raise ValueError(f"unhandled activation kind: {kind}")
+
+
+@dataclass
+class ExportedNetwork:
+    """A flattened pNC netlist plus its signal-node bookkeeping."""
+
+    circuit: Circuit
+    output_nodes: list[str]
+    summing_nodes: list[list[str]]  # per layer
+
+    def solve(self) -> tuple[np.ndarray, float]:
+        """DC-solve; return (output voltages, total dissipated power W)."""
+        op = solve_dc(self.circuit)
+        outputs = np.array([op.voltage(node) for node in self.output_nodes])
+        return outputs, total_power(self.circuit, op)
+
+
+def export_network(
+    net: PrintedNeuralNetwork,
+    x: np.ndarray,
+    negation: str = "ideal",
+) -> ExportedNetwork:
+    """Flatten ``net`` evaluated at input sample ``x`` into one netlist.
+
+    Parameters
+    ----------
+    net:
+        A (trained) printed network in any power mode.
+    x:
+        One input sample, shape ``(in_features,)`` — the features become
+        input voltage sources.
+    negation:
+        ``"ideal"`` (gain −1 VCVS, matches the training model) or
+        ``"circuit"`` (the real printed inverting amplifier).
+    """
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    if x.shape[0] != net.in_features:
+        raise ValueError(f"expected {net.in_features} features, got {x.shape[0]}")
+    if negation not in ("ideal", "circuit"):
+        raise ValueError("negation must be 'ideal' or 'circuit'")
+
+    pdk = net.config.pdk
+    threshold = pdk.prune_threshold_us
+    circuit = Circuit(name="pnc-flat")
+    circuit.add_vsource("vdd", "vdd", "0", pdk.vdd)
+    circuit.add_vsource("vss", "vss", "0", pdk.vss)
+
+    signal_nodes: list[str] = []
+    for i, value in enumerate(x):
+        node = f"in{i}"
+        circuit.add_vsource(f"vin{i}", node, "0", float(value))
+        signal_nodes.append(node)
+
+    summing_nodes: list[list[str]] = []
+    for layer_index, (crossbar, activation) in enumerate(zip(net.crossbars(), net.activations())):
+        theta = crossbar.effective_theta().data
+        rows, cols = theta.shape
+        # Driver nodes per extended row: signals, bias rail, ground.
+        drivers = list(signal_nodes) + ["vdd", "0"]
+        negated: dict[int, str] = {}
+
+        def negation_node(row: int) -> str:
+            if row in negated:
+                return negated[row]
+            node = f"l{layer_index}_neg{row}"
+            if negation == "ideal":
+                circuit.add_vcvs(
+                    f"l{layer_index}_eneg{row}", node, "0", drivers[row], "0", -1.0
+                )
+            else:
+                r_n, w_n, l_n = NEGATION_NOMINAL_Q
+                circuit.add_resistor(f"l{layer_index}_rneg{row}", "vdd", node, r_n)
+                circuit.add_egt(
+                    f"l{layer_index}_mneg{row}", node, drivers[row], "vss", w_n, l_n
+                )
+            negated[row] = node
+            return node
+
+        layer_summing: list[str] = []
+        next_signals: list[str] = []
+        for j in range(cols):
+            z_node = f"l{layer_index}_z{j}"
+            a_node = f"l{layer_index}_a{j}"
+            column = theta[:, j]
+            printed = np.abs(column) > threshold
+            if not printed.any():
+                # Dead column: neither the crossbar resistors nor the
+                # activation circuit are printed.  The downstream crossbar
+                # sees a quiet wire — pin both nodes to ground with an
+                # ideal tie (a gain-0 VCVS adds no RC dynamics).
+                circuit.add_vcvs(f"l{layer_index}_ztie{j}", z_node, "0", "0", "0", 0.0)
+                circuit.add_vcvs(f"l{layer_index}_atie{j}", a_node, "0", "0", "0", 0.0)
+                layer_summing.append(z_node)
+                next_signals.append(a_node)
+                continue
+            for i in range(rows):
+                if not printed[i]:
+                    continue
+                magnitude = abs(column[i]) * MICRO
+                resistance = 1.0 / magnitude
+                driver = drivers[i] if column[i] >= 0 else negation_node(i)
+                # Ground-row drivers to ground need no negation by projection.
+                circuit.add_resistor(
+                    f"l{layer_index}_r{i}_{j}", driver, z_node, resistance
+                )
+            _instantiate_activation(
+                circuit,
+                activation.kind,
+                activation.q_values(),
+                prefix=f"l{layer_index}_af{j}",
+                in_node=z_node,
+                out_node=a_node,
+                vdd_node="vdd",
+                vss_node="vss",
+            )
+            layer_summing.append(z_node)
+            next_signals.append(a_node)
+        summing_nodes.append(layer_summing)
+        signal_nodes = next_signals
+
+    return ExportedNetwork(circuit, signal_nodes, summing_nodes)
+
+
+@dataclass
+class VerificationReport:
+    """Model-vs-flat-netlist comparison over a batch of samples."""
+
+    model_outputs: np.ndarray  # (n, out)
+    spice_outputs: np.ndarray  # (n, out)
+    model_decisions: np.ndarray
+    spice_decisions: np.ndarray
+    spice_powers: np.ndarray  # (n,)
+    model_power: float
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.spice_powers)
+
+    @property
+    def decision_agreement(self) -> float:
+        """Fraction of samples where model and flat netlist agree on argmax."""
+        return float((self.model_decisions == self.spice_decisions).mean())
+
+    @property
+    def max_output_deviation(self) -> float:
+        """Worst absolute output-voltage difference (V)."""
+        return float(np.abs(self.model_outputs - self.spice_outputs).max())
+
+    @property
+    def mean_output_deviation(self) -> float:
+        return float(np.abs(self.model_outputs - self.spice_outputs).mean())
+
+    def summary(self) -> str:
+        return (
+            f"flat-netlist verification over {self.n_samples} samples:\n"
+            f"  decision agreement : {self.decision_agreement * 100:.1f}%\n"
+            f"  output |dV|        : mean {self.mean_output_deviation * 1e3:.2f} mV, "
+            f"max {self.max_output_deviation * 1e3:.2f} mV\n"
+            f"  power              : SPICE mean {self.spice_powers.mean() * 1e3:.4f} mW "
+            f"vs model {self.model_power * 1e3:.4f} mW"
+        )
+
+
+def verify_against_model(
+    net: PrintedNeuralNetwork,
+    x: np.ndarray,
+    n_samples: int = 16,
+    negation: str = "ideal",
+) -> VerificationReport:
+    """Cross-validate the layered model against full flat-netlist SPICE.
+
+    Solves the flattened classifier for the first ``n_samples`` rows of
+    ``x`` and compares output voltages, argmax decisions and power against
+    the training model's forward pass.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    x = x[: max(1, n_samples)]
+    was_training = net.training
+    net.eval()
+    try:
+        with no_grad():
+            logits, breakdown = net.forward_with_power(Tensor(x))
+        model_outputs = logits.data / net.logit_scale
+        model_power = float(breakdown.total.data)
+
+        spice_outputs = np.zeros_like(model_outputs)
+        spice_powers = np.zeros(len(x))
+        for index, sample in enumerate(x):
+            exported = export_network(net, sample, negation=negation)
+            outputs, power = exported.solve()
+            spice_outputs[index] = outputs
+            spice_powers[index] = power
+    finally:
+        net.train(was_training)
+
+    return VerificationReport(
+        model_outputs=model_outputs,
+        spice_outputs=spice_outputs,
+        model_decisions=model_outputs.argmax(axis=1),
+        spice_decisions=spice_outputs.argmax(axis=1),
+        spice_powers=spice_powers,
+        model_power=model_power,
+    )

@@ -1,0 +1,337 @@
+"""The printed neuromorphic network (pNC) with power accounting.
+
+A :class:`PrintedNeuralNetwork` stacks printed neurons — crossbar + learnable
+activation circuits — in the paper's fixed ``#inputs-3-#outputs`` topology
+(configurable).  Its :meth:`forward_with_power` runs the signal path and
+simultaneously assembles the differentiable total power
+
+.. math::
+
+    P(θ, q) = \\sum_{layers} \\big( P^C + \\sum_i a^N_i · P^N_i(V_i)
+              + \\sum_j a^{AF}_j · P^{AF}_j(V_{z,j}) \\big)
+
+where the activity coefficients ``a`` are straight-through indicators (hard
+value, sigmoid gradient — §III-B), ``P^N``/``P^AF`` come from the fitted
+surrogates evaluated at the actual node voltages, and ``P^C`` is the analytic
+crossbar dissipation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.autograd.nn import Module
+from repro.circuits.activations import PrintedActivation
+from repro.circuits.crossbar import CrossbarLayer
+from repro.circuits.negation import NEGATION_NOMINAL_Q
+from repro.pdk.params import PDK, DEFAULT_PDK, ActivationKind
+from repro.pdk.circuits import activation_device_count, NEGATION_DEVICE_COUNT
+from repro.power.counts import (
+    straight_through_column_activity,
+    straight_through_row_negativity,
+    straight_through_activation_count,
+    straight_through_negation_count,
+    soft_column_activity,
+    soft_row_negativity,
+    hard_activation_count,
+    hard_negation_count,
+)
+from repro.power.surrogate import SurrogatePowerModel
+
+#: Target standard deviation of the scaled logits.  The raw logit scale is
+#: calibrated per network at construction (see ``_calibrate_activations``)
+#: because output swings differ per activation circuit (a clipped follower
+#: swings ~0.25 V, a tanh cascade ~2 V); a scalar affine map preserves the
+#: circuit's argmax decision while keeping softmax gradients healthy.
+LOGIT_TARGET_STD = 1.5
+LOGIT_SCALE_MIN = 2.0
+LOGIT_SCALE_MAX = 40.0
+
+
+@dataclass
+class PowerBreakdown:
+    """Differentiable power components of one forward pass (all watts)."""
+
+    crossbar: Tensor
+    activation: Tensor
+    negation: Tensor
+
+    @property
+    def total(self) -> Tensor:
+        return self.crossbar + self.activation + self.negation
+
+    def as_floats(self) -> dict[str, float]:
+        return {
+            "crossbar": float(self.crossbar.data),
+            "activation": float(self.activation.data),
+            "negation": float(self.negation.data),
+            "total": float(self.total.data),
+        }
+
+
+@dataclass
+class PNCConfig:
+    """Construction options for a printed network."""
+
+    kind: ActivationKind = ActivationKind.TANH
+    hidden: tuple[int, ...] = (3,)
+    power_mode: str = "surrogate"  # 'surrogate' | 'analytic'
+    count_mode: str = "straight_through"  # 'straight_through' | 'soft'
+    power_batch_limit: int = 256
+    #: Weight of the signal-health regularizer: penalizes activation outputs
+    #: whose batch standard deviation collapses below ``signal_health_floor``
+    #: volts.  Analog stages that stop varying carry no information and have
+    #: (near-)zero gradients — a degenerate attractor of cross-entropy
+    #: training that the regularizer removes.  Training-time only; it does
+    #: not alter the circuit or its power.
+    signal_health_weight: float = 25.0
+    signal_health_floor: float = 0.1
+    pdk: PDK = field(default_factory=lambda: DEFAULT_PDK)
+
+
+class PrintedNeuralNetwork(Module):
+    """A full pNC: alternating crossbars and printed activation layers.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Task dimensions; the paper fixes the topology to ``#in-3-#out``.
+    config:
+        Activation kind, hidden widths and power-accounting options.
+    rng:
+        Seeded generator for all parameter initialization.
+    af_surrogate, neg_surrogate:
+        Fitted surrogate power models (required in surrogate power mode).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        config: PNCConfig,
+        rng: np.random.Generator,
+        af_surrogate: SurrogatePowerModel | None = None,
+        neg_surrogate: SurrogatePowerModel | None = None,
+    ):
+        super().__init__()
+        if config.count_mode not in ("straight_through", "soft"):
+            raise ValueError("count_mode must be 'straight_through' or 'soft'")
+        if config.power_mode == "surrogate" and (af_surrogate is None or neg_surrogate is None):
+            raise ValueError("surrogate power mode requires af_surrogate and neg_surrogate")
+        self.config = config
+        self.in_features = in_features
+        self.out_features = out_features
+        self.neg_surrogate = neg_surrogate
+        self.neg_q = NEGATION_NOMINAL_Q.copy()
+        #: last signal-health penalty (set by forward_with_power)
+        self.signal_health: Tensor = Tensor(0.0)
+        #: last differentiable device count (set by forward_with_power);
+        #: forward value equals :meth:`device_count`, backward uses the
+        #: sigmoid relaxation — enables area/device-count constraints.
+        self.soft_device_count: Tensor = Tensor(0.0)
+        #: calibrated logit scale (set during activation calibration)
+        self.logit_scale: float = 5.0
+
+        widths = [in_features, *config.hidden, out_features]
+        self.n_layers = len(widths) - 1
+        for index in range(self.n_layers):
+            crossbar = CrossbarLayer(widths[index], widths[index + 1], rng=rng, pdk=config.pdk)
+            activation = PrintedActivation(
+                config.kind,
+                rng=rng,
+                surrogate=af_surrogate,
+                power_mode=config.power_mode,
+                pdk=config.pdk,
+            )
+            setattr(self, f"crossbar_{index}", crossbar)
+            setattr(self, f"activation_{index}", activation)
+        self._calibrate_activations(rng)
+
+    def _calibrate_activations(self, rng: np.random.Generator, probe_batch: int = 64) -> None:
+        """Re-screen each activation's random q against realistic signals.
+
+        Pushes a uniform probe batch through the network layer by layer and
+        re-randomizes every activation's q so its transition overlaps the
+        crossbar outputs it will actually see — without this, most random
+        draws leave the circuit saturated and the network untrainable (the
+        signal never enters the transfer's responsive region).
+        """
+        from repro.autograd.tensor import no_grad
+
+        probe = Tensor(rng.random((probe_batch, self.in_features)))
+        with no_grad():
+            signal = probe
+            for crossbar, activation in zip(self.crossbars(), self.activations()):
+                v_z = crossbar(signal)
+                flat = np.unique(np.round(v_z.data.reshape(-1), 4))
+                activation.randomize_q(rng, flat)
+                signal = activation(v_z)
+            # Calibrate the logit scale to the realized output swing so
+            # every activation kind sees comparable softmax sharpness.
+            swing = float(signal.data.std())
+            self.logit_scale = float(
+                np.clip(LOGIT_TARGET_STD / max(swing, 1e-6), LOGIT_SCALE_MIN, LOGIT_SCALE_MAX)
+            )
+
+    # ------------------------------------------------------------------
+    def crossbars(self) -> list[CrossbarLayer]:
+        return [getattr(self, f"crossbar_{i}") for i in range(self.n_layers)]
+
+    def activations(self) -> list[PrintedActivation]:
+        return [getattr(self, f"activation_{i}") for i in range(self.n_layers)]
+
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        """Logits ``(B, out_features)`` — scaled output-neuron voltages."""
+        signal = x
+        for crossbar, activation in zip(self.crossbars(), self.activations()):
+            signal = activation(crossbar(signal))
+        return signal * self.logit_scale
+
+    # ------------------------------------------------------------------
+    def forward_with_power(self, x: Tensor) -> tuple[Tensor, PowerBreakdown]:
+        """Run the signal path and assemble the differentiable power."""
+        threshold = self.config.pdk.prune_threshold_us
+        straight = self.config.count_mode == "straight_through"
+        crossbar_power = Tensor(0.0)
+        activation_power = Tensor(0.0)
+        negation_power = Tensor(0.0)
+        health_penalty = Tensor(0.0)
+        device_count = Tensor(0.0)
+
+        signal = x
+        for crossbar, activation in zip(self.crossbars(), self.activations()):
+            v_z = crossbar(signal)
+            theta = crossbar.effective_theta()
+
+            crossbar_power = crossbar_power + crossbar.power(signal, v_z)
+            device_count = device_count + self._soft_devices(theta, activation)
+
+            # Negation circuits: one per input row with active negative θ.
+            if straight:
+                row_activity = straight_through_row_negativity(theta, threshold=threshold)
+            else:
+                row_activity = soft_row_negativity(theta, threshold=threshold)
+            negation_power = negation_power + self._negation_power(signal, crossbar, row_activity)
+
+            # Activation circuits: one per crossbar column.
+            if straight:
+                col_activity = straight_through_column_activity(theta, threshold=threshold)
+            else:
+                col_activity = soft_column_activity(theta, threshold=threshold)
+            per_circuit = activation.power_per_circuit(v_z, batch_limit=self.config.power_batch_limit)
+            activation_power = activation_power + (col_activity * per_circuit).sum()
+
+            signal = activation(v_z)
+            health_penalty = health_penalty + self._health_term(signal)
+
+        self.signal_health = health_penalty
+        self.soft_device_count = device_count
+        logits = signal * self.logit_scale
+        return logits, PowerBreakdown(crossbar_power, activation_power, negation_power)
+
+    def _soft_devices(self, theta: Tensor, activation: PrintedActivation) -> Tensor:
+        """Differentiable per-layer device count (hard forward, soft backward).
+
+        Mirrors :meth:`device_count`: printed crossbar resistors plus
+        negation and activation circuits weighted by their component counts.
+        """
+        from repro.power.counts import DEFAULT_SHARPNESS
+        from repro.autograd import functional as F
+
+        threshold = self.config.pdk.prune_threshold_us
+        resistor_soft = ((theta.abs() - threshold) * DEFAULT_SHARPNESS).sigmoid().sum()
+        resistor_hard = float((np.abs(theta.data) > threshold).sum())
+        resistors = resistor_soft + Tensor(resistor_hard - float(resistor_soft.data))
+        negations = straight_through_negation_count(theta, threshold=threshold)
+        activations_count = straight_through_activation_count(theta, threshold=threshold)
+        return (
+            resistors
+            + negations * float(NEGATION_DEVICE_COUNT)
+            + activations_count * float(activation_device_count(activation.kind))
+        )
+
+    def _health_term(self, signal: Tensor) -> Tensor:
+        """Penalty ``mean_j relu(floor - std_batch(signal_j))²`` for one layer."""
+        floor = self.config.signal_health_floor
+        if self.config.signal_health_weight <= 0.0 or floor <= 0.0:
+            return Tensor(0.0)
+        mean = signal.mean(axis=0, keepdims=True)
+        centered = signal - mean
+        variance = (centered * centered).mean(axis=0)
+        std = (variance + 1e-12).sqrt()
+        shortfall = (Tensor(np.full(std.shape, floor)) - std).relu()
+        return (shortfall * shortfall).mean()
+
+    def _negation_power(self, signal: Tensor, crossbar: CrossbarLayer, row_activity: Tensor) -> Tensor:
+        """Σ_i a_i · P^N(neg_q, V_i) over the crossbar's extended input rows."""
+        v_ext = crossbar.extend_inputs(signal)
+        batch, rows = v_ext.shape
+        limit = self.config.power_batch_limit
+        if batch > limit:
+            stride = batch // limit
+            index = np.arange(0, batch, stride)[:limit]
+            v_ext = v_ext[(index, slice(None))]
+            batch = len(index)
+        if self.config.power_mode == "analytic":
+            from repro.pdk.transfer import NegationModel
+
+            model = NegationModel(pdk=self.config.pdk)
+            q = [Tensor(v) for v in self.neg_q]
+            _, per_sample = model.output_and_power(v_ext, q)
+            per_row = per_sample.mean(axis=0)
+        else:
+            flat = v_ext.reshape(batch * rows, 1)
+            q = [Tensor(v) for v in self.neg_q]
+            per_sample = self.neg_surrogate.predict_tensor(q, flat)
+            per_row = per_sample.reshape(batch, rows).mean(axis=0)
+        return (row_activity * per_row).sum()
+
+    # ------------------------------------------------------------------
+    def power_estimate(self, x: Tensor) -> float:
+        """Hard (indicator-based) total power estimate in watts."""
+        from repro.autograd.tensor import no_grad
+
+        with no_grad():
+            _, breakdown = self.forward_with_power(x)
+        return float(breakdown.total.data)
+
+    # ------------------------------------------------------------------
+    def device_count(self) -> int:
+        """Total number of printed components (Table I's #Dev metric).
+
+        Counts printed crossbar resistors, negation circuits (× components
+        each) and activation circuits (× components each), using the hard
+        indicator at the prune threshold.
+        """
+        threshold = self.config.pdk.prune_threshold_us
+        total = 0
+        for crossbar, activation in zip(self.crossbars(), self.activations()):
+            theta = crossbar.effective_theta()
+            total += crossbar.printed_resistor_count()
+            total += hard_negation_count(theta, threshold=threshold) * NEGATION_DEVICE_COUNT
+            total += hard_activation_count(theta, threshold=threshold) * activation_device_count(
+                activation.kind
+            )
+        return total
+
+    def hard_counts(self) -> dict[str, int]:
+        """Exact N^AF / N^N totals across layers."""
+        threshold = self.config.pdk.prune_threshold_us
+        n_af = n_neg = 0
+        for crossbar in self.crossbars():
+            theta = crossbar.effective_theta()
+            n_af += hard_activation_count(theta, threshold=threshold)
+            n_neg += hard_negation_count(theta, threshold=threshold)
+        return {"activation_circuits": n_af, "negation_circuits": n_neg}
+
+    # ------------------------------------------------------------------
+    def project_(self) -> None:
+        """Project all parameters back into printable ranges (post-step)."""
+        for crossbar in self.crossbars():
+            crossbar.project_()
+        for activation in self.activations():
+            activation.project_()

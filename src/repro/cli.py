@@ -1,0 +1,227 @@
+"""Command-line interface.
+
+Exposes the main workflows as subcommands::
+
+    python -m repro.cli datasets                      # list the benchmarks
+    python -m repro.cli train iris --af p-tanh --budget-fraction 0.4
+    python -m repro.cli sweep seeds --n-alphas 6 --n-seeds 2
+    python -m repro.cli grid iris seeds --budgets 0.2 0.8
+    python -m repro.cli circuits                      # AF transfer/power table
+    python -m repro.cli montecarlo iris --af p-ReLU --samples 50
+
+Every command prints plain text (tables / ASCII charts) and is deterministic
+given its ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument("--epochs", type=int, default=300, help="training epochs")
+    parser.add_argument(
+        "--af",
+        default="p-tanh",
+        help="activation circuit: p-ReLU | p-Clipped_ReLU | p-sigmoid | p-tanh",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Power-constrained printed neuromorphic hardware training (DAC 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the 13 benchmark datasets")
+
+    train = sub.add_parser("train", help="one augmented-Lagrangian run under a hard budget")
+    train.add_argument("dataset")
+    train.add_argument("--budget-fraction", type=float, default=0.4,
+                       help="budget as a fraction of the unconstrained maximum power")
+    train.add_argument("--budget-mw", type=float, default=None,
+                       help="absolute budget in mW (overrides --budget-fraction)")
+    train.add_argument("--mu", type=float, default=5.0)
+    _add_common(train)
+
+    sweep = sub.add_parser("sweep", help="penalty-baseline Pareto sweep vs AL points (Fig. 5)")
+    sweep.add_argument("dataset")
+    sweep.add_argument("--n-alphas", type=int, default=6)
+    sweep.add_argument("--n-seeds", type=int, default=2)
+    _add_common(sweep)
+
+    grid = sub.add_parser("grid", help="Table I / Fig. 4 grid over datasets")
+    grid.add_argument("datasets", nargs="+")
+    grid.add_argument("--budgets", type=float, nargs="+", default=[0.2, 0.4, 0.6, 0.8])
+    grid.add_argument("--seed", type=int, default=0)
+    grid.add_argument("--epochs", type=int, default=300)
+
+    sub.add_parser("circuits", help="print the printed-AF circuit summary table")
+
+    mc = sub.add_parser("montecarlo", help="process-variation robustness of a trained circuit")
+    mc.add_argument("dataset")
+    mc.add_argument("--samples", type=int, default=50)
+    mc.add_argument("--sigma-scale", type=float, default=1.0,
+                    help="scale all variation sigmas by this factor")
+    mc.add_argument("--budget-fraction", type=float, default=0.6)
+    _add_common(mc)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def cmd_datasets() -> int:
+    from repro.datasets import DATASET_NAMES, dataset_info
+
+    print(f"{'name':22s} {'samples':>8s} {'features':>9s} {'classes':>8s}")
+    for name in DATASET_NAMES:
+        spec = dataset_info(name)
+        print(f"{name:22s} {spec.n_samples:8d} {spec.n_features:9d} {spec.n_classes:8d}")
+    return 0
+
+
+def _prepare(dataset_name: str, af_name: str, seed: int, epochs: int):
+    from repro.datasets import load_dataset, train_val_test_split
+    from repro.pdk.params import ActivationKind
+    from repro.power.surrogate import get_cached_surrogate
+    from repro.training import TrainerSettings
+
+    kind = ActivationKind.from_name(af_name)
+    data = load_dataset(dataset_name)
+    split = train_val_test_split(data, seed=seed)
+    af = get_cached_surrogate(kind, n_q=800, epochs=60)
+    neg = get_cached_surrogate("negation", n_q=500, epochs=60)
+    settings = TrainerSettings(epochs=epochs, patience=max(40, epochs // 4))
+    return kind, data, split, af, neg, settings
+
+
+def _make_net(data, kind, seed, af, neg):
+    from repro.circuits import PrintedNeuralNetwork, PNCConfig
+
+    return PrintedNeuralNetwork(
+        data.n_features, data.n_classes, PNCConfig(kind=kind),
+        np.random.default_rng(seed), af, neg,
+    )
+
+
+def cmd_train(args) -> int:
+    from repro.training import train_power_constrained, train_unconstrained
+
+    kind, data, split, af, neg, settings = _prepare(args.dataset, args.af, args.seed, args.epochs)
+    if args.budget_mw is not None:
+        budget = args.budget_mw * 1e-3
+        print(f"hard budget: {args.budget_mw:.4f} mW (absolute)")
+    else:
+        reference = train_unconstrained(_make_net(data, kind, args.seed, af, neg), split, settings=settings)
+        max_power = max(reference.power_trace)
+        budget = args.budget_fraction * max_power
+        print(f"unconstrained: acc {reference.test_accuracy * 100:.1f}%  P_max {max_power * 1e3:.4f} mW")
+        print(f"hard budget: {budget * 1e3:.4f} mW ({args.budget_fraction:.0%} of P_max)")
+
+    net = _make_net(data, kind, args.seed + 1, af, neg)
+    result = train_power_constrained(net, split, power_budget=budget, mu=args.mu, settings=settings)
+    print(f"result: acc {result.test_accuracy * 100:.2f}%  P {result.power * 1e3:.4f} mW  "
+          f"feasible={result.feasible}  devices={result.device_count}")
+    return 0 if result.feasible else 1
+
+
+def cmd_sweep(args) -> int:
+    from repro.evaluation.experiments import ExperimentConfig, run_pareto_comparison
+    from repro.evaluation.figures import fig5_canvas
+    from repro.evaluation.reporting import render_fig5_rows
+    from repro.pdk.params import ActivationKind
+
+    config = ExperimentConfig(epochs=args.epochs, patience=max(40, args.epochs // 4),
+                              seed=args.seed, surrogate_n_q=800, surrogate_epochs=60)
+    comparison = run_pareto_comparison(
+        args.dataset, kind=ActivationKind.from_name(args.af),
+        n_alphas=args.n_alphas, n_seeds=args.n_seeds, config=config,
+    )
+    print(render_fig5_rows(comparison))
+    budgets_mw = [r.budget_w * 1e3 for r in comparison.al_records]
+    print(fig5_canvas(comparison.front, comparison.al_points(), budgets_mw))
+    return 0
+
+
+def cmd_grid(args) -> int:
+    from repro.evaluation.experiments import ExperimentConfig, run_dataset_grid
+    from repro.evaluation.reporting import render_table1, render_fig4_rows
+
+    config = ExperimentConfig(epochs=args.epochs, patience=max(40, args.epochs // 4),
+                              seed=args.seed, surrogate_n_q=800, surrogate_epochs=60)
+    records = run_dataset_grid(args.datasets, budget_fractions=tuple(args.budgets), config=config)
+    print(render_table1(records))
+    print(render_fig4_rows(records))
+    return 0
+
+
+def cmd_circuits() -> int:
+    from repro.autograd.tensor import Tensor
+    from repro.pdk.circuits import activation_device_count
+    from repro.pdk.params import ActivationKind, design_space
+    from repro.pdk.transfer import TransferModel
+
+    print(f"{'circuit':16s} {'devices':>7s} {'params':>6s}  parameter names")
+    for kind in ActivationKind:
+        space = design_space(kind)
+        print(f"{kind.value:16s} {activation_device_count(kind):7d} {space.dimension:6d}  "
+              f"{', '.join(space.names)}")
+    print("\ntransfer at the design-space centre (V_in → V_out):")
+    v = np.linspace(-1, 1, 9)
+    header = "  ".join(f"{x:+.2f}" for x in v)
+    print(f"{'':16s} {header}")
+    for kind in ActivationKind:
+        space = design_space(kind)
+        model = TransferModel(kind)
+        out, _ = model.output_and_power(Tensor(v), [Tensor(x) for x in space.center()])
+        row = "  ".join(f"{x:+.2f}" for x in out.data)
+        print(f"{kind.value:16s} {row}")
+    return 0
+
+
+def cmd_montecarlo(args) -> int:
+    from repro.evaluation.montecarlo import run_monte_carlo
+    from repro.pdk.variation import VariationSpec
+    from repro.training import train_power_constrained, train_unconstrained
+
+    kind, data, split, af, neg, settings = _prepare(args.dataset, args.af, args.seed, args.epochs)
+    reference = train_unconstrained(_make_net(data, kind, args.seed, af, neg), split, settings=settings)
+    budget = args.budget_fraction * max(reference.power_trace)
+    net = _make_net(data, kind, args.seed + 1, af, neg)
+    result = train_power_constrained(net, split, power_budget=budget, settings=settings)
+    print(f"trained: acc {result.test_accuracy * 100:.1f}%  P {result.power * 1e3:.4f} mW  "
+          f"feasible={result.feasible}")
+    net.eval()
+    spec = VariationSpec().scaled(args.sigma_scale)
+    report = run_monte_carlo(
+        net, split.x_test, split.y_test, spec, n_samples=args.samples,
+        seed=args.seed, power_budget=budget, accuracy_floor=0.5,
+    )
+    print(report.summary())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return cmd_datasets()
+    if args.command == "train":
+        return cmd_train(args)
+    if args.command == "sweep":
+        return cmd_sweep(args)
+    if args.command == "grid":
+        return cmd_grid(args)
+    if args.command == "circuits":
+        return cmd_circuits()
+    if args.command == "montecarlo":
+        return cmd_montecarlo(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""The 13 benchmark classification datasets (synthetic equivalents).
+
+The paper evaluates on 13 tabular benchmark datasets used across the printed
+neuromorphic literature [13, 34, 35] (UCI-derived).  Network access is not
+available in this environment, so :mod:`repro.datasets.generators` provides
+deterministic synthetic generators that match each dataset's dimensions
+(#samples, #features, #classes) and approximate difficulty profile, and
+:mod:`repro.datasets.registry` registers them under the usual names.  All
+features are min-max scaled into the crossbar input voltage range [0, 1] —
+exactly the preprocessing printed classifiers require, since features enter
+the circuit as voltages.
+"""
+
+from repro.datasets.registry import DATASET_NAMES, load_dataset, dataset_info, all_datasets
+from repro.datasets.splits import train_val_test_split, DataSplit
+from repro.datasets.generators import TabularDataset
+
+__all__ = [
+    "DATASET_NAMES",
+    "load_dataset",
+    "dataset_info",
+    "all_datasets",
+    "train_val_test_split",
+    "DataSplit",
+    "TabularDataset",
+]

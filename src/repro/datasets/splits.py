@@ -1,0 +1,59 @@
+"""Train / validation / test splitting (paper: 60 / 20 / 20).
+
+Splits are stratified by class so small datasets keep every class present in
+every partition, and deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.generators import TabularDataset
+
+
+@dataclass
+class DataSplit:
+    """The three partitions of one dataset."""
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_val: np.ndarray
+    y_val: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+
+    @property
+    def sizes(self) -> tuple[int, int, int]:
+        return (len(self.y_train), len(self.y_val), len(self.y_test))
+
+
+def train_val_test_split(
+    dataset: TabularDataset,
+    fractions: tuple[float, float, float] = (0.6, 0.2, 0.2),
+    seed: int = 0,
+) -> DataSplit:
+    """Stratified 60/20/20 split (fractions configurable)."""
+    f_train, f_val, f_test = fractions
+    if abs(f_train + f_val + f_test - 1.0) > 1e-9:
+        raise ValueError("split fractions must sum to 1")
+    rng = np.random.default_rng(seed)
+    train_idx: list[np.ndarray] = []
+    val_idx: list[np.ndarray] = []
+    test_idx: list[np.ndarray] = []
+    for cls in range(dataset.n_classes):
+        members = np.flatnonzero(dataset.labels == cls)
+        members = rng.permutation(members)
+        n = len(members)
+        n_train = max(1, int(round(f_train * n)))
+        n_val = max(1, int(round(f_val * n)))
+        n_train = min(n_train, n - 2) if n >= 3 else n_train
+        train_idx.append(members[:n_train])
+        val_idx.append(members[n_train:n_train + n_val])
+        test_idx.append(members[n_train + n_val:])
+    tr = rng.permutation(np.concatenate(train_idx))
+    va = rng.permutation(np.concatenate(val_idx))
+    te = rng.permutation(np.concatenate(test_idx))
+    x, y = dataset.features, dataset.labels
+    return DataSplit(x[tr], y[tr], x[va], y[va], x[te], y[te])

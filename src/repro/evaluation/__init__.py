@@ -1,0 +1,48 @@
+"""Evaluation harness: experiment orchestration and paper-artifact rendering.
+
+- :mod:`repro.evaluation.metrics` — accuracy/power/device metrics including
+  the accuracy-to-power ratio behind the paper's 52×/59× headline claims,
+- :mod:`repro.evaluation.experiments` — the dataset × AF × budget experiment
+  grid (Table I / Fig. 4) and the Pareto comparison (Fig. 5),
+- :mod:`repro.evaluation.reporting` — text renderers that print the same
+  rows/series the paper reports,
+- :mod:`repro.evaluation.figures` — ASCII scatter/curve emitters for the
+  figures.
+"""
+
+from repro.evaluation.metrics import accuracy_power_ratio, average_metrics, MetricRow
+from repro.evaluation.experiments import (
+    ExperimentConfig,
+    BudgetRunRecord,
+    run_budget_experiment,
+    run_dataset_grid,
+    run_pareto_comparison,
+    POWER_BUDGET_FRACTIONS,
+    BASELINE_ALPHAS,
+)
+from repro.evaluation.reporting import render_table1, render_fig4_rows, render_fig5_rows
+from repro.evaluation.montecarlo import run_monte_carlo, MonteCarloReport
+from repro.evaluation.lifetime import run_lifetime_analysis, LifetimeReport
+from repro.evaluation.export import write_grid_csv, write_pareto_csv
+
+__all__ = [
+    "accuracy_power_ratio",
+    "average_metrics",
+    "MetricRow",
+    "ExperimentConfig",
+    "BudgetRunRecord",
+    "run_budget_experiment",
+    "run_dataset_grid",
+    "run_pareto_comparison",
+    "POWER_BUDGET_FRACTIONS",
+    "BASELINE_ALPHAS",
+    "render_table1",
+    "render_fig4_rows",
+    "render_fig5_rows",
+    "run_monte_carlo",
+    "MonteCarloReport",
+    "run_lifetime_analysis",
+    "LifetimeReport",
+    "write_grid_csv",
+    "write_pareto_csv",
+]

@@ -1,0 +1,89 @@
+"""CSV / dict export of experiment artifacts.
+
+Downstream users want machine-readable results next to the pretty tables:
+these helpers flatten :class:`BudgetRunRecord` grids and Pareto comparisons
+into plain dict rows and CSV files (stdlib ``csv`` only).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.evaluation.experiments import BudgetRunRecord, ParetoComparison
+
+GRID_FIELDS = [
+    "dataset",
+    "activation",
+    "budget_fraction",
+    "budget_mw",
+    "max_power_mw",
+    "power_mw",
+    "test_accuracy",
+    "val_accuracy",
+    "train_accuracy",
+    "feasible",
+    "device_count",
+    "activation_circuits",
+    "negation_circuits",
+    "epochs_run",
+    "best_epoch",
+]
+
+
+def record_to_row(record: BudgetRunRecord) -> dict[str, object]:
+    """Flatten one grid record into a CSV-ready dict."""
+    result = record.result
+    return {
+        "dataset": record.dataset,
+        "activation": record.kind.value,
+        "budget_fraction": record.budget_fraction,
+        "budget_mw": record.budget_w * 1e3,
+        "max_power_mw": record.max_power_w * 1e3,
+        "power_mw": record.power_w * 1e3,
+        "test_accuracy": result.test_accuracy,
+        "val_accuracy": result.val_accuracy,
+        "train_accuracy": result.train_accuracy,
+        "feasible": record.feasible,
+        "device_count": record.device_count,
+        "activation_circuits": result.counts.get("activation_circuits", 0),
+        "negation_circuits": result.counts.get("negation_circuits", 0),
+        "epochs_run": result.epochs_run,
+        "best_epoch": result.best_epoch,
+    }
+
+
+def write_grid_csv(records: list[BudgetRunRecord], path: Path | str) -> Path:
+    """Write a grid of records to CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=GRID_FIELDS)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record_to_row(record))
+    return path
+
+
+def write_pareto_csv(comparison: ParetoComparison, path: Path | str) -> Path:
+    """Write a Fig. 5 comparison to CSV (sweep points, front, AL points)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "accuracy", "power_mw", "budget_mw"])
+        for accuracy, power in comparison.sweep.points():
+            writer.writerow(["sweep", accuracy, power * 1e3, ""])
+        for accuracy, power in comparison.front:
+            writer.writerow(["front", accuracy, power * 1e3, ""])
+        for record in comparison.al_records:
+            writer.writerow(
+                ["al", record.accuracy, record.power_w * 1e3, record.budget_w * 1e3]
+            )
+    return path
+
+
+def read_grid_csv(path: Path | str) -> list[dict[str, str]]:
+    """Read back a grid CSV as raw string dicts (round-trip helper)."""
+    with Path(path).open() as handle:
+        return list(csv.DictReader(handle))

@@ -1,0 +1,128 @@
+"""ASCII figure emitters.
+
+Terminal-friendly renderings of the paper's figures: a scatter canvas for
+Fig. 4 (accuracy vs power with budget threshold lines), a curve/point
+overlay for Fig. 5 (Pareto front vs AL optima), and line plots for the
+Fig. 3(c–f) power-vs-voltage behaviours.  These exist so benchmark runs
+produce inspectable artifacts without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AsciiCanvas:
+    """Fixed-size character canvas with data-coordinate plotting."""
+
+    def __init__(
+        self,
+        x_range: tuple[float, float],
+        y_range: tuple[float, float],
+        width: int = 72,
+        height: int = 20,
+    ):
+        if x_range[1] <= x_range[0] or y_range[1] <= y_range[0]:
+            raise ValueError("ranges must be increasing")
+        self.x_range = x_range
+        self.y_range = y_range
+        self.width = width
+        self.height = height
+        self.cells = [[" "] * width for _ in range(height)]
+
+    def _to_cell(self, x: float, y: float) -> tuple[int, int] | None:
+        fx = (x - self.x_range[0]) / (self.x_range[1] - self.x_range[0])
+        fy = (y - self.y_range[0]) / (self.y_range[1] - self.y_range[0])
+        if not (0.0 <= fx <= 1.0 and 0.0 <= fy <= 1.0):
+            return None
+        col = min(self.width - 1, int(fx * (self.width - 1)))
+        row = min(self.height - 1, int((1.0 - fy) * (self.height - 1)))
+        return row, col
+
+    def point(self, x: float, y: float, marker: str) -> None:
+        cell = self._to_cell(x, y)
+        if cell is not None:
+            row, col = cell
+            self.cells[row][col] = marker
+
+    def hline(self, y: float, marker: str = "-") -> None:
+        cell = self._to_cell(self.x_range[0], y)
+        if cell is None:
+            return
+        row, _ = cell
+        for col in range(self.width):
+            if self.cells[row][col] == " ":
+                self.cells[row][col] = marker
+
+    def curve(self, xs: np.ndarray, ys: np.ndarray, marker: str = "*") -> None:
+        for x, y in zip(xs, ys):
+            self.point(float(x), float(y), marker)
+
+    def render(self, x_label: str = "", y_label: str = "") -> str:
+        border = "+" + "-" * self.width + "+"
+        body = [border]
+        for row in self.cells:
+            body.append("|" + "".join(row) + "|")
+        body.append(border)
+        footer = (
+            f"x: {self.x_range[0]:g}..{self.x_range[1]:g} {x_label}   "
+            f"y: {self.y_range[0]:g}..{self.y_range[1]:g} {y_label}"
+        )
+        body.append(footer)
+        return "\n".join(body)
+
+
+#: Marker per activation kind, mirroring Fig. 4's legend
+#: (circle / square / triangle / star).
+FIG4_MARKERS = {
+    "p-ReLU": "o",
+    "p-Clipped_ReLU": "#",
+    "p-sigmoid": "^",
+    "p-tanh": "*",
+}
+
+
+def fig4_canvas(
+    points: list[tuple[float, float, str]],
+    budget_lines_mw: list[float],
+    accuracy_range: tuple[float, float] = (30.0, 100.0),
+    power_range_mw: tuple[float, float] | None = None,
+) -> str:
+    """Fig. 4: accuracy (x, %) vs power (y, mW) scatter with budget lines.
+
+    ``points`` contains (accuracy_pct, power_mw, kind_name) triples.
+    """
+    if power_range_mw is None:
+        top = max([p for _, p, _ in points] + budget_lines_mw) * 1.1 if points else 1.0
+        power_range_mw = (0.0, max(top, 1e-6))
+    canvas = AsciiCanvas(accuracy_range, power_range_mw)
+    for budget in budget_lines_mw:
+        canvas.hline(budget, marker=".")
+    for accuracy, power, kind_name in points:
+        canvas.point(accuracy, power, FIG4_MARKERS.get(kind_name, "x"))
+    return canvas.render(x_label="accuracy %", y_label="power mW")
+
+
+def fig5_canvas(
+    front: np.ndarray,
+    al_points: np.ndarray,
+    budgets_mw: list[float],
+) -> str:
+    """Fig. 5: baseline Pareto front (``~``) vs AL optima (``D``)."""
+    all_power = list(front[:, 1] * 1e3) + list(al_points[:, 1] * 1e3) + budgets_mw
+    power_top = max(all_power) * 1.15 if all_power else 1.0
+    canvas = AsciiCanvas((0.0, 100.0), (0.0, power_top))
+    for budget in budgets_mw:
+        canvas.hline(budget, marker=".")
+    canvas.curve(front[:, 0] * 100.0, front[:, 1] * 1e3, marker="~")
+    canvas.curve(al_points[:, 0] * 100.0, al_points[:, 1] * 1e3, marker="D")
+    return canvas.render(x_label="accuracy %", y_label="power mW")
+
+
+def fig3_power_curve(v_grid: np.ndarray, powers_w: np.ndarray, title: str) -> str:
+    """Fig. 3(c–f) bottom panels: AF power vs input voltage."""
+    powers_uw = np.asarray(powers_w) * 1e6
+    top = float(powers_uw.max()) * 1.1 + 1e-9
+    canvas = AsciiCanvas((float(v_grid.min()), float(v_grid.max())), (0.0, top), height=12)
+    canvas.curve(np.asarray(v_grid), powers_uw, marker="*")
+    return f"{title}\n" + canvas.render(x_label="V_in (V)", y_label="power uW")

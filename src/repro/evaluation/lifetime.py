@@ -1,0 +1,128 @@
+"""Accuracy-over-lifetime analysis of trained printed circuits.
+
+Sweeps the normalized lifetime τ from 0 (fresh print) to 1 (end of
+service), applies the :class:`~repro.pdk.aging.AgingModel` to every EGT in
+the network's activation circuits (threshold drift + transconductance
+decay) and to the printed resistances (via the physical q parameters), and
+re-evaluates accuracy and power at each age.  Optionally layers per-device
+stochastic spread via repeated draws per τ.
+
+The headline metric is the **functional lifetime**: the largest τ at which
+mean accuracy still clears a floor — the quantity a disposable-sensor
+designer actually provisions for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.autograd import functional as F
+from repro.circuits.pnc import PrintedNeuralNetwork
+from repro.pdk.aging import AgingModel
+
+
+@dataclass
+class LifetimeReport:
+    """Accuracy/power trajectories over normalized lifetime."""
+
+    taus: np.ndarray
+    accuracy_mean: np.ndarray
+    accuracy_min: np.ndarray
+    power_mean: np.ndarray
+    accuracy_floor: float
+
+    @property
+    def fresh_accuracy(self) -> float:
+        return float(self.accuracy_mean[0])
+
+    @property
+    def end_of_life_accuracy(self) -> float:
+        return float(self.accuracy_mean[-1])
+
+    def functional_lifetime(self) -> float:
+        """Largest τ whose mean accuracy still clears the floor.
+
+        Returns 0.0 if even the fresh circuit misses the floor; 1.0 if the
+        whole service life clears it.
+        """
+        passing = self.accuracy_mean >= self.accuracy_floor
+        if not passing[0]:
+            return 0.0
+        failing = np.flatnonzero(~passing)
+        if len(failing) == 0:
+            return 1.0
+        return float(self.taus[failing[0] - 1])
+
+    def summary(self) -> str:
+        return (
+            f"lifetime sweep over {len(self.taus)} ages: accuracy "
+            f"{self.fresh_accuracy * 100:.1f}% (fresh) → "
+            f"{self.end_of_life_accuracy * 100:.1f}% (end of life); "
+            f"functional lifetime τ = {self.functional_lifetime():.2f} "
+            f"at floor {self.accuracy_floor * 100:.0f}%"
+        )
+
+
+def run_lifetime_analysis(
+    net: PrintedNeuralNetwork,
+    x: np.ndarray,
+    y: np.ndarray,
+    aging: AgingModel,
+    taus: np.ndarray | None = None,
+    n_draws: int = 1,
+    seed: int = 0,
+    accuracy_floor: float = 0.6,
+) -> LifetimeReport:
+    """Evaluate ``net`` at a sweep of ages.
+
+    ``n_draws > 1`` adds per-device stochastic aging spread (independent per
+    draw); with ``n_draws = 1`` the nominal trajectory applies.  The network
+    is restored to its fresh state on return.
+    """
+    taus = np.linspace(0.0, 1.0, 6) if taus is None else np.asarray(taus, dtype=np.float64)
+    state = net.state_dict()
+    nominal_models = [activation.transfer.model for activation in net.activations()]
+    x_t = Tensor(x)
+
+    accuracy_mean = np.zeros(len(taus))
+    accuracy_min = np.zeros(len(taus))
+    power_mean = np.zeros(len(taus))
+    rng = np.random.default_rng(seed)
+
+    try:
+        for t_index, tau in enumerate(taus):
+            accuracies, powers = [], []
+            for draw in range(max(1, n_draws)):
+                net.load_state_dict(state)
+                draw_rng = rng if n_draws > 1 else None
+                for activation, fresh_model in zip(net.activations(), nominal_models):
+                    activation.transfer.model = aging.age_model_card(
+                        fresh_model, float(tau), rng=draw_rng
+                    )
+                    q = activation.q_values()
+                    if activation.space.log_scale:
+                        resistive = np.array(activation.space.log_scale, dtype=bool)
+                        q[resistive] = aging.age_resistances(q[resistive], float(tau), rng=draw_rng)
+                        activation.set_q(q)
+                with no_grad():
+                    logits, breakdown = net.forward_with_power(x_t)
+                accuracies.append(F.accuracy(logits, y))
+                powers.append(float(breakdown.total.data))
+            accuracy_mean[t_index] = float(np.mean(accuracies))
+            accuracy_min[t_index] = float(np.min(accuracies))
+            power_mean[t_index] = float(np.mean(powers))
+    finally:
+        net.load_state_dict(state)
+        for activation, fresh_model in zip(net.activations(), nominal_models):
+            activation.transfer.model = fresh_model
+
+    return LifetimeReport(
+        taus=taus,
+        accuracy_mean=accuracy_mean,
+        accuracy_min=accuracy_min,
+        power_mean=power_mean,
+        accuracy_floor=accuracy_floor,
+    )

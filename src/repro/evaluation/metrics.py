@@ -1,0 +1,82 @@
+"""Evaluation metrics.
+
+Defines the quantities Table I reports (power in mW, accuracy in %, device
+count) and the accuracy-to-power ratio used for the paper's headline
+efficiency claims ("52× improvement in accuracy-to-power ratio over the
+baseline at ≈20 % power; 59× at ≈80 %").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class MetricRow:
+    """One (power budget × activation) cell of Table I."""
+
+    power_mw: float
+    accuracy_pct: float
+    device_count: float
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.power_mw, self.accuracy_pct, self.device_count)
+
+
+def accuracy_power_ratio(accuracy_pct: float, power_mw: float) -> float:
+    """Accuracy (percent) per milliwatt — the paper's efficiency metric.
+
+    Raises on non-positive power: a zero-power classifier's ratio is
+    undefined and a negative power is a modelling bug.
+    """
+    if power_mw <= 0:
+        raise ValueError("power must be positive")
+    return accuracy_pct / power_mw
+
+
+def ratio_improvement(
+    proposed_accuracy_pct: float,
+    proposed_power_mw: float,
+    baseline_accuracy_pct: float,
+    baseline_power_mw: float,
+) -> float:
+    """How many × the proposed design improves accuracy-to-power."""
+    proposed = accuracy_power_ratio(proposed_accuracy_pct, proposed_power_mw)
+    baseline = accuracy_power_ratio(baseline_accuracy_pct, baseline_power_mw)
+    if baseline <= 0:
+        raise ValueError("baseline ratio must be positive")
+    return proposed / baseline
+
+
+def average_metrics(
+    powers_w: list[float],
+    accuracies: list[float],
+    device_counts: list[int],
+) -> MetricRow:
+    """Average per-dataset results into one Table I cell.
+
+    Accuracies are fractions in [0, 1]; the row reports percent.  Powers are
+    watts; the row reports milliwatts — matching the table's units.
+    """
+    if not (len(powers_w) == len(accuracies) == len(device_counts)):
+        raise ValueError("metric lists must be parallel")
+    if not powers_w:
+        raise ValueError("cannot average zero results")
+    return MetricRow(
+        power_mw=float(np.mean(powers_w)) * 1e3,
+        accuracy_pct=float(np.mean(accuracies)) * 100.0,
+        device_count=float(np.mean(device_counts)),
+    )
+
+
+def top_k_mean(values: list[float], k: int = 3, largest: bool = True) -> float:
+    """Mean of the k best values (paper: "top three models per dataset").
+
+    With fewer than k values, averages what exists.
+    """
+    if not values:
+        raise ValueError("no values")
+    ordered = sorted(values, reverse=largest)
+    return float(np.mean(ordered[: max(1, min(k, len(ordered)))]))

@@ -1,0 +1,145 @@
+"""Monte-Carlo robustness analysis of trained printed circuits.
+
+Printing scatters every component (see :mod:`repro.pdk.variation`); a design
+that only works at the nominal corner is not manufacturable.  This module
+samples printed instances of a trained :class:`PrintedNeuralNetwork`,
+re-evaluates accuracy and power per instance, and reports distributional
+statistics plus *parametric yield*: the fraction of instances that both stay
+within the power budget and clear an accuracy floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.autograd import functional as F
+from repro.circuits.pnc import PrintedNeuralNetwork
+from repro.pdk.variation import VariationSpec, perturb_q, perturb_theta, perturb_model_card
+
+
+@dataclass
+class MonteCarloReport:
+    """Result of a variation analysis run."""
+
+    accuracies: np.ndarray
+    powers: np.ndarray
+    nominal_accuracy: float
+    nominal_power: float
+    power_budget: float | None
+    accuracy_floor: float
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.accuracies)
+
+    @property
+    def accuracy_mean(self) -> float:
+        return float(self.accuracies.mean())
+
+    @property
+    def accuracy_std(self) -> float:
+        return float(self.accuracies.std())
+
+    @property
+    def power_mean(self) -> float:
+        return float(self.powers.mean())
+
+    @property
+    def power_std(self) -> float:
+        return float(self.powers.std())
+
+    def quantile(self, q: float, what: str = "accuracy") -> float:
+        values = self.accuracies if what == "accuracy" else self.powers
+        return float(np.quantile(values, q))
+
+    @property
+    def parametric_yield(self) -> float:
+        """Fraction of instances meeting both the budget and the floor."""
+        ok = self.accuracies >= self.accuracy_floor
+        if self.power_budget is not None:
+            ok &= self.powers <= self.power_budget
+        return float(ok.mean())
+
+    def summary(self) -> str:
+        lines = [
+            f"Monte-Carlo over {self.n_samples} printed instances",
+            f"  nominal: acc {self.nominal_accuracy * 100:.2f}%, power {self.nominal_power * 1e3:.4f} mW",
+            f"  accuracy: mean {self.accuracy_mean * 100:.2f}% ± {self.accuracy_std * 100:.2f}, "
+            f"p5 {self.quantile(0.05) * 100:.2f}%",
+            f"  power   : mean {self.power_mean * 1e3:.4f} mW ± {self.power_std * 1e3:.4f}, "
+            f"p95 {self.quantile(0.95, 'power') * 1e3:.4f} mW",
+        ]
+        if self.power_budget is not None:
+            lines.append(f"  budget  : {self.power_budget * 1e3:.4f} mW")
+        lines.append(
+            f"  yield   : {self.parametric_yield * 100:.1f}% "
+            f"(acc ≥ {self.accuracy_floor * 100:.0f}%"
+            + (", power ≤ budget)" if self.power_budget is not None else ")")
+        )
+        return "\n".join(lines)
+
+
+def run_monte_carlo(
+    net: PrintedNeuralNetwork,
+    x: np.ndarray,
+    y: np.ndarray,
+    spec: VariationSpec,
+    n_samples: int = 100,
+    seed: int = 0,
+    power_budget: float | None = None,
+    accuracy_floor: float = 0.0,
+) -> MonteCarloReport:
+    """Sample ``n_samples`` printed instances of ``net`` and evaluate each.
+
+    The network's parameters are perturbed in place per instance and restored
+    afterwards; the caller's ``net`` is untouched on return.  Each instance
+    perturbs crossbar conductances, activation-circuit parameters, and the
+    shared EGT model card.
+    """
+    rng = np.random.default_rng(seed)
+    state = net.state_dict()
+    x_t = Tensor(x)
+    threshold = net.config.pdk.prune_threshold_us
+
+    with no_grad():
+        logits, breakdown = net.forward_with_power(x_t)
+    nominal_accuracy = F.accuracy(logits, y)
+    nominal_power = float(breakdown.total.data)
+
+    accuracies = np.empty(n_samples)
+    powers = np.empty(n_samples)
+    nominal_models = [activation.transfer.model for activation in net.activations()]
+    try:
+        for sample in range(n_samples):
+            net.load_state_dict(state)
+            for crossbar in net.crossbars():
+                crossbar.theta.data = perturb_theta(
+                    crossbar.theta.data, spec, rng, prune_threshold=threshold
+                )
+            for activation, nominal_model in zip(net.activations(), nominal_models):
+                varied_q = perturb_q(activation.q_values(), activation.space, spec, rng)
+                # set_q clips into the design-space box; printing can land
+                # slightly outside, which the box mapping saturates — an
+                # acceptable approximation for bounded sigmas.
+                activation.set_q(varied_q)
+                activation.transfer.model = perturb_model_card(nominal_model, spec, rng)
+            with no_grad():
+                logits, breakdown = net.forward_with_power(x_t)
+            accuracies[sample] = F.accuracy(logits, y)
+            powers[sample] = float(breakdown.total.data)
+    finally:
+        net.load_state_dict(state)
+        for activation, nominal_model in zip(net.activations(), nominal_models):
+            activation.transfer.model = nominal_model
+
+    return MonteCarloReport(
+        accuracies=accuracies,
+        powers=powers,
+        nominal_accuracy=nominal_accuracy,
+        nominal_power=nominal_power,
+        power_budget=power_budget,
+        accuracy_floor=accuracy_floor,
+    )

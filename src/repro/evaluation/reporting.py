@@ -1,0 +1,139 @@
+"""Text renderers of the paper's tables and figure data.
+
+Every artifact of the evaluation section gets a plain-text renderer that
+prints the same rows/series the paper reports, so benchmark runs produce
+directly comparable output.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.evaluation.experiments import BudgetRunRecord, ParetoComparison
+from repro.evaluation.metrics import average_metrics, MetricRow
+from repro.pdk.params import ActivationKind, ALL_ACTIVATIONS
+
+
+def aggregate_table1(
+    records: list[BudgetRunRecord],
+) -> dict[tuple[float, ActivationKind], MetricRow]:
+    """Average the grid records into Table I cells keyed (budget, AF)."""
+    grouped: dict[tuple[float, ActivationKind], list[BudgetRunRecord]] = defaultdict(list)
+    for record in records:
+        grouped[(record.budget_fraction, record.kind)].append(record)
+    table: dict[tuple[float, ActivationKind], MetricRow] = {}
+    for key, group in grouped.items():
+        table[key] = average_metrics(
+            [r.power_w for r in group],
+            [r.accuracy for r in group],
+            [r.device_count for r in group],
+        )
+    return table
+
+
+def render_table1(
+    records: list[BudgetRunRecord],
+    baseline_rows: dict[float, tuple[float, float]] | None = None,
+) -> str:
+    """Render Table I: metrics across datasets per AF and budget.
+
+    ``baseline_rows`` maps budget fraction → (power_mW, accuracy_pct) of the
+    penalty baseline at the corresponding α, shown in the rightmost column
+    like the paper's layout.
+    """
+    table = aggregate_table1(records)
+    budgets = sorted({k[0] for k in table})
+    kinds = [k for k in ALL_ACTIVATIONS if any(key[1] == k for key in table)]
+
+    header = ["Budget", "Metric"] + [k.value for k in kinds]
+    if baseline_rows:
+        header.append("Baseline")
+    widths = [8, 6] + [14] * len(kinds) + ([12] if baseline_rows else [])
+
+    def fmt_row(cells: list[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt_row(header), "-" * (sum(widths) + 3 * (len(widths) - 1))]
+    for budget in budgets:
+        for metric_name, getter, formatter in (
+            ("Pow", lambda m: m.power_mw, lambda v: f"{v:.3f}"),
+            ("Acc", lambda m: m.accuracy_pct, lambda v: f"{v:.2f}"),
+            ("#Dev", lambda m: m.device_count, lambda v: f"{v:.0f}"),
+        ):
+            cells = [f"{int(budget * 100)}%", metric_name]
+            for kind in kinds:
+                row = table.get((budget, kind))
+                cells.append(formatter(getter(row)) if row else "-")
+            if baseline_rows:
+                base = baseline_rows.get(budget)
+                if base is None:
+                    cells.append("-")
+                elif metric_name == "Pow":
+                    cells.append(f"{base[0]:.3f}")
+                elif metric_name == "Acc":
+                    cells.append(f"{base[1]:.2f}")
+                else:
+                    cells.append("-")
+            lines.append(fmt_row(cells))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_fig4_rows(records: list[BudgetRunRecord]) -> str:
+    """Fig. 4 as rows: dataset, AF, budget, accuracy %, power mW, feasible."""
+    lines = [
+        f"{'dataset':22s} {'AF':16s} {'budget':>6s} {'acc%':>7s} {'P(mW)':>8s} "
+        f"{'limit(mW)':>10s} {'feasible':>8s}"
+    ]
+    for r in sorted(records, key=lambda r: (r.dataset, r.kind.value, r.budget_fraction)):
+        lines.append(
+            f"{r.dataset:22s} {r.kind.value:16s} {int(r.budget_fraction * 100):>5d}% "
+            f"{r.accuracy * 100:7.2f} {r.power_w * 1e3:8.4f} {r.budget_w * 1e3:10.4f} "
+            f"{str(r.feasible):>8s}"
+        )
+    return "\n".join(lines)
+
+
+def render_fig5_rows(comparison: ParetoComparison) -> str:
+    """Fig. 5 as rows: the baseline front and the AL points per budget."""
+    lines = [f"Fig. 5 — dataset {comparison.dataset}: penalty front vs AL points"]
+    lines.append(f"  baseline sweep: {comparison.sweep.n_runs} runs")
+    lines.append("  Pareto front (accuracy %, power mW):")
+    for accuracy, power in comparison.front:
+        lines.append(f"    {accuracy * 100:7.2f}  {power * 1e3:8.4f}")
+    lines.append("  AL single-run points:")
+    for record in comparison.al_records:
+        lines.append(
+            f"    budget {int(record.budget_fraction * 100):3d}%: "
+            f"acc {record.accuracy * 100:6.2f}%  P {record.power_w * 1e3:8.4f} mW "
+            f"(limit {record.budget_w * 1e3:.4f})  feasible={record.feasible}"
+        )
+    return "\n".join(lines)
+
+
+def baseline_table_rows(
+    sweep_points: np.ndarray,
+    alphas: np.ndarray,
+    table_alphas: tuple[float, ...] = (1.0, 0.75, 0.5, 0.25),
+) -> dict[float, tuple[float, float]]:
+    """Pick the baseline cells of Table I from a penalty sweep.
+
+    Returns mapping *budget fraction* → (power_mW, accuracy_pct) where the
+    paper pairs α=1 with the 20 % row, α=0.75 with 40 %, etc.
+    """
+    sweep_points = np.asarray(sweep_points)
+    alphas = np.asarray(alphas)
+    pairing = dict(zip((0.2, 0.4, 0.6, 0.8), table_alphas))
+    rows: dict[float, tuple[float, float]] = {}
+    for fraction, alpha in pairing.items():
+        mask = np.isclose(alphas, alpha, atol=1e-6)
+        if not mask.any():
+            idx = np.argmin(np.abs(alphas - alpha))
+            mask = np.zeros_like(mask)
+            mask[idx] = True
+        accuracy = float(sweep_points[mask, 0].mean()) * 100.0
+        power = float(sweep_points[mask, 1].mean()) * 1e3
+        rows[fraction] = (power, accuracy)
+    return rows

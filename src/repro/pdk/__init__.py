@@ -1,0 +1,47 @@
+"""Printed process design kit (pPDK substitute).
+
+Defines the printable component ranges (resistances, transistor geometries,
+supply rails), netlist builders for the four printed activation-function
+circuits evaluated by the paper (p-ReLU, p-Clipped_ReLU, p-sigmoid, p-tanh)
+and the negation (inverter) circuit, and differentiable transfer models that
+share the nEGT compact model with :mod:`repro.spice` so that analog behaviour
+seen during gradient-based training matches what the circuit simulator
+produces.
+"""
+
+from repro.pdk.params import (
+    PDK,
+    DEFAULT_PDK,
+    ActivationKind,
+    DesignSpace,
+    design_space,
+)
+from repro.pdk.circuits import (
+    build_activation_circuit,
+    build_negation_circuit,
+    simulate_activation,
+    simulate_negation,
+    activation_device_count,
+)
+from repro.pdk.transfer import TransferModel, make_transfer_model
+from repro.pdk.variation import VariationSpec, NOMINAL
+from repro.pdk.aging import AgingModel, NO_AGING
+
+__all__ = [
+    "PDK",
+    "DEFAULT_PDK",
+    "ActivationKind",
+    "DesignSpace",
+    "design_space",
+    "build_activation_circuit",
+    "build_negation_circuit",
+    "simulate_activation",
+    "simulate_negation",
+    "activation_device_count",
+    "TransferModel",
+    "make_transfer_model",
+    "VariationSpec",
+    "NOMINAL",
+    "AgingModel",
+    "NO_AGING",
+]

@@ -1,0 +1,110 @@
+"""EGT aging models and lifetime analysis.
+
+Printed electrolyte-gated transistors age: bias stress and electrolyte
+degradation shift the threshold voltage and decay the transconductance over
+the device's operational life (see the companion work, Zhao et al.,
+"Aging-Aware Training for Printed Neuromorphic Circuits", ICCAD 2022 [34]).
+For the disposable applications the paper targets, a classifier must hold
+its accuracy to the END of its service life, not only at t = 0.
+
+Model (normalized lifetime τ ∈ [0, 1], τ = 1 the end of service):
+
+- threshold drift: ``V_th(τ) = V_th0 + ΔV_th · τ^β`` — stretched-exponential
+  stress response, sub-linear early and saturating late (β ≈ 0.5),
+- transconductance decay: ``K(τ) = K0 · (1 − ΔK · τ^β)``,
+- printed resistors are comparatively stable; an optional small drift
+  ``R(τ) = R0 · (1 + ΔR · τ)`` is included for completeness.
+
+Per-device stochastic aging spread is layered on top by sampling ΔV_th /
+ΔK per instance around the nominal trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spice.egt import EGTModel
+
+
+@dataclass(frozen=True)
+class AgingModel:
+    """Nominal aging trajectory plus per-device spread.
+
+    Parameters
+    ----------
+    delta_vth:
+        Threshold shift at end of life (V); positive = harder to turn on.
+    delta_k:
+        Fractional transconductance loss at end of life (0..1).
+    delta_r:
+        Fractional resistor drift at end of life.
+    beta:
+        Stretch exponent of the drift (τ^β).
+    spread:
+        Relative per-device lognormal spread of the aging magnitudes.
+    """
+
+    delta_vth: float = 0.08
+    delta_k: float = 0.15
+    delta_r: float = 0.02
+    beta: float = 0.5
+    spread: float = 0.2
+
+    def __post_init__(self):
+        if not 0.0 <= self.delta_k < 1.0:
+            raise ValueError("delta_k must be in [0, 1)")
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+        if self.spread < 0:
+            raise ValueError("spread must be non-negative")
+
+    # ------------------------------------------------------------------
+    def vth_shift(self, tau: float) -> float:
+        """Nominal threshold shift at normalized lifetime ``tau``."""
+        return self.delta_vth * self._stress(tau)
+
+    def k_factor(self, tau: float) -> float:
+        """Nominal transconductance retention factor at ``tau``."""
+        return 1.0 - self.delta_k * self._stress(tau)
+
+    def r_factor(self, tau: float) -> float:
+        """Nominal resistance drift factor at ``tau``."""
+        return 1.0 + self.delta_r * min(max(tau, 0.0), 1.0)
+
+    def _stress(self, tau: float) -> float:
+        tau = min(max(tau, 0.0), 1.0)
+        return tau**self.beta
+
+    # ------------------------------------------------------------------
+    def age_model_card(
+        self, model: EGTModel, tau: float, rng: np.random.Generator | None = None
+    ) -> EGTModel:
+        """An aged EGT model card at lifetime ``tau``.
+
+        With ``rng`` given, the aging magnitudes get per-device lognormal
+        spread; without it, the nominal trajectory applies.
+        """
+        scale_v = scale_k = 1.0
+        if rng is not None and self.spread > 0:
+            scale_v = float(np.exp(self.spread * rng.standard_normal()))
+            scale_k = float(np.exp(self.spread * rng.standard_normal()))
+        vth = model.vth + self.vth_shift(tau) * scale_v
+        retention = 1.0 - (1.0 - self.k_factor(tau)) * scale_k
+        k = model.k * max(retention, 1e-3)
+        return EGTModel(vth=float(vth), k=float(k), n=model.n, phi=model.phi)
+
+    def age_resistances(
+        self, values: np.ndarray, tau: float, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Aged resistance-type values (element-wise drift)."""
+        values = np.asarray(values, dtype=np.float64)
+        factor = self.r_factor(tau)
+        if rng is not None and self.spread > 0:
+            factor = factor * np.exp(self.spread * self.delta_r * rng.standard_normal(values.shape))
+        return values * factor
+
+
+#: A device that never ages — analyses with this model reproduce t = 0.
+NO_AGING = AgingModel(delta_vth=0.0, delta_k=0.0, delta_r=0.0, spread=0.0)

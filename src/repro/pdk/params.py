@@ -1,0 +1,223 @@
+"""Printable component ranges and activation design spaces.
+
+The paper samples 10 000 activation-circuit configurations per AF from a
+bounded design space Q^AF of the learnable physical parameters
+``q^AF = [R, W, L]`` (resistances, transistor widths, transistor lengths).
+This module is the single source of truth for those bounds, the supply
+rails, and the crossbar conductance range.
+
+Unit conventions
+----------------
+- voltages in volts (sub-1 V rails: VDD = 1 V, VSS = -1 V where needed),
+- resistances in ohms (printable carbon/PEDOT resistors: 10 kΩ – 10 MΩ),
+- transistor geometry in meters (inkjet features: 20 µm – 1000 µm),
+- crossbar surrogate conductances θ in microsiemens (µS); printable range
+  0.1 µS – 100 µS (10 kΩ – 10 MΩ).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class ActivationKind(str, enum.Enum):
+    """The four printed activation circuits the paper evaluates."""
+
+    RELU = "p-ReLU"
+    CLIPPED_RELU = "p-Clipped_ReLU"
+    SIGMOID = "p-sigmoid"
+    TANH = "p-tanh"
+
+    @classmethod
+    def from_name(cls, name: str) -> "ActivationKind":
+        """Parse flexible spellings (``relu``, ``p-ReLU``, ``clipped_relu``...)."""
+        normalized = name.lower().replace("-", "_").replace(" ", "_")
+        aliases = {
+            "relu": cls.RELU,
+            "p_relu": cls.RELU,
+            "clipped_relu": cls.CLIPPED_RELU,
+            "p_clipped_relu": cls.CLIPPED_RELU,
+            "clip_relu": cls.CLIPPED_RELU,
+            "sigmoid": cls.SIGMOID,
+            "p_sigmoid": cls.SIGMOID,
+            "tanh": cls.TANH,
+            "p_tanh": cls.TANH,
+        }
+        if normalized not in aliases:
+            raise ValueError(f"unknown activation kind: {name!r}")
+        return aliases[normalized]
+
+
+ALL_ACTIVATIONS: tuple[ActivationKind, ...] = (
+    ActivationKind.RELU,
+    ActivationKind.CLIPPED_RELU,
+    ActivationKind.SIGMOID,
+    ActivationKind.TANH,
+)
+
+
+@dataclass(frozen=True)
+class PDK:
+    """Printed technology constants shared by all circuits."""
+
+    vdd: float = 1.0
+    vss: float = -1.0
+    resistance_min: float = 1.0e4
+    resistance_max: float = 1.0e7
+    width_min: float = 20.0e-6
+    width_max: float = 1000.0e-6
+    length_min: float = 20.0e-6
+    length_max: float = 200.0e-6
+    #: crossbar surrogate-conductance magnitude range, in µS
+    conductance_min_us: float = 0.1
+    conductance_max_us: float = 100.0
+    #: magnitude below which a crossbar resistor is considered un-printed
+    prune_threshold_us: float = 0.05
+
+    def clip_resistance(self, r: float | np.ndarray):
+        return np.clip(r, self.resistance_min, self.resistance_max)
+
+    def clip_width(self, w: float | np.ndarray):
+        return np.clip(w, self.width_min, self.width_max)
+
+    def clip_length(self, l: float | np.ndarray):  # noqa: E741 - domain name
+        return np.clip(l, self.length_min, self.length_max)
+
+
+DEFAULT_PDK = PDK()
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """Bounded design space Q^AF for one activation circuit.
+
+    Parameters are stored as parallel name/low/high arrays so that Sobol
+    samples map positionally onto circuit parameters.  All resistance-type
+    parameters are sampled log-uniformly (decades matter more than absolute
+    ohms for printed resistors); geometric parameters are sampled uniformly.
+    """
+
+    kind: ActivationKind
+    names: tuple[str, ...]
+    lows: np.ndarray
+    highs: np.ndarray
+    log_scale: tuple[bool, ...] = field(default=())
+
+    def __post_init__(self):
+        if not (len(self.names) == len(self.lows) == len(self.highs)):
+            raise ValueError("design space arrays must be parallel")
+        if np.any(self.highs <= self.lows):
+            raise ValueError("design space bounds must satisfy low < high")
+        if self.log_scale and len(self.log_scale) != len(self.names):
+            raise ValueError("log_scale must match parameter count")
+
+    @property
+    def dimension(self) -> int:
+        return len(self.names)
+
+    def center(self) -> np.ndarray:
+        """Geometric/arithmetic midpoint of the space (default q)."""
+        out = np.empty(self.dimension)
+        for i in range(self.dimension):
+            if self.log_scale and self.log_scale[i]:
+                out[i] = np.sqrt(self.lows[i] * self.highs[i])
+            else:
+                out[i] = 0.5 * (self.lows[i] + self.highs[i])
+        return out
+
+    def from_unit(self, unit: np.ndarray) -> np.ndarray:
+        """Map points in the unit hypercube [0,1]^d onto the design space."""
+        unit = np.asarray(unit, dtype=np.float64)
+        if unit.shape[-1] != self.dimension:
+            raise ValueError("unit sample dimensionality mismatch")
+        out = np.empty_like(unit)
+        for i in range(self.dimension):
+            if self.log_scale and self.log_scale[i]:
+                log_low, log_high = np.log10(self.lows[i]), np.log10(self.highs[i])
+                out[..., i] = 10.0 ** (log_low + unit[..., i] * (log_high - log_low))
+            else:
+                out[..., i] = self.lows[i] + unit[..., i] * (self.highs[i] - self.lows[i])
+        return out
+
+    def clip(self, q: np.ndarray) -> np.ndarray:
+        """Project a parameter vector back into the feasible box."""
+        return np.clip(np.asarray(q, dtype=np.float64), self.lows, self.highs)
+
+    def contains(self, q: np.ndarray) -> bool:
+        q = np.asarray(q, dtype=np.float64)
+        return bool(np.all(q >= self.lows - 1e-12) and np.all(q <= self.highs + 1e-12))
+
+
+def design_space(kind: ActivationKind, pdk: PDK = DEFAULT_PDK) -> DesignSpace:
+    """The feasible design space Q^AF for each printed activation circuit.
+
+    Parameter layouts (paper's q^AF = [R, W, L] per circuit):
+
+    - p-ReLU (source follower): ``[R_s, W_1, L_1]``
+    - p-Clipped_ReLU (current-limited source follower + diode clamp):
+      ``[R_d, R_s, W_1, L_1, W_c, L_c]``
+    - p-sigmoid (input divider + two-stage resistive-load inverter cascade,
+      0..VDD rails): ``[R_d1, R_d2, R_1, R_2, W_1, L_1, W_2, L_2]``
+    - p-tanh (input divider + inverter + inter-stage divider + inverter,
+      VDD/VSS rails):
+      ``[R_d1, R_d2, R_1, R_d3, R_d4, R_2, W_1, L_1, W_2, L_2]``
+
+    The gate dividers are unloaded (EGT gates draw no DC current), so they
+    level-shift and attenuate the switching point into the useful input
+    range; they also explain why the paper's p-sigmoid/p-tanh circuits carry
+    visibly larger device counts than p-ReLU (Table I).
+    """
+    r_lo, r_hi = pdk.resistance_min, pdk.resistance_max
+    w_lo, w_hi = pdk.width_min, pdk.width_max
+    l_lo, l_hi = pdk.length_min, pdk.length_max
+    if kind is ActivationKind.RELU:
+        return DesignSpace(
+            kind=kind,
+            names=("R_s", "W_1", "L_1"),
+            lows=np.array([r_lo, w_lo, l_lo]),
+            highs=np.array([r_hi, w_hi, l_hi]),
+            log_scale=(True, False, False),
+        )
+    if kind is ActivationKind.CLIPPED_RELU:
+        # R_d limits the follower's drain current so dissipation plateaus at
+        # ~VDD²/(R_d+R_s) once the clamp engages — the paper's
+        # "spike near threshold, then stabilizes" signature.
+        return DesignSpace(
+            kind=kind,
+            names=("R_d", "R_s", "W_1", "L_1", "W_c", "L_c"),
+            lows=np.array([r_lo, r_lo, w_lo, l_lo, w_lo, l_lo]),
+            highs=np.array([r_hi, r_hi, w_hi, l_hi, w_hi, l_hi]),
+            log_scale=(True, True, False, False, False, False),
+        )
+    if kind is ActivationKind.SIGMOID:
+        return DesignSpace(
+            kind=kind,
+            names=("R_d1", "R_d2", "R_1", "R_2", "W_1", "L_1", "W_2", "L_2"),
+            lows=np.array([r_lo, r_lo, r_lo, r_lo, w_lo, l_lo, w_lo, l_lo]),
+            highs=np.array([r_hi, r_hi, r_hi, r_hi, w_hi, l_hi, w_hi, l_hi]),
+            log_scale=(True, True, True, True, False, False, False, False),
+        )
+    if kind is ActivationKind.TANH:
+        return DesignSpace(
+            kind=kind,
+            names=("R_d1", "R_d2", "R_1", "R_d3", "R_d4", "R_2", "W_1", "L_1", "W_2", "L_2"),
+            lows=np.array([r_lo, r_lo, r_lo, r_lo, r_lo, r_lo, w_lo, l_lo, w_lo, l_lo]),
+            highs=np.array([r_hi, r_hi, r_hi, r_hi, r_hi, r_hi, w_hi, l_hi, w_hi, l_hi]),
+            log_scale=(True, True, True, True, True, True, False, False, False, False),
+        )
+    raise ValueError(f"unhandled activation kind: {kind}")
+
+
+#: Design space of the negation (inverting amplifier) circuit: load resistor
+#: pair and the driver transistor.  Shared by every negative weight.
+def negation_design_space(pdk: PDK = DEFAULT_PDK) -> DesignSpace:
+    return DesignSpace(
+        kind=ActivationKind.TANH,  # inverter topology; kind unused downstream
+        names=("R_n", "W_n", "L_n"),
+        lows=np.array([pdk.resistance_min, pdk.width_min, pdk.length_min]),
+        highs=np.array([pdk.resistance_max, pdk.width_max, pdk.length_max]),
+        log_scale=(True, False, False),
+    )

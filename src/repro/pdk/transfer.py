@@ -1,0 +1,352 @@
+"""Differentiable transfer and power models of the printed circuits.
+
+Training needs ``V_out`` and analytic power as *differentiable* functions of
+the input voltage and of the learnable physical parameters ``q = [R, W, L]``.
+The circuits are nonlinear (their node equations are implicit), so we use the
+implicit function theorem:
+
+1. Solve the scalar node equation ``g(V; v_in, q) = 0`` with a vectorized,
+   damped Newton iteration in plain numpy (fast, no graph).
+2. Re-attach gradients with a single implicit step
+
+   .. math:: V_{out} = V^* - g(V^*; v_{in}, q) / g'(V^*)
+
+   where ``V*`` is detached and ``g'`` is the (detached) numeric derivative.
+   The forward value is unchanged (``g(V*) ≈ 0``), while backprop yields
+   exactly ``∂V/∂p = -(∂g/∂p)/g'`` — the implicit derivative.
+
+Because these equations are *the same EKV equations* the SPICE substrate
+stamps, the transfer model agrees with full circuit simulation to solver
+tolerance (asserted by tests), while remaining end-to-end differentiable for
+the augmented-Lagrangian training loop.
+
+All functions broadcast over arbitrary input shapes: ``v_in`` is typically a
+``(batch, n_neurons)`` tensor and each entry of ``q`` a scalar tensor shared
+across the layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.pdk.params import PDK, DEFAULT_PDK, ActivationKind
+from repro.spice.egt import EGTModel, DEFAULT_NEGT
+
+# ----------------------------------------------------------------------
+# EKV primitives, numpy and Tensor flavours
+# ----------------------------------------------------------------------
+
+def _softplus_np(x: np.ndarray) -> np.ndarray:
+    return np.where(x > 0, x + np.log1p(np.exp(-np.abs(x))), np.log1p(np.exp(np.minimum(x, 0.0))))
+
+
+def _sigmoid_np(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+
+
+def _f_np(x: np.ndarray) -> np.ndarray:
+    return _softplus_np(x / 2.0) ** 2
+
+
+def _fp_np(x: np.ndarray) -> np.ndarray:
+    return _softplus_np(x / 2.0) * _sigmoid_np(x / 2.0)
+
+
+def _softplus_t(x: Tensor) -> Tensor:
+    positive = x.relu()
+    return positive + ((-(x.abs())).exp() + 1.0).log()
+
+
+def _f_t(x: Tensor) -> Tensor:
+    s = _softplus_t(x * 0.5)
+    return s * s
+
+
+def ids_np(
+    vg: np.ndarray, vd: np.ndarray, vs: np.ndarray, width: np.ndarray, length: np.ndarray, model: EGTModel
+) -> np.ndarray:
+    """EKV drain current, numpy version (broadcasts)."""
+    i_s = 2.0 * model.n * model.k * (width / length) * model.phi**2
+    vp = (vg - model.vth) / model.n
+    return i_s * (_f_np((vp - vs) / model.phi) - _f_np((vp - vd) / model.phi))
+
+
+def ids_partials_np(
+    vg: np.ndarray, vd: np.ndarray, vs: np.ndarray, width: np.ndarray, length: np.ndarray, model: EGTModel
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(ids, dI/dVg, dI/dVd, dI/dVs)`` as numpy arrays."""
+    i_s = 2.0 * model.n * model.k * (width / length) * model.phi**2
+    vp = (vg - model.vth) / model.n
+    xf = (vp - vs) / model.phi
+    xr = (vp - vd) / model.phi
+    ff, fr = _f_np(xf), _f_np(xr)
+    fpf, fpr = _fp_np(xf), _fp_np(xr)
+    ids = i_s * (ff - fr)
+    return (
+        ids,
+        i_s * (fpf - fpr) / (model.n * model.phi),
+        i_s * fpr / model.phi,
+        -i_s * fpf / model.phi,
+    )
+
+
+def ids_t(vg: Tensor, vd: Tensor, vs: Tensor, width: Tensor, length: Tensor, model: EGTModel) -> Tensor:
+    """EKV drain current as an autograd expression."""
+    i_s = width / length * (2.0 * model.n * model.k * model.phi**2)
+    vp = (vg - model.vth) * (1.0 / model.n)
+    xf = (vp - vs) * (1.0 / model.phi)
+    xr = (vp - vd) * (1.0 / model.phi)
+    return i_s * (_f_t(xf) - _f_t(xr))
+
+
+def _const(value: float | np.ndarray) -> Tensor:
+    return Tensor(np.asarray(value, dtype=np.float64))
+
+
+# ----------------------------------------------------------------------
+# Generic implicit node solve
+# ----------------------------------------------------------------------
+
+def _newton_solve_np(
+    g_and_gprime: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]],
+    v0: np.ndarray,
+    iterations: int = 60,
+    step_limit: float = 0.4,
+    tol: float = 1e-12,
+) -> np.ndarray:
+    """Vectorized damped Newton on the scalar node equation."""
+    v = v0.copy()
+    for _ in range(iterations):
+        g, gp = g_and_gprime(v)
+        step = g / np.where(np.abs(gp) < 1e-30, 1e-30, gp)
+        step = np.clip(step, -step_limit, step_limit)
+        v = v - step
+        if np.abs(g).max() < tol:
+            break
+    return v
+
+
+def _implicit_attach(
+    v_star: np.ndarray,
+    g_tensor: Tensor,
+    g_prime: np.ndarray,
+) -> Tensor:
+    """Re-attach gradients to a detached Newton solution.
+
+    ``g_tensor`` must be the residual evaluated *at the detached* ``v_star``
+    as an autograd expression in the upstream tensors; ``g_prime`` is the
+    numeric ∂g/∂V at ``v_star``.
+    """
+    safe = np.where(np.abs(g_prime) < 1e-30, 1e-30, g_prime)
+    return _const(v_star) - g_tensor * _const(1.0 / safe)
+
+
+# ----------------------------------------------------------------------
+# Per-circuit node equations
+# ----------------------------------------------------------------------
+
+@dataclass
+class TransferModel:
+    """Differentiable transfer + analytic power for one activation circuit.
+
+    Call :meth:`output` for the activation output voltage tensor and
+    :meth:`output_and_power` to also get per-sample dissipated power (W).
+    ``q`` is passed as a list of scalar :class:`Tensor` (one per design-space
+    parameter, ordered as in :func:`repro.pdk.params.design_space`), so that
+    gradients flow into the learnable physical parameters.
+    """
+
+    kind: ActivationKind
+    pdk: PDK = DEFAULT_PDK
+    model: EGTModel = DEFAULT_NEGT
+    newton_iterations: int = 60
+
+    # ------------------------------------------------------------------
+    def output(self, v_in: Tensor, q: list[Tensor]) -> Tensor:
+        return self.output_and_power(v_in, q)[0]
+
+    def output_and_power(self, v_in: Tensor, q: list[Tensor]) -> tuple[Tensor, Tensor]:
+        """Return ``(v_out, power)`` tensors broadcast to ``v_in``'s shape."""
+        if self.kind is ActivationKind.RELU:
+            return self._source_follower(v_in, q, clamp=False)
+        if self.kind is ActivationKind.CLIPPED_RELU:
+            return self._source_follower(v_in, q, clamp=True)
+        if self.kind is ActivationKind.SIGMOID:
+            return self._inverter_cascade(v_in, q, vss=0.0)
+        if self.kind is ActivationKind.TANH:
+            return self._inverter_cascade(v_in, q, vss=self.pdk.vss)
+        raise ValueError(f"unhandled activation kind: {self.kind}")
+
+    # ------------------------------------------------------------------
+    def _source_follower(self, v_in: Tensor, q: list[Tensor], clamp: bool) -> tuple[Tensor, Tensor]:
+        if clamp:
+            return self._clipped_follower(v_in, q)
+        vdd, model = self.pdk.vdd, self.model
+        r_s, w_1, l_1 = q
+        vin_np = v_in.data
+        rs_np, w1_np, l1_np = r_s.data, w_1.data, l_1.data
+
+        def g_np(v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            i1, _, _, di_dvs = ids_partials_np(vin_np, np.full_like(v, vdd), v, w1_np, l1_np, model)
+            return i1 - v / rs_np, di_dvs - 1.0 / rs_np
+
+        v0 = np.full(np.broadcast_shapes(vin_np.shape, np.shape(rs_np)), 0.05)
+        v_star = _newton_solve_np(g_np, v0, iterations=self.newton_iterations)
+
+        v_star_t = _const(v_star)
+        g_t = ids_t(v_in, _const(vdd), v_star_t, w_1, l_1, model) - v_star_t / r_s
+        _, g_prime = g_np(v_star)
+        v_out = _implicit_attach(v_star, g_t, g_prime)
+
+        # Analytic power with gradients: M1 drop + load.
+        i1_out = ids_t(v_in, _const(vdd), v_out, w_1, l_1, model)
+        power = i1_out * (vdd - v_out) + v_out * v_out / r_s
+        return v_out, power
+
+    def _clipped_follower(self, v_in: Tensor, q: list[Tensor]) -> tuple[Tensor, Tensor]:
+        """Current-limited follower + diode clamp (p-Clipped_ReLU).
+
+        The drain node eliminates analytically: the total output current
+        ``I(V) = V/R_s + I_clamp(V)`` all flows through R_d, so
+        ``V_drain = VDD − R_d·I(V)`` and a single scalar residual remains:
+
+        .. math:: g(V) = I_{M1}(v_{in}, V_{drain}(V), V) - I(V) = 0.
+        """
+        vdd, model = self.pdk.vdd, self.model
+        r_d, r_s, w_1, l_1, w_c, l_c = q
+        vin_np = v_in.data
+        rd_np, rs_np = r_d.data, r_s.data
+        w1_np, l1_np, wc_np, lc_np = w_1.data, l_1.data, w_c.data, l_c.data
+
+        def g_np(v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            ic, ic_dvg, ic_dvd, _ = ids_partials_np(v, v, np.zeros_like(v), wc_np, lc_np, model)
+            ic_prime = ic_dvg + ic_dvd
+            i_total = v / rs_np + ic
+            i_total_prime = 1.0 / rs_np + ic_prime
+            v_drain = vdd - rd_np * i_total
+            i1, _, i1_dvd, i1_dvs = ids_partials_np(vin_np, v_drain, v, w1_np, l1_np, model)
+            g = i1 - i_total
+            gp = i1_dvd * (-rd_np * i_total_prime) + i1_dvs - i_total_prime
+            return g, gp
+
+        v0 = np.full(
+            np.broadcast_shapes(vin_np.shape, np.shape(rs_np), np.shape(rd_np)), 0.05
+        )
+        v_star = _newton_solve_np(g_np, v0, iterations=self.newton_iterations)
+
+        v_star_t = _const(v_star)
+        ic_t = ids_t(v_star_t, v_star_t, _const(0.0), w_c, l_c, model)
+        i_total_t = v_star_t / r_s + ic_t
+        v_drain_t = _const(vdd) - r_d * i_total_t
+        g_t = ids_t(v_in, v_drain_t, v_star_t, w_1, l_1, model) - i_total_t
+        _, g_prime = g_np(v_star)
+        v_out = _implicit_attach(v_star, g_t, g_prime)
+
+        # Power with gradients, recomputed at the attached output.
+        ic_out = ids_t(v_out, v_out, _const(0.0), w_c, l_c, model)
+        i_total_out = v_out / r_s + ic_out
+        v_drain_out = _const(vdd) - r_d * i_total_out
+        i1_out = ids_t(v_in, v_drain_out, v_out, w_1, l_1, model)
+        power = (
+            i_total_out * i_total_out * r_d  # R_d drop (I²R with I = total)
+            + i1_out * (v_drain_out - v_out)  # M1 channel
+            + v_out * v_out / r_s  # load
+            + ic_out * v_out  # clamp
+        )
+        return v_out, power
+
+    # ------------------------------------------------------------------
+    def _inverter_stage(
+        self,
+        v_gate: Tensor,
+        r_load: Tensor,
+        width: Tensor,
+        length: Tensor,
+        vss: float,
+        r_shunt: Tensor | None = None,
+    ) -> tuple[Tensor, Tensor]:
+        """Solve one resistive-load inverter stage; return (v_out, power).
+
+        ``r_shunt`` models a resistive load from the output node to the
+        ``vss`` rail (e.g. the next stage's gate divider); its dissipation is
+        accounted for by the caller, not here.
+        """
+        vdd, model = self.pdk.vdd, self.model
+        vg_np = v_gate.data
+        r_np, w_np, l_np = r_load.data, width.data, length.data
+        rsh_np = None if r_shunt is None else r_shunt.data
+
+        def g_np(v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            i_m, _, di_dvd, _ = ids_partials_np(vg_np, v, np.full_like(v, vss), w_np, l_np, model)
+            g = (vdd - v) / r_np - i_m
+            gp = -1.0 / r_np - di_dvd
+            if rsh_np is not None:
+                g = g - (v - vss) / rsh_np
+                gp = gp - 1.0 / rsh_np
+            return g, gp
+
+        v0 = np.full(np.broadcast_shapes(vg_np.shape, np.shape(r_np)), 0.5 * (vdd + vss))
+        v_star = _newton_solve_np(g_np, v0, iterations=self.newton_iterations)
+
+        v_star_t = _const(v_star)
+        i_t = ids_t(v_gate, v_star_t, _const(vss), width, length, model)
+        g_t = (_const(vdd) - v_star_t) / r_load - i_t
+        if r_shunt is not None:
+            g_t = g_t - (v_star_t - vss) / r_shunt
+        _, g_prime = g_np(v_star)
+        v_out = _implicit_attach(v_star, g_t, g_prime)
+
+        i_out = ids_t(v_gate, v_out, _const(vss), width, length, model)
+        drop = _const(vdd) - v_out
+        power = drop * drop / r_load + i_out * (v_out - vss)
+        return v_out, power
+
+    @staticmethod
+    def _divider(v_top: Tensor, r_top: Tensor, r_bot: Tensor, rail: float) -> tuple[Tensor, Tensor]:
+        """Unloaded divider from ``v_top`` to ``rail``; return (v_tap, power)."""
+        total = r_top + r_bot
+        beta = r_bot / total
+        v_tap = (v_top - rail) * beta + rail
+        drop = v_top - rail
+        power = drop * drop / total
+        return v_tap, power
+
+    def _inverter_cascade(self, v_in: Tensor, q: list[Tensor], vss: float) -> tuple[Tensor, Tensor]:
+        if self.kind is ActivationKind.SIGMOID:
+            r_d1, r_d2, r_1, r_2, w_1, l_1, w_2, l_2 = q
+            v_g1, p_d1 = self._divider(v_in, r_d1, r_d2, 0.0)
+            v_mid, p_1 = self._inverter_stage(v_g1, r_1, w_1, l_1, 0.0)
+            v_out, p_2 = self._inverter_stage(v_mid, r_2, w_2, l_2, 0.0)
+            return v_out, p_d1 + p_1 + p_2
+        r_d1, r_d2, r_1, r_d3, r_d4, r_2, w_1, l_1, w_2, l_2 = q
+        v_g1, p_d1 = self._divider(v_in, r_d1, r_d2, vss)
+        v_mid, p_1 = self._inverter_stage(v_g1, r_1, w_1, l_1, vss, r_shunt=r_d3 + r_d4)
+        v_g2, p_d2 = self._divider(v_mid, r_d3, r_d4, vss)
+        v_out, p_2 = self._inverter_stage(v_g2, r_2, w_2, l_2, vss)
+        return v_out, p_d1 + p_1 + p_d2 + p_2
+
+
+@dataclass
+class NegationModel:
+    """Differentiable model of the negation (inverting amplifier) circuit."""
+
+    pdk: PDK = DEFAULT_PDK
+    model: EGTModel = DEFAULT_NEGT
+    newton_iterations: int = 60
+
+    def output_and_power(self, v_in: Tensor, q: list[Tensor]) -> tuple[Tensor, Tensor]:
+        r_n, w_n, l_n = q
+        helper = TransferModel(ActivationKind.TANH, pdk=self.pdk, model=self.model,
+                               newton_iterations=self.newton_iterations)
+        return helper._inverter_stage(v_in, r_n, w_n, l_n, self.pdk.vss)
+
+
+def make_transfer_model(kind: ActivationKind | str, pdk: PDK = DEFAULT_PDK) -> TransferModel:
+    """Factory accepting either the enum or a flexible name string."""
+    if isinstance(kind, str):
+        kind = ActivationKind.from_name(kind)
+    return TransferModel(kind, pdk=pdk)

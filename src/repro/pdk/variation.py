@@ -1,0 +1,119 @@
+"""Printing process variation models.
+
+The pPDK the paper builds on (Rasheed et al. [29]) is a *variability* model
+for printed EGTs: inkjet-printed components scatter strongly from instance
+to instance (droplet volume, layer thickness, electrolyte geometry).  This
+module provides the corresponding perturbation model so trained circuits can
+be Monte-Carlo-analyzed for robustness and parametric yield — the natural
+"additional constraints" extension the paper's conclusion points to.
+
+Variation conventions (one printed *instance* = one sample):
+
+- resistors: multiplicative lognormal, ``R' = R · exp(σ_R · z)``,
+- transistor geometry (W, L): multiplicative lognormal with σ_geom,
+- threshold voltage: additive Gaussian, ``V_th' = V_th + σ_vth · z``,
+- transconductance K: multiplicative lognormal with σ_k,
+- crossbar conductances θ: multiplicative lognormal on the magnitude
+  (sign — the negation wiring — is lithographically fixed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pdk.params import DesignSpace
+from repro.spice.egt import EGTModel
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Per-component variation magnitudes (lognormal sigmas / volts).
+
+    Defaults follow typical inkjet-printed spreads: ~10 % resistors,
+    ~5 % geometry, 30 mV threshold scatter, ~10 % transconductance.
+    """
+
+    sigma_resistance: float = 0.10
+    sigma_geometry: float = 0.05
+    sigma_vth: float = 0.03
+    sigma_k: float = 0.10
+    sigma_conductance: float = 0.10
+
+    def __post_init__(self):
+        for name in ("sigma_resistance", "sigma_geometry", "sigma_vth", "sigma_k", "sigma_conductance"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def scaled(self, factor: float) -> "VariationSpec":
+        """A uniformly scaled copy (e.g. a 2× worse process corner)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return VariationSpec(
+            sigma_resistance=self.sigma_resistance * factor,
+            sigma_geometry=self.sigma_geometry * factor,
+            sigma_vth=self.sigma_vth * factor,
+            sigma_k=self.sigma_k * factor,
+            sigma_conductance=self.sigma_conductance * factor,
+        )
+
+
+#: No variation — Monte Carlo with this spec reproduces the nominal circuit.
+NOMINAL = VariationSpec(0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def perturb_q(
+    q: np.ndarray,
+    space: DesignSpace,
+    spec: VariationSpec,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One printed instance of an activation circuit's parameters.
+
+    Resistance-type axes (log-scaled in the design space) get the resistor
+    sigma; geometric axes get the geometry sigma.  The perturbed vector is
+    NOT clipped to the design space — printing does not respect designer
+    bounds — but values stay physical (positive) by construction.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    if q.shape != (space.dimension,):
+        raise ValueError("q does not match the design space")
+    out = q.copy()
+    for i in range(space.dimension):
+        is_resistance = bool(space.log_scale[i]) if space.log_scale else False
+        sigma = spec.sigma_resistance if is_resistance else spec.sigma_geometry
+        if sigma > 0:
+            out[i] *= np.exp(sigma * rng.standard_normal())
+    return out
+
+
+def perturb_theta(
+    theta: np.ndarray,
+    spec: VariationSpec,
+    rng: np.random.Generator,
+    prune_threshold: float = 0.0,
+) -> np.ndarray:
+    """One printed instance of a crossbar's conductance matrix.
+
+    Magnitudes scatter lognormally; signs are preserved; entries below the
+    prune threshold are *not printed* and therefore do not vary (they stay
+    exactly as-is, i.e. effectively absent).
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    if spec.sigma_conductance <= 0:
+        return theta.copy()
+    noise = np.exp(spec.sigma_conductance * rng.standard_normal(theta.shape))
+    printed = np.abs(theta) > prune_threshold
+    return np.where(printed, theta * noise, theta)
+
+
+def perturb_model_card(
+    model: EGTModel,
+    spec: VariationSpec,
+    rng: np.random.Generator,
+) -> EGTModel:
+    """One printed instance of the EGT model card (V_th and K scatter)."""
+    vth = model.vth + spec.sigma_vth * rng.standard_normal()
+    k = model.k * np.exp(spec.sigma_k * rng.standard_normal())
+    return EGTModel(vth=float(vth), k=float(max(k, 1e-12)), n=model.n, phi=model.phi)

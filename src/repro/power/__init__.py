@@ -1,0 +1,47 @@
+"""Power modeling for printed neuromorphic circuits.
+
+Implements the three ingredients of the paper's differentiable power
+estimator ``P(θ, q)`` (§III):
+
+- the **analytic crossbar power** model ``P^C`` (resistive dissipation as a
+  function of the surrogate conductances Θ and the actual signal voltages),
+- **data-driven surrogate models** ``P^AF`` / ``P^N`` — MLPs trained on
+  circuit-simulation sweeps sampled with a Sobol sequence over the feasible
+  design space of the activation parameters ``q`` (§III-A),
+- **device counts** ``N^AF`` / ``N^N`` with the paper's sigmoid soft
+  relaxation for the backward pass and the exact indicator for reporting
+  (§III-B).
+"""
+
+from repro.power.sobol import sobol_sequence, sobol_sample_space
+from repro.power.crossbar_power import crossbar_power_matrix, crossbar_total_power
+from repro.power.counts import (
+    hard_activation_count,
+    soft_activation_count,
+    hard_negation_count,
+    soft_negation_count,
+    straight_through_activation_count,
+    straight_through_negation_count,
+)
+from repro.power.dataset import PowerDataset, generate_power_dataset, generate_negation_dataset
+from repro.power.surrogate import SurrogatePowerModel, fit_surrogate, load_surrogate, get_cached_surrogate
+
+__all__ = [
+    "sobol_sequence",
+    "sobol_sample_space",
+    "crossbar_power_matrix",
+    "crossbar_total_power",
+    "hard_activation_count",
+    "soft_activation_count",
+    "hard_negation_count",
+    "soft_negation_count",
+    "straight_through_activation_count",
+    "straight_through_negation_count",
+    "PowerDataset",
+    "generate_power_dataset",
+    "generate_negation_dataset",
+    "SurrogatePowerModel",
+    "fit_surrogate",
+    "load_surrogate",
+    "get_cached_surrogate",
+]

@@ -1,0 +1,95 @@
+"""Analytic power model of the resistor crossbar (paper §II-B).
+
+Every crossbar resistor dissipates ``ΔV² · g`` where ``ΔV`` is the drop
+between its driven side and the summation (output) node.  The driven side is
+the raw input voltage for positive surrogate conductances and the *negated*
+input for negative ones — the sign of θ encodes whether a negation circuit is
+pre-connected.  In matrix form (paper notation):
+
+.. math::
+
+    P^C = ((\\tilde V_{in} \\odot 1_{Θ ≥ 0}
+           + neg(\\tilde V_{in}) \\odot 1_{Θ < 0}) - \\tilde V_z)^2 \\odot |Θ|
+
+with :math:`\\tilde V_{in}` the extended input (inputs, bias rail, ground)
+broadcast over columns and :math:`\\tilde V_z` the output voltages broadcast
+over rows.  Total crossbar power is the sum of the matrix entries.
+
+Functions here are autograd-native: they accept and return
+:class:`~repro.autograd.tensor.Tensor` so the power flows gradients into θ
+during constrained training.  Conductances are expressed in µS; returned
+power is in watts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+MICRO_SIEMENS = 1.0e-6
+
+
+def crossbar_power_matrix(
+    theta: Tensor,
+    v_driven: Tensor,
+    v_out: Tensor,
+) -> Tensor:
+    """Per-resistor average power of one crossbar.
+
+    Parameters
+    ----------
+    theta:
+        ``(M+2, N)`` surrogate conductances in µS (signed).
+    v_driven:
+        ``(batch, M+2)`` voltages actually driven into each row: callers are
+        responsible for applying ``neg(·)`` to rows wired to negated inputs
+        (i.e. this is already ``Ṽin ⊙ 1{Θ≥0} + neg(Ṽin) ⊙ 1{Θ<0}``
+        materialized per column where needed — see
+        :meth:`repro.circuits.crossbar.CrossbarLayer.power`).
+    v_out:
+        ``(batch, N)`` crossbar output voltages.
+
+    Returns
+    -------
+    Tensor
+        ``(M+2, N)`` matrix of batch-averaged per-resistor powers in watts.
+    """
+    if theta.ndim != 2:
+        raise ValueError("theta must be 2-D (M+2, N)")
+    batch = v_driven.shape[0]
+    # drop[b, i, j] = v_driven[b, i, j-broadcast] - v_out[b, j]
+    drop = v_driven.reshape(batch, v_driven.shape[1], 1) - v_out.reshape(batch, 1, v_out.shape[1])
+    conductance = theta.abs() * MICRO_SIEMENS
+    power = (drop * drop).mean(axis=0) * conductance
+    return power
+
+
+def crossbar_total_power(theta: Tensor, v_driven: Tensor, v_out: Tensor) -> Tensor:
+    """Total batch-averaged crossbar power ``1ᵀ · P^C · 1`` in watts."""
+    return crossbar_power_matrix(theta, v_driven, v_out).sum()
+
+
+def crossbar_power_matrix_signed(
+    theta: Tensor,
+    v_in_extended: Tensor,
+    v_in_negated: Tensor,
+    v_out: Tensor,
+) -> Tensor:
+    """Per-resistor power with sign-based input selection (paper's form).
+
+    ``v_in_extended``/``v_in_negated`` are ``(batch, M+2)``; rows are routed
+    per-element according to ``sign(θ)`` (the indicator masks of the paper).
+    The sign mask is evaluated on data (no gradient through the routing,
+    matching the indicator's zero a.e. derivative).
+    """
+    positive_mask = (theta.data >= 0.0)
+    batch, rows = v_in_extended.shape
+    cols = theta.shape[1]
+    v_pos = v_in_extended.reshape(batch, rows, 1)
+    v_neg = v_in_negated.reshape(batch, rows, 1)
+    mask = np.broadcast_to(positive_mask, (batch, rows, cols))
+    driven = v_pos.where(mask, v_neg)
+    drop = driven - v_out.reshape(batch, 1, cols)
+    conductance = theta.abs() * MICRO_SIEMENS
+    return (drop * drop).mean(axis=0) * conductance

@@ -1,0 +1,124 @@
+"""Compact model of a printed inorganic n-type electrolyte-gated transistor.
+
+Printed nEGTs operate below 1 V thanks to the huge electrolyte double-layer
+capacitance; their I–V characteristics are well captured by an EKV-style
+charge-based model that is smooth (infinitely differentiable), covers weak
+through strong inversion, and saturates correctly.  This is the device model
+behind every activation circuit in :mod:`repro.pdk`.
+
+The drain current of an n-type device with terminals (d, g, s), all voltages
+referenced to ground, is
+
+.. math::
+
+    I_{ds} = I_s \\, [F(x_f) - F(x_r)], \\qquad
+    F(x) = \\ln^2(1 + e^{x/2}),
+
+with the forward/reverse normalized voltages
+
+.. math::
+
+    x_f = (v_p - V_s)/\\phi, \\quad x_r = (v_p - V_d)/\\phi, \\quad
+    v_p = (V_g - V_{th})/n,
+
+specific current :math:`I_s = 2 n K (W/L) \\phi^2`, slope factor ``n``,
+thermal-like voltage ``phi`` and transconductance parameter ``K``
+(:math:`\\mu C`).  ``F`` interpolates between exponential sub-threshold
+behaviour and the quadratic strong-inversion law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _log1pexp(x: np.ndarray | float) -> np.ndarray | float:
+    """Numerically stable ``log(1 + exp(x))``."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.where(x > 0, x + np.log1p(np.exp(-np.abs(x))), np.log1p(np.exp(np.minimum(x, 0))))
+
+
+def _ekv_f(x: np.ndarray | float) -> np.ndarray | float:
+    """EKV interpolation function ``F(x) = ln^2(1 + e^{x/2})``."""
+    return _log1pexp(np.asarray(x) / 2.0) ** 2
+
+
+def _ekv_f_prime(x: np.ndarray | float) -> np.ndarray | float:
+    """Derivative ``F'(x) = ln(1 + e^{x/2}) * sigmoid(x/2)``."""
+    x = np.asarray(x, dtype=np.float64)
+    return _log1pexp(x / 2.0) * (1.0 / (1.0 + np.exp(-np.clip(x / 2.0, -500, 500))))
+
+
+@dataclass(frozen=True)
+class EGTModel:
+    """Printed nEGT model card.
+
+    Parameters
+    ----------
+    vth:
+        Threshold voltage in volts.  Printed inorganic EGTs sit around
+        0.1–0.4 V, enabling sub-1 V supplies.
+    k:
+        Transconductance parameter ``K = mu * C`` in A/V².  Printed oxide
+        channels reach ~1e-4 A/V² per square.
+    n:
+        Sub-threshold slope factor (dimensionless, >= 1).
+    phi:
+        Effective thermal voltage in volts; EGTs show steep ~100 mV/decade
+        sub-threshold slopes, so ``phi`` ~ 0.04 V.
+    """
+
+    vth: float = 0.2
+    k: float = 1.0e-4
+    n: float = 1.2
+    phi: float = 0.04
+
+    def __post_init__(self):
+        if self.k <= 0 or self.phi <= 0 or self.n < 1.0:
+            raise ValueError("EGT model card out of physical range")
+
+    def specific_current(self, width: float, length: float) -> float:
+        """Specific (normalization) current ``I_s`` for a given geometry."""
+        if width <= 0 or length <= 0:
+            raise ValueError("transistor geometry must be positive")
+        return 2.0 * self.n * self.k * (width / length) * self.phi**2
+
+    def ids(self, vg: float, vd: float, vs: float, width: float, length: float) -> float:
+        """Drain current (A) for terminal voltages referenced to ground."""
+        i_s = self.specific_current(width, length)
+        vp = (vg - self.vth) / self.n
+        xf = (vp - vs) / self.phi
+        xr = (vp - vd) / self.phi
+        return float(i_s * (_ekv_f(xf) - _ekv_f(xr)))
+
+    def ids_and_derivatives(
+        self, vg: float, vd: float, vs: float, width: float, length: float
+    ) -> tuple[float, float, float, float]:
+        """Return ``(ids, dI/dVg, dI/dVd, dI/dVs)`` for Newton linearization."""
+        i_s = self.specific_current(width, length)
+        vp = (vg - self.vth) / self.n
+        xf = (vp - vs) / self.phi
+        xr = (vp - vd) / self.phi
+        ff, fr = _ekv_f(xf), _ekv_f(xr)
+        fpf, fpr = _ekv_f_prime(xf), _ekv_f_prime(xr)
+        ids = i_s * (ff - fr)
+        d_vg = i_s * (fpf - fpr) / (self.n * self.phi)
+        d_vd = i_s * fpr / self.phi
+        d_vs = -i_s * fpf / self.phi
+        return float(ids), float(d_vg), float(d_vd), float(d_vs)
+
+    def gm(self, vg: float, vd: float, vs: float, width: float, length: float) -> float:
+        """Gate transconductance at the given bias point (A/V)."""
+        return self.ids_and_derivatives(vg, vd, vs, width, length)[1]
+
+    def saturation_current(self, vgs: float, width: float, length: float) -> float:
+        """Drain current deep in saturation (``vds`` large)."""
+        i_s = self.specific_current(width, length)
+        vp = (vgs - self.vth) / self.n
+        return float(i_s * _ekv_f(vp / self.phi))
+
+
+#: Default model card used by the printed PDK (nominal corner).
+DEFAULT_NEGT = EGTModel()

@@ -1,0 +1,49 @@
+"""Dissipation accounting from a solved operating point.
+
+The paper's power model cares about total circuit dissipation (what the
+printed battery or harvester must deliver).  For a DC circuit this equals the
+power delivered by the sources, which in turn equals the sum over resistors
+(``ΔV²·g``) and transistors (``V_ds·I_ds``).  Both views are provided; tests
+assert they agree (Tellegen's theorem).
+"""
+
+from __future__ import annotations
+
+from repro.spice.netlist import Circuit
+from repro.spice.solver import OperatingPoint
+
+
+def element_powers(circuit: Circuit, op: OperatingPoint) -> dict[str, float]:
+    """Per-element dissipated power (W), keyed by element name.
+
+    Sources are excluded — they deliver power rather than dissipate it; use
+    :func:`source_power` for the delivery side.
+    """
+    powers: dict[str, float] = {}
+    for r in circuit.resistors:
+        dv = op.voltage(r.node_a) - op.voltage(r.node_b)
+        powers[r.name] = dv * dv * r.conductance
+    for t in circuit.transistors:
+        vds = op.voltage(t.drain) - op.voltage(t.source)
+        ids = t.model.ids(op.voltage(t.gate), op.voltage(t.drain), op.voltage(t.source), t.width, t.length)
+        powers[t.name] = vds * ids
+    return powers
+
+
+def total_power(circuit: Circuit, op: OperatingPoint) -> float:
+    """Total dissipated power (W): sum of all element dissipations."""
+    return float(sum(element_powers(circuit, op).values()))
+
+
+def source_power(circuit: Circuit, op: OperatingPoint) -> float:
+    """Total power delivered by the voltage sources (W).
+
+    MNA's branch current flows into the + terminal, so delivered power is
+    ``-V·I`` summed over sources.  By Tellegen's theorem this matches
+    :func:`total_power` at a converged operating point.
+    """
+    delivered = 0.0
+    for s in circuit.sources:
+        v = op.voltage(s.node_pos) - op.voltage(s.node_neg)
+        delivered += -v * op.source_currents[s.name]
+    return float(delivered)

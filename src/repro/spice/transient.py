@@ -1,0 +1,183 @@
+"""Backward-Euler transient analysis.
+
+Printed electrolyte-gated circuits are *slow*: the electrolyte double layer
+puts nanofarads on every gate, so printed classifiers settle in
+milliseconds.  For duty-cycled sensing (the paper's smart-label /
+smart-bandage applications) the energy per classification is
+``P_static × t_settle`` — latency is a power-budget quantity.
+
+This module integrates a :class:`~repro.spice.netlist.Circuit` containing
+capacitors through time with backward Euler (A-stable — safe for the stiff
+RC ratios printed circuits produce):
+
+- each capacitor stamps its companion model ``G = C/Δt`` plus a history
+  current ``I_hist = −(C/Δt)·v_prev`` into the Newton solve at every step,
+- every step therefore reuses the same robust nonlinear DC machinery
+  (EGTs linearized per iteration, VCVS, sources).
+
+The initial condition defaults to the DC operating point with all
+*stepped* sources at their initial values, so step responses start from a
+consistent state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.spice.netlist import Circuit, GROUND_NAMES
+from repro.spice.solver import SolverError, _newton, solve_dc
+
+
+@dataclass
+class TransientResult:
+    """Waveforms of a transient run."""
+
+    times: np.ndarray
+    node_voltages: dict[str, np.ndarray]
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Waveform of ``node`` (ground aliases return zeros)."""
+        if node in GROUND_NAMES:
+            return np.zeros_like(self.times)
+        return self.node_voltages[node]
+
+    def final(self, node: str) -> float:
+        return float(self.voltage(node)[-1])
+
+    def settling_time(self, node: str, tolerance: float = 0.02) -> float:
+        """First time after which the node stays within ``tolerance`` (V) of
+        its final value.  Returns the last timestamp if it never settles."""
+        waveform = self.voltage(node)
+        final = waveform[-1]
+        outside = np.abs(waveform - final) > tolerance
+        if not outside.any():
+            return float(self.times[0])
+        last_outside = int(np.flatnonzero(outside)[-1])
+        if last_outside + 1 >= len(self.times):
+            return float(self.times[-1])
+        return float(self.times[last_outside + 1])
+
+
+def _capacitor_conductance(circuit: Circuit, node_index: dict[str, int], dt: float) -> np.ndarray:
+    n = len(node_index)
+    g = np.zeros((n, n))
+    for cap in circuit.capacitors:
+        geq = cap.capacitance / dt
+        ia = node_index.get(cap.node_a) if cap.node_a not in GROUND_NAMES else None
+        ib = node_index.get(cap.node_b) if cap.node_b not in GROUND_NAMES else None
+        if ia is not None:
+            g[ia, ia] += geq
+        if ib is not None:
+            g[ib, ib] += geq
+        if ia is not None and ib is not None:
+            g[ia, ib] -= geq
+            g[ib, ia] -= geq
+    return g
+
+
+def solve_transient(
+    circuit: Circuit,
+    t_stop: float,
+    dt: float,
+    source_steps: dict[str, float] | None = None,
+    max_iter: int = 100,
+    tol: float = 1e-10,
+) -> TransientResult:
+    """Integrate the circuit from its DC state for ``t_stop`` seconds.
+
+    Parameters
+    ----------
+    circuit:
+        Netlist; capacitors define the dynamics (a circuit without
+        capacitors settles in one step).
+    t_stop, dt:
+        Simulation horizon and fixed backward-Euler step.
+    source_steps:
+        Optional ``{source_name: new_voltage}`` applied at t = 0⁺: the
+        initial condition is the DC point with the *original* source values,
+        then the sources step — the standard step-response setup.
+    """
+    if t_stop <= 0 or dt <= 0 or dt > t_stop:
+        raise ValueError("need 0 < dt <= t_stop")
+    source_steps = source_steps or {}
+    known = {s.name for s in circuit.sources}
+    unknown = set(source_steps) - known
+    if unknown:
+        raise ValueError(f"unknown sources in source_steps: {sorted(unknown)}")
+
+    # Initial condition: DC with original sources.
+    initial_op = solve_dc(circuit)
+
+    # Post-step circuit: replace stepped source values.
+    stepped = Circuit(
+        name=circuit.name,
+        resistors=list(circuit.resistors),
+        sources=[
+            replace(s, voltage=source_steps.get(s.name, s.voltage)) for s in circuit.sources
+        ],
+        transistors=list(circuit.transistors),
+        vcvs=list(circuit.vcvs),
+        capacitors=list(circuit.capacitors),
+    )
+
+    nodes = stepped.nodes()
+    node_index = {node: i for i, node in enumerate(nodes)}
+    n_nodes = len(nodes)
+    n_branches = len(stepped.sources) + len(stepped.vcvs)
+
+    g_cap = _capacitor_conductance(stepped, node_index, dt)
+
+    times = np.arange(0.0, t_stop + 0.5 * dt, dt)
+    waveforms = np.zeros((len(times), n_nodes))
+    v_prev = np.array([initial_op.voltage(node) for node in nodes])
+    waveforms[0] = v_prev
+
+    x = np.concatenate([v_prev, np.zeros(n_branches)])
+    for step in range(1, len(times)):
+        history_current = -(g_cap @ v_prev)
+        result = _newton(
+            stepped,
+            node_index,
+            x,
+            gmin=1e-12,
+            max_iter=max_iter,
+            tol=tol,
+            v_limit=0.5,
+            extra_conductance=g_cap,
+            extra_current=history_current,
+        )
+        if result is None:
+            raise SolverError(f"transient step {step} failed to converge")
+        x, _ = result
+        v_prev = x[:n_nodes].copy()
+        waveforms[step] = v_prev
+
+    node_voltages = {node: waveforms[:, i].copy() for node, i in node_index.items()}
+    return TransientResult(times=times, node_voltages=node_voltages)
+
+
+def gate_capacitance(width: float, length: float, c_dl: float = 0.05) -> float:
+    """Electrolyte double-layer gate capacitance (F).
+
+    ``c_dl`` defaults to 5 µF/cm² = 0.05 F/m² — mid-range for printed
+    electrolyte gating; the gate area is W × L.
+    """
+    if width <= 0 or length <= 0:
+        raise ValueError("geometry must be positive")
+    return c_dl * width * length
+
+
+def attach_gate_capacitances(circuit: Circuit, c_dl: float = 0.05) -> int:
+    """Add a gate–source capacitor for every EGT in the circuit.
+
+    Returns the number of capacitors added.  Idempotent per name: raises on
+    duplicate names if called twice.
+    """
+    count = 0
+    for t in list(circuit.transistors):
+        value = gate_capacitance(t.width, t.length, c_dl=c_dl)
+        circuit.add_capacitor(f"cgs_{t.name}", t.gate, t.source, value)
+        count += 1
+    return count

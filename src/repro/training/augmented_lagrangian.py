@@ -1,0 +1,179 @@
+"""Augmented Lagrangian power-constrained training (paper §III-C).
+
+The constrained problem
+
+.. math::
+
+    \\min_{θ,q} \\; \\mathcal{L}(D, θ, q)
+    \\quad \\text{s.t.} \\quad c(θ, q) = P(θ, q) - \\bar P \\le 0
+
+is solved by alternating the smoothed inner problem (Eq. 3)
+
+.. math::
+
+    \\min_{θ,q} \\; \\mathcal{L}
+      + \\max_{λ ≥ 0} \\Big[ λ·c - \\tfrac{1}{2μ}(λ - λ')^2 \\Big]
+
+with the multiplier update (Eq. 4) ``λ' ← max(0, λ' + μ·c)``.  The inner
+maximization over λ is analytic (see [32]): the maximizer is
+``λ* = max(0, λ' + μ·c)``, which turns the bracket into the classic
+Powell–Hestenes–Rockafellar (PHR) penalty
+
+.. math::
+
+    ψ(c; λ', μ) =
+    \\begin{cases}
+      λ'c + \\tfrac{μ}{2}c^2          & λ' + μc \\ge 0 \\\\
+      -\\tfrac{λ'^2}{2μ}              & \\text{otherwise.}
+    \\end{cases}
+
+ψ is continuously differentiable in c, which is what lets Eq. 3 ride on
+ordinary backpropagation.
+
+Conditioning note: powers are ~1e-4 W while the cross-entropy is ~1; the
+constraint is therefore normalized to ``c = (P - P̄)/P̄`` (dimensionless,
+−1 ≤ c at P=0 and c=0 at the budget), so a single μ works across datasets
+— equivalent to the paper's formulation up to a rescaling of λ and μ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.circuits.pnc import PrintedNeuralNetwork
+from repro.datasets.splits import DataSplit
+from repro.training.trainer import TrainResult, TrainerSettings, train_model
+
+
+def augmented_lagrangian_term(c: Tensor, multiplier: float, mu: float) -> Tensor:
+    """The PHR penalty ψ(c; λ', μ) as a differentiable scalar.
+
+    The branch condition is evaluated on data (it is a comparison, not a
+    differentiable quantity); both branches are C¹-matched at the boundary.
+    """
+    if mu <= 0:
+        raise ValueError("mu must be positive")
+    if multiplier < 0:
+        raise ValueError("the multiplier estimate must be non-negative")
+    active = (multiplier + mu * float(c.data)) >= 0.0
+    if active:
+        return c * multiplier + (c * c) * (0.5 * mu)
+    return Tensor(-(multiplier**2) / (2.0 * mu))
+
+
+@dataclass
+class AugmentedLagrangianObjective:
+    """Objective state for AL training: λ' estimate and its update schedule.
+
+    Parameters
+    ----------
+    power_budget:
+        P̄ in watts — the hard limit.
+    mu:
+        AL quadratic weight (on the normalized constraint).
+    multiplier_every:
+        Update λ' every this-many epochs; the classic method solves the
+        inner problem to convergence between updates, the practical variant
+        used here (and standard for NN training) updates on a fixed cadence
+        with warm-started parameters.
+    mu_growth:
+        Optional geometric μ growth applied when an update leaves the
+        constraint violated (Bertsekas' safeguard); 1.0 disables it.
+    warmup_epochs:
+        Epochs of pure cross-entropy before the constraint activates.  A
+        randomly initialized circuit violating the budget would otherwise be
+        dragged toward low power before it represents anything, frequently
+        stranding it in a dead region; a short warmup lets the classifier
+        form first, after which the multiplier walks the power down.  The
+        budget itself is unchanged — feasibility is still judged against P̄.
+    """
+
+    power_budget: float
+    mu: float = 2.0
+    multiplier_every: int = 10
+    mu_growth: float = 1.0
+    warmup_epochs: int = 0
+    #: budget homotopy: after warmup the effective budget interpolates
+    #: geometrically from ``anneal_start_factor * P̄`` down to P̄ over
+    #: ``anneal_epochs`` epochs, so tight constraints walk the circuit along
+    #: trainable intermediate designs instead of yanking it straight into
+    #: the low-power corner.  Feasibility is always judged against P̄.
+    anneal_epochs: int = 0
+    anneal_start_factor: float = 4.0
+    feasibility_rtol: float = 1e-3
+    multiplier: float = 0.0
+
+    def __post_init__(self):
+        if self.power_budget <= 0:
+            raise ValueError("power budget must be positive")
+        if self.mu <= 0:
+            raise ValueError("mu must be positive")
+        if self.mu_growth < 1.0:
+            raise ValueError("mu_growth must be >= 1")
+
+    # ------------------------------------------------------------------
+    def effective_budget(self, epoch: int) -> float:
+        """The annealed budget active at ``epoch`` (equals P̄ after annealing)."""
+        if self.anneal_epochs <= 0 or self.anneal_start_factor <= 1.0:
+            return self.power_budget
+        progress = (epoch - self.warmup_epochs) / self.anneal_epochs
+        progress = min(max(progress, 0.0), 1.0)
+        factor = self.anneal_start_factor ** (1.0 - progress)
+        return self.power_budget * factor
+
+    def constraint(self, power: Tensor, epoch: int | None = None) -> Tensor:
+        """Normalized constraint ``c = (P - P̄_t) / P̄_t`` (Tensor)."""
+        budget = self.power_budget if epoch is None else self.effective_budget(epoch)
+        return (power - budget) * (1.0 / budget)
+
+    def training_loss(self, loss: Tensor, power: Tensor, epoch: int) -> Tensor:
+        if epoch < self.warmup_epochs:
+            return loss
+        return loss + augmented_lagrangian_term(
+            self.constraint(power, epoch), self.multiplier, self.mu
+        )
+
+    def on_epoch_end(self, power_value: float, epoch: int) -> None:
+        if epoch < self.warmup_epochs:
+            return
+        if (epoch + 1) % self.multiplier_every != 0:
+            return
+        budget = self.effective_budget(epoch)
+        c = (power_value - budget) / budget
+        self.multiplier = max(0.0, self.multiplier + self.mu * c)
+        if c > self.feasibility_rtol and self.mu_growth > 1.0:
+            self.mu *= self.mu_growth
+
+    def is_feasible(self, power_value: float) -> bool:
+        return power_value <= self.power_budget * (1.0 + self.feasibility_rtol)
+
+
+def train_power_constrained(
+    net: PrintedNeuralNetwork,
+    split: DataSplit,
+    power_budget: float,
+    mu: float = 2.0,
+    multiplier_every: int = 5,
+    mu_growth: float = 1.2,
+    warmup_epochs: int = 80,
+    anneal_epochs: int = 200,
+    settings: TrainerSettings | None = None,
+) -> TrainResult:
+    """Train ``net`` under the hard budget ``power_budget`` (watts).
+
+    This is the paper's proposed method: one run yields a circuit whose
+    power respects the budget, with the best feasible validation accuracy
+    checkpoint restored into ``net``.
+    """
+    objective = AugmentedLagrangianObjective(
+        power_budget=power_budget,
+        mu=mu,
+        multiplier_every=multiplier_every,
+        mu_growth=mu_growth,
+        warmup_epochs=warmup_epochs,
+        anneal_epochs=anneal_epochs,
+    )
+    return train_model(net, split, objective, settings=settings)

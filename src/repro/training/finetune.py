@@ -1,0 +1,94 @@
+"""Post-training fine-tuning with pruning masks (paper §IV-A1).
+
+After the primary constrained training phase the paper generates masks that
+(1) deactivate components whose conductances collapsed below the printable
+floor — those resistors, and any activation circuit whose entire input
+column died, are simply not printed — and (2) enforce positive weights on
+rows whose negation circuit is being removed.  The masked network is then
+retrained on cross-entropy under the same hard power constraint, recovering
+accuracy inside the (now cheaper) reduced architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.pnc import PrintedNeuralNetwork
+from repro.datasets.splits import DataSplit
+from repro.training.trainer import TrainResult, TrainerSettings, train_model
+from repro.training.augmented_lagrangian import AugmentedLagrangianObjective
+
+
+@dataclass
+class MaskSet:
+    """Per-crossbar masks: ``keep`` (m^C) and ``force_positive`` (m^N)."""
+
+    keep: list[np.ndarray]
+    force_positive: list[np.ndarray]
+
+    @property
+    def kept_fraction(self) -> float:
+        total = sum(mask.size for mask in self.keep)
+        kept = sum(int(mask.sum()) for mask in self.keep)
+        return kept / max(total, 1)
+
+
+def generate_masks(
+    net: PrintedNeuralNetwork,
+    threshold: float | None = None,
+    negation_margin: float = 2.0,
+) -> MaskSet:
+    """Build pruning masks from the trained conductances.
+
+    - ``keep[l][i, j]`` is False where ``|θ| ≤ threshold`` — the resistor is
+      not printed (m^C of the paper).
+    - ``force_positive[l][i, j]`` is True for entries whose row's negative
+      weights are all marginal (below ``negation_margin × threshold``):
+      removing that row's negation circuit saves a whole inverter, so its
+      weights are constrained positive during retraining (m^N).
+    """
+    threshold = net.config.pdk.prune_threshold_us if threshold is None else threshold
+    keeps: list[np.ndarray] = []
+    forces: list[np.ndarray] = []
+    for crossbar in net.crossbars():
+        theta = crossbar.effective_theta().data
+        keep = np.abs(theta) > threshold
+        negative = (theta < 0) & keep
+        # Rows whose strongest surviving negative entry is still marginal:
+        magnitude = np.where(negative, np.abs(theta), 0.0)
+        row_max_negative = magnitude.max(axis=1)
+        marginal_rows = (row_max_negative > 0) & (row_max_negative < negation_margin * threshold)
+        force = np.zeros_like(keep)
+        force[marginal_rows, :] = True
+        keeps.append(keep)
+        forces.append(force)
+    return MaskSet(keeps, forces)
+
+
+def finetune(
+    net: PrintedNeuralNetwork,
+    split: DataSplit,
+    power_budget: float,
+    masks: MaskSet | None = None,
+    mu: float = 2.0,
+    settings: TrainerSettings | None = None,
+) -> TrainResult:
+    """Apply masks and retrain under the hard power budget.
+
+    The model retrains on cross-entropy with the augmented-Lagrangian
+    constraint keeping it inside the budget; pruned components stay pruned
+    (their gradients are cut by the masks), so the retraining can only
+    redistribute the surviving conductances.
+    """
+    masks = generate_masks(net) if masks is None else masks
+    crossbars = net.crossbars()
+    if len(masks.keep) != len(crossbars):
+        raise ValueError("mask count does not match network depth")
+    for crossbar, keep, force in zip(crossbars, masks.keep, masks.force_positive):
+        crossbar.set_masks(keep, force)
+
+    settings = settings or TrainerSettings(epochs=200, lr=0.02, patience=50)
+    objective = AugmentedLagrangianObjective(power_budget=power_budget, mu=mu)
+    return train_model(net, split, objective, settings=settings)

@@ -1,0 +1,117 @@
+"""Multi-constraint augmented Lagrangian training (extension).
+
+The paper's conclusion: "future works may explore its applicability to
+additional circuit components and constraints."  This module implements that
+extension for the most natural second constraint — **printed device count**
+(area/ink): one PHR term and one multiplier per constraint,
+
+.. math::
+
+    \\min_{θ,q} \\; \\mathcal{L}
+        + ψ(c_P; λ_P, μ_P) + ψ(c_D; λ_D, μ_D)
+
+with ``c_P = (P - P̄)/P̄`` and ``c_D = (N_dev - N̄)/N̄``.  The device count
+flows gradients through the straight-through relaxation exposed by
+:attr:`PrintedNeuralNetwork.soft_device_count`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autograd.tensor import Tensor
+from repro.circuits.pnc import PrintedNeuralNetwork
+from repro.datasets.splits import DataSplit
+from repro.training.augmented_lagrangian import augmented_lagrangian_term
+from repro.training.trainer import TrainResult, TrainerSettings, train_model
+
+
+@dataclass
+class PowerAreaObjective:
+    """Hard power budget AND hard device-count budget, one λ each.
+
+    Parameters
+    ----------
+    net:
+        The network being trained — needed to read the differentiable device
+        count the forward pass produced (the trainer's objective protocol
+        only hands us loss and power).
+    power_budget:
+        P̄ in watts.
+    device_budget:
+        N̄ in printed components (crossbar resistors + circuit components).
+    """
+
+    net: PrintedNeuralNetwork
+    power_budget: float
+    device_budget: float
+    mu_power: float = 5.0
+    mu_area: float = 2.0
+    multiplier_every: int = 5
+    mu_growth: float = 1.3
+    warmup_epochs: int = 60
+    feasibility_rtol: float = 1e-3
+    multiplier_power: float = 0.0
+    multiplier_area: float = 0.0
+
+    def __post_init__(self):
+        if self.power_budget <= 0 or self.device_budget <= 0:
+            raise ValueError("budgets must be positive")
+
+    # ------------------------------------------------------------------
+    def training_loss(self, loss: Tensor, power: Tensor, epoch: int) -> Tensor:
+        if epoch < self.warmup_epochs:
+            return loss
+        c_power = (power - self.power_budget) * (1.0 / self.power_budget)
+        total = loss + augmented_lagrangian_term(c_power, self.multiplier_power, self.mu_power)
+        devices = self.net.soft_device_count
+        c_area = (devices - self.device_budget) * (1.0 / self.device_budget)
+        total = total + augmented_lagrangian_term(c_area, self.multiplier_area, self.mu_area)
+        return total
+
+    def on_epoch_end(self, power_value: float, epoch: int) -> None:
+        if epoch < self.warmup_epochs or (epoch + 1) % self.multiplier_every != 0:
+            return
+        c_power = (power_value - self.power_budget) / self.power_budget
+        self.multiplier_power = max(0.0, self.multiplier_power + self.mu_power * c_power)
+        devices = float(self.net.soft_device_count.data)
+        c_area = (devices - self.device_budget) / self.device_budget
+        self.multiplier_area = max(0.0, self.multiplier_area + self.mu_area * c_area)
+        if self.mu_growth > 1.0:
+            if c_power > self.feasibility_rtol:
+                self.mu_power *= self.mu_growth
+            if c_area > self.feasibility_rtol:
+                self.mu_area *= self.mu_growth
+
+    def is_feasible(self, power_value: float) -> bool:
+        power_ok = power_value <= self.power_budget * (1.0 + self.feasibility_rtol)
+        devices_ok = self.net.device_count() <= self.device_budget * (1.0 + self.feasibility_rtol)
+        return power_ok and devices_ok
+
+    # The trainer reads .multiplier for its trace if present; expose the
+    # power multiplier as the primary one.
+    @property
+    def multiplier(self) -> float:
+        return self.multiplier_power
+
+
+def train_power_area_constrained(
+    net: PrintedNeuralNetwork,
+    split: DataSplit,
+    power_budget: float,
+    device_budget: float,
+    mu_power: float = 5.0,
+    mu_area: float = 2.0,
+    warmup_epochs: int = 60,
+    settings: TrainerSettings | None = None,
+) -> TrainResult:
+    """Train under simultaneous hard power and device-count budgets."""
+    objective = PowerAreaObjective(
+        net=net,
+        power_budget=power_budget,
+        device_budget=device_budget,
+        mu_power=mu_power,
+        mu_area=mu_area,
+        warmup_epochs=warmup_epochs,
+    )
+    return train_model(net, split, objective, settings=settings)

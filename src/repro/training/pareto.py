@@ -1,0 +1,76 @@
+"""Pareto dominance utilities for the power/accuracy plane.
+
+Convention: a design is described by ``(accuracy, power)``; higher accuracy
+is better, lower power is better.  These helpers extract the Pareto front
+from penalty-sweep scatter (Fig. 5's pink curve) and compare the augmented
+Lagrangian's single-run solutions against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dominates(a: tuple[float, float], b: tuple[float, float]) -> bool:
+    """True if design ``a`` Pareto-dominates ``b`` (acc ↑, power ↓)."""
+    acc_a, pow_a = a
+    acc_b, pow_b = b
+    no_worse = acc_a >= acc_b and pow_a <= pow_b
+    strictly_better = acc_a > acc_b or pow_a < pow_b
+    return no_worse and strictly_better
+
+
+def pareto_front(points: np.ndarray) -> np.ndarray:
+    """Non-dominated subset of ``(n, 2)`` (accuracy, power) points.
+
+    Returned sorted by increasing power.  O(n log n): sweep by power, keep
+    points that improve the best accuracy seen so far.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("expected (n, 2) points")
+    if len(points) == 0:
+        return points.reshape(0, 2)
+    order = np.lexsort((-points[:, 0], points[:, 1]))  # power asc, acc desc
+    front: list[np.ndarray] = []
+    best_accuracy = -np.inf
+    for idx in order:
+        accuracy = points[idx, 0]
+        if accuracy > best_accuracy:
+            front.append(points[idx])
+            best_accuracy = accuracy
+    return np.array(front)
+
+
+def front_accuracy_at_power(front: np.ndarray, power_limit: float) -> float:
+    """Best front accuracy achievable within ``power_limit``.
+
+    Returns ``-inf`` if no front point fits the limit — i.e. the baseline
+    sweep never produced a feasible design at that budget.
+    """
+    front = np.asarray(front, dtype=np.float64)
+    feasible = front[front[:, 1] <= power_limit]
+    if len(feasible) == 0:
+        return float("-inf")
+    return float(feasible[:, 0].max())
+
+
+def hypervolume_2d(points: np.ndarray, reference: tuple[float, float]) -> float:
+    """Dominated hypervolume w.r.t. ``reference = (acc_ref, power_ref)``.
+
+    Accuracy is maximized and power minimized, so the volume integrates
+    ``(acc - acc_ref) · (power_ref - power)`` over the staircase of the
+    non-dominated set.  Points outside the reference box are clipped out.
+    """
+    acc_ref, power_ref = reference
+    front = pareto_front(np.asarray(points, dtype=np.float64))
+    front = front[(front[:, 0] > acc_ref) & (front[:, 1] < power_ref)]
+    if len(front) == 0:
+        return 0.0
+    # Sorted by power ascending; accuracy is increasing along the front.
+    volume = 0.0
+    previous_accuracy = acc_ref
+    for accuracy, power in front:
+        volume += (accuracy - previous_accuracy) * (power_ref - power)
+        previous_accuracy = accuracy
+    return float(volume)

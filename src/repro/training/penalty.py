@@ -1,0 +1,124 @@
+"""Penalty-based baseline training (Zhao et al. [13]).
+
+The baseline minimizes the soft-constrained objective
+
+.. math::
+
+    \\mathcal{L}(D, θ, q) + α · P(θ, q) / P_{ref}
+
+for a fixed scaling factor α ∈ [0, 1].  Power is normalized by a reference
+power so α is dimensionless and comparable across datasets (the paper's
+Table I reports α ∈ {0.25, 0.5, 0.75, 1}).  One run yields one point in the
+power/accuracy plane; tracing the Pareto front requires a sweep over α and
+seeds — the paper uses 50 α values × 10 seeds (up to 500 runs) per dataset,
+which is precisely the cost the augmented Lagrangian method eliminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.circuits.pnc import PrintedNeuralNetwork
+from repro.datasets.splits import DataSplit
+from repro.training.trainer import TrainResult, TrainerSettings, train_model
+
+
+@dataclass
+class PenaltyObjective:
+    """Soft-penalty objective ``L + α·P/P_ref`` (no hard constraint)."""
+
+    alpha: float
+    reference_power: float = 1.0e-3
+
+    def __post_init__(self):
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if self.reference_power <= 0:
+            raise ValueError("reference power must be positive")
+
+    def training_loss(self, loss: Tensor, power: Tensor, epoch: int) -> Tensor:
+        if self.alpha == 0.0:
+            return loss
+        return loss + power * (self.alpha / self.reference_power)
+
+    def on_epoch_end(self, power_value: float, epoch: int) -> None:
+        return None
+
+    def is_feasible(self, power_value: float) -> bool:
+        # Soft constraint: every power level is "feasible"; checkpointing
+        # then reduces to best-validation-accuracy.
+        return True
+
+
+def train_penalty(
+    net: PrintedNeuralNetwork,
+    split: DataSplit,
+    alpha: float,
+    reference_power: float = 1.0e-3,
+    settings: TrainerSettings | None = None,
+) -> TrainResult:
+    """One penalty-based run at scaling factor ``alpha``."""
+    objective = PenaltyObjective(alpha=alpha, reference_power=reference_power)
+    return train_model(net, split, objective, settings=settings)
+
+
+def train_unconstrained(
+    net: PrintedNeuralNetwork,
+    split: DataSplit,
+    settings: TrainerSettings | None = None,
+) -> TrainResult:
+    """Accuracy-only training (α = 0).
+
+    Used to establish the maximum (unconstrained) power from which the
+    paper's 20/40/60/80 % budgets are derived.
+    """
+    return train_penalty(net, split, alpha=0.0, settings=settings)
+
+
+@dataclass
+class ParetoSweepResult:
+    """All penalty runs of a sweep plus convenience accessors."""
+
+    alphas: list[float]
+    seeds: list[int]
+    results: list[TrainResult] = field(default_factory=list)
+
+    def points(self) -> np.ndarray:
+        """``(n, 2)`` array of (test_accuracy, power_W) per run."""
+        return np.array([[r.test_accuracy, r.power] for r in self.results])
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.results)
+
+
+def penalty_pareto_sweep(
+    make_net: Callable[[int], PrintedNeuralNetwork],
+    split: DataSplit,
+    n_alphas: int = 50,
+    n_seeds: int = 10,
+    alpha_range: tuple[float, float] = (0.0, 1.0),
+    reference_power: float = 1.0e-3,
+    settings: TrainerSettings | None = None,
+) -> ParetoSweepResult:
+    """The baseline's multi-run sweep: ``n_alphas × n_seeds`` trainings.
+
+    ``make_net`` receives a seed and returns a freshly initialized network,
+    mirroring the paper's "10 different seeds" protocol.  Paper scale is
+    50 × 10 = 500 runs; callers shrink both for tractable benchmarks.
+    """
+    alphas = list(np.linspace(alpha_range[0], alpha_range[1], n_alphas))
+    seeds = list(range(n_seeds))
+    sweep = ParetoSweepResult(alphas=alphas, seeds=seeds)
+    for alpha in alphas:
+        for seed in seeds:
+            net = make_net(seed)
+            result = train_penalty(
+                net, split, alpha=float(alpha), reference_power=reference_power, settings=settings
+            )
+            sweep.results.append(result)
+    return sweep

@@ -1,0 +1,202 @@
+"""Shared training loop for printed neuromorphic networks.
+
+Implements the paper's training protocol (§IV-A): full-batch gradient
+descent with Adam starting at learning rate 0.1, learning-rate halving after
+``patience`` epochs without validation improvement, feasibility-aware
+checkpointing (the returned model is the best *feasible* validation epoch),
+and early stopping.
+
+The loop is objective-agnostic: the augmented Lagrangian method, the penalty
+baseline, and plain unconstrained training all plug in through the
+``Objective`` protocol, which maps ``(loss, power, epoch)`` to the scalar
+being minimized and owns any dual-variable state (λ updates happen in the
+objective's ``on_epoch_end``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.autograd import functional as F
+from repro.autograd import optim
+from repro.circuits.pnc import PrintedNeuralNetwork
+from repro.datasets.splits import DataSplit
+
+
+class Objective(Protocol):
+    """Strategy turning task loss + power into the training scalar."""
+
+    def training_loss(self, loss: Tensor, power: Tensor, epoch: int) -> Tensor:
+        """Scalar to minimize this epoch."""
+        ...
+
+    def on_epoch_end(self, power_value: float, epoch: int) -> None:
+        """Post-step hook (dual updates, penalty schedules...)."""
+        ...
+
+    def is_feasible(self, power_value: float) -> bool:
+        """Whether a power value satisfies this objective's constraint."""
+        ...
+
+
+@dataclass
+class TrainerSettings:
+    """Hyperparameters of the shared loop (paper defaults)."""
+
+    epochs: int = 500
+    lr: float = 0.1
+    patience: int = 100
+    lr_factor: float = 0.5
+    min_lr: float = 1e-4
+    #: record traces every this-many epochs (1 = every epoch)
+    trace_every: int = 1
+    #: stop once the LR bottomed out and the last epochs brought no change
+    early_stop_stale: int = 250
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run."""
+
+    train_accuracy: float
+    val_accuracy: float
+    test_accuracy: float
+    power: float
+    feasible: bool
+    device_count: int
+    epochs_run: int
+    best_epoch: int
+    loss_trace: list[float] = field(default_factory=list)
+    power_trace: list[float] = field(default_factory=list)
+    val_accuracy_trace: list[float] = field(default_factory=list)
+    multiplier_trace: list[float] = field(default_factory=list)
+    state: dict[str, np.ndarray] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+
+def evaluate_model(
+    net: PrintedNeuralNetwork, x: np.ndarray, y: np.ndarray
+) -> tuple[float, float]:
+    """Return ``(accuracy, power_W)`` of the network on ``(x, y)``."""
+    with no_grad():
+        logits, breakdown = net.forward_with_power(Tensor(x))
+    return F.accuracy(logits, y), float(breakdown.total.data)
+
+
+def train_model(
+    net: PrintedNeuralNetwork,
+    split: DataSplit,
+    objective: Objective,
+    settings: TrainerSettings | None = None,
+) -> TrainResult:
+    """Run the shared constrained-training loop.
+
+    The best checkpoint is chosen by validation accuracy *among feasible
+    epochs* (power within the objective's budget); if no epoch is feasible
+    the minimum-power checkpoint is kept instead, so the caller always gets
+    the least-violating circuit.
+    """
+    settings = settings or TrainerSettings()
+    optimizer = optim.Adam(net.parameters(), lr=settings.lr)
+    scheduler = optim.ReduceLROnPlateau(
+        optimizer,
+        patience=settings.patience,
+        factor=settings.lr_factor,
+        min_lr=settings.min_lr,
+        mode="max",
+    )
+
+    x_train = Tensor(split.x_train)
+    y_train = split.y_train
+
+    best_val = -1.0
+    best_state: dict[str, np.ndarray] | None = None
+    best_epoch = -1
+    fallback_power = np.inf
+    fallback_state: dict[str, np.ndarray] | None = None
+    stale = 0
+
+    loss_trace: list[float] = []
+    power_trace: list[float] = []
+    val_trace: list[float] = []
+    multiplier_trace: list[float] = []
+
+    epoch = 0
+    for epoch in range(settings.epochs):
+        optimizer.zero_grad()
+        logits, breakdown = net.forward_with_power(x_train)
+        task_loss = F.cross_entropy(logits, y_train)
+        total = objective.training_loss(task_loss, breakdown.total, epoch)
+        if net.config.signal_health_weight > 0.0:
+            total = total + net.signal_health * net.config.signal_health_weight
+        total.backward()
+        optimizer.step()
+        net.project_()
+
+        # Power of the *post-step* parameters — the state a checkpoint would
+        # actually save.  (The pre-step forward's power describes the state
+        # the optimizer just left.)  Feasibility is judged on the
+        # training-distribution power: the budget is defined over the
+        # deployment input distribution; val power differs only by sampling.
+        _, power_value = evaluate_model(net, split.x_train, split.y_train)
+        objective.on_epoch_end(power_value, epoch)
+
+        val_accuracy, _ = evaluate_model(net, split.x_val, split.y_val)
+        feasible_now = objective.is_feasible(power_value)
+
+        if epoch % settings.trace_every == 0:
+            loss_trace.append(float(task_loss.data))
+            power_trace.append(power_value)
+            val_trace.append(val_accuracy)
+            multiplier = getattr(objective, "multiplier", None)
+            if multiplier is not None:
+                multiplier_trace.append(float(multiplier))
+
+        if feasible_now and val_accuracy > best_val:
+            best_val = val_accuracy
+            best_state = net.state_dict()
+            best_epoch = epoch
+            stale = 0
+        else:
+            stale += 1
+        if power_value < fallback_power:
+            fallback_power = power_value
+            fallback_state = net.state_dict()
+
+        scheduler.step(val_accuracy if feasible_now else -1.0)
+        if optimizer.lr <= settings.min_lr and stale >= settings.early_stop_stale:
+            break
+
+    if best_state is not None:
+        net.load_state_dict(best_state)
+        chosen_epoch = best_epoch
+    elif fallback_state is not None:
+        net.load_state_dict(fallback_state)
+        chosen_epoch = -1
+    else:  # settings.epochs == 0
+        chosen_epoch = -1
+
+    train_accuracy, power = evaluate_model(net, split.x_train, split.y_train)
+    val_accuracy, _ = evaluate_model(net, split.x_val, split.y_val)
+    test_accuracy, _ = evaluate_model(net, split.x_test, split.y_test)
+
+    return TrainResult(
+        train_accuracy=train_accuracy,
+        val_accuracy=val_accuracy,
+        test_accuracy=test_accuracy,
+        power=power,
+        feasible=objective.is_feasible(power),
+        device_count=net.device_count(),
+        epochs_run=epoch + 1,
+        best_epoch=chosen_epoch,
+        loss_trace=loss_trace,
+        power_trace=power_trace,
+        val_accuracy_trace=val_trace,
+        multiplier_trace=multiplier_trace,
+        state=net.state_dict(),
+        counts=net.hard_counts(),
+    )

@@ -1,0 +1,62 @@
+"""Hyperparameter selection for μ (paper: RayTune; here: deterministic search).
+
+The augmented Lagrangian's μ controls how aggressively the constraint is
+enforced: too small and convergence to feasibility is slow; too large and
+the inner problem becomes as ill-conditioned as a plain penalty.  The paper
+selects μ with RayTune; an offline environment gets the same effect from a
+deterministic search over a log-spaced grid, scored by feasible validation
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.circuits.pnc import PrintedNeuralNetwork
+from repro.datasets.splits import DataSplit
+from repro.training.trainer import TrainerSettings, TrainResult
+from repro.training.augmented_lagrangian import train_power_constrained
+
+
+@dataclass
+class MuTuningResult:
+    """Outcome of the μ search."""
+
+    best_mu: float
+    best_score: float
+    trials: list[tuple[float, float, bool]]  # (mu, val_accuracy, feasible)
+    results: list[TrainResult]
+
+
+def tune_mu(
+    make_net: Callable[[], PrintedNeuralNetwork],
+    split: DataSplit,
+    power_budget: float,
+    mu_grid: list[float] | None = None,
+    settings: TrainerSettings | None = None,
+) -> MuTuningResult:
+    """Grid-search μ; score = validation accuracy of feasible runs.
+
+    Infeasible runs score ``-1 - relative_violation`` so that, if nothing is
+    feasible, the least-violating μ still wins.
+    """
+    mu_grid = mu_grid or [0.5, 1.0, 2.0, 5.0, 10.0]
+    settings = settings or TrainerSettings(epochs=150, patience=50)
+    trials: list[tuple[float, float, bool]] = []
+    results: list[TrainResult] = []
+    best_mu, best_score = mu_grid[0], -np.inf
+    for mu in mu_grid:
+        net = make_net()
+        result = train_power_constrained(net, split, power_budget, mu=mu, settings=settings)
+        if result.feasible:
+            score = result.val_accuracy
+        else:
+            score = -1.0 - max(0.0, (result.power - power_budget) / power_budget)
+        trials.append((mu, result.val_accuracy, result.feasible))
+        results.append(result)
+        if score > best_score:
+            best_score, best_mu = score, mu
+    return MuTuningResult(best_mu=best_mu, best_score=best_score, trials=trials, results=results)

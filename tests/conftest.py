@@ -1,0 +1,37 @@
+"""Shared fixtures: cheap surrogates, small datasets, seeded RNGs.
+
+Surrogate fits are the slowest shared resource; session-scoped fixtures fit
+each one once (and the on-disk cache makes later sessions near-instant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pdk.params import ActivationKind
+from repro.power.surrogate import get_cached_surrogate
+
+TEST_SURROGATE_NQ = 600
+TEST_SURROGATE_EPOCHS = 50
+
+
+@pytest.fixture(scope="session")
+def af_surrogates():
+    """Dict kind → fitted activation power surrogate (small budget)."""
+    return {
+        kind: get_cached_surrogate(kind, n_q=TEST_SURROGATE_NQ, epochs=TEST_SURROGATE_EPOCHS)
+        for kind in ActivationKind
+    }
+
+
+@pytest.fixture(scope="session")
+def neg_surrogate():
+    """Fitted negation-circuit power surrogate."""
+    return get_cached_surrogate("negation", n_q=400, epochs=TEST_SURROGATE_EPOCHS)
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

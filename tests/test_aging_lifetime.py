@@ -1,0 +1,151 @@
+"""Tests for the EGT aging model and lifetime analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import PrintedNeuralNetwork, PNCConfig
+from repro.evaluation.lifetime import run_lifetime_analysis
+from repro.pdk.aging import AgingModel, NO_AGING
+from repro.pdk.params import ActivationKind
+from repro.spice.egt import EGTModel
+
+
+class TestAgingModel:
+    def test_fresh_device_unchanged(self):
+        aging = AgingModel()
+        assert aging.vth_shift(0.0) == 0.0
+        assert aging.k_factor(0.0) == 1.0
+        assert aging.r_factor(0.0) == 1.0
+
+    def test_end_of_life_values(self):
+        aging = AgingModel(delta_vth=0.1, delta_k=0.2, delta_r=0.05)
+        assert aging.vth_shift(1.0) == pytest.approx(0.1)
+        assert aging.k_factor(1.0) == pytest.approx(0.8)
+        assert aging.r_factor(1.0) == pytest.approx(1.05)
+
+    def test_stretched_exponential_sublinear(self):
+        aging = AgingModel(beta=0.5)
+        # with β = 0.5 half-life drift exceeds half of the total drift
+        assert aging.vth_shift(0.5) > 0.5 * aging.vth_shift(1.0)
+
+    def test_monotone_in_tau(self):
+        aging = AgingModel()
+        shifts = [aging.vth_shift(t) for t in np.linspace(0, 1, 11)]
+        assert all(b >= a for a, b in zip(shifts, shifts[1:]))
+
+    def test_tau_clipped(self):
+        aging = AgingModel()
+        assert aging.vth_shift(2.0) == aging.vth_shift(1.0)
+        assert aging.vth_shift(-1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgingModel(delta_k=1.5)
+        with pytest.raises(ValueError):
+            AgingModel(beta=0.0)
+        with pytest.raises(ValueError):
+            AgingModel(spread=-0.1)
+
+    def test_age_model_card_nominal(self):
+        aging = AgingModel(delta_vth=0.05, delta_k=0.1, spread=0.0)
+        fresh = EGTModel()
+        aged = aging.age_model_card(fresh, 1.0)
+        assert aged.vth == pytest.approx(fresh.vth + 0.05)
+        assert aged.k == pytest.approx(fresh.k * 0.9)
+        assert aged.n == fresh.n
+
+    def test_age_model_card_spread(self):
+        aging = AgingModel(spread=0.3)
+        fresh = EGTModel()
+        rng = np.random.default_rng(0)
+        aged = [aging.age_model_card(fresh, 1.0, rng=rng).vth for _ in range(20)]
+        assert np.std(aged) > 0
+
+    def test_no_aging_identity(self):
+        fresh = EGTModel()
+        aged = NO_AGING.age_model_card(fresh, 1.0)
+        assert aged.vth == fresh.vth and aged.k == fresh.k
+
+    def test_aged_current_decreases(self):
+        # An aged device (higher V_th, lower K) conducts less at fixed bias.
+        aging = AgingModel(delta_vth=0.1, delta_k=0.2, spread=0.0)
+        fresh = EGTModel()
+        aged = aging.age_model_card(fresh, 1.0)
+        i_fresh = fresh.ids(0.6, 1.0, 0.0, 100e-6, 50e-6)
+        i_aged = aged.ids(0.6, 1.0, 0.0, 100e-6, 50e-6)
+        assert i_aged < i_fresh
+
+    def test_age_resistances(self):
+        aging = AgingModel(delta_r=0.1, spread=0.0)
+        values = np.array([1e5, 1e6])
+        np.testing.assert_allclose(aging.age_resistances(values, 1.0), values * 1.1)
+
+
+class TestLifetimeAnalysis:
+    @pytest.fixture
+    def net_and_data(self, af_surrogates, neg_surrogate, rng):
+        net = PrintedNeuralNetwork(
+            4, 2, PNCConfig(kind=ActivationKind.RELU), np.random.default_rng(12),
+            af_surrogates[ActivationKind.RELU], neg_surrogate,
+        )
+        net.eval()
+        x = rng.random((50, 4))
+        y = (x[:, 0] + x[:, 1] > x[:, 2] + x[:, 3]).astype(int)
+        return net, x, y
+
+    def test_no_aging_flat_trajectory(self, net_and_data):
+        net, x, y = net_and_data
+        report = run_lifetime_analysis(net, x, y, NO_AGING, taus=np.linspace(0, 1, 4))
+        np.testing.assert_allclose(report.accuracy_mean, report.accuracy_mean[0])
+        assert report.functional_lifetime() in (0.0, 1.0)
+
+    def test_network_restored(self, net_and_data):
+        net, x, y = net_and_data
+        before = net.state_dict()
+        before_models = [a.transfer.model for a in net.activations()]
+        run_lifetime_analysis(net, x, y, AgingModel(), taus=np.linspace(0, 1, 3))
+        after = net.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+        for model, fresh in zip([a.transfer.model for a in net.activations()], before_models):
+            assert model is fresh
+
+    def test_report_fields(self, net_and_data):
+        net, x, y = net_and_data
+        report = run_lifetime_analysis(
+            net, x, y, AgingModel(), taus=np.linspace(0, 1, 4), accuracy_floor=0.4
+        )
+        assert len(report.taus) == 4
+        assert (report.accuracy_min <= report.accuracy_mean + 1e-12).all()
+        assert (report.power_mean > 0).all()
+        assert "functional lifetime" in report.summary()
+
+    def test_functional_lifetime_semantics(self):
+        from repro.evaluation.lifetime import LifetimeReport
+
+        report = LifetimeReport(
+            taus=np.array([0.0, 0.5, 1.0]),
+            accuracy_mean=np.array([0.9, 0.7, 0.4]),
+            accuracy_min=np.array([0.9, 0.7, 0.4]),
+            power_mean=np.ones(3),
+            accuracy_floor=0.6,
+        )
+        assert report.functional_lifetime() == pytest.approx(0.5)
+        report_fail = LifetimeReport(
+            taus=np.array([0.0, 1.0]),
+            accuracy_mean=np.array([0.5, 0.4]),
+            accuracy_min=np.array([0.5, 0.4]),
+            power_mean=np.ones(2),
+            accuracy_floor=0.6,
+        )
+        assert report_fail.functional_lifetime() == 0.0
+
+    def test_stochastic_draws(self, net_and_data):
+        net, x, y = net_and_data
+        report = run_lifetime_analysis(
+            net, x, y, AgingModel(spread=0.5), taus=np.array([0.0, 1.0]), n_draws=5
+        )
+        # with spread the min can fall below the mean at end of life
+        assert report.accuracy_min[-1] <= report.accuracy_mean[-1] + 1e-12

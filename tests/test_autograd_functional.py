@@ -1,0 +1,105 @@
+"""Unit tests for NN math: losses, activations, smooth indicators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.autograd import functional as F
+
+
+class TestSoftmaxCrossEntropy:
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=(5, 4)) * 10)
+        probs = F.softmax(logits).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-12)
+        assert (probs >= 0).all()
+
+    def test_log_softmax_stable_for_huge_logits(self):
+        logits = Tensor(np.array([[1000.0, 0.0], [-1000.0, 0.0]]))
+        out = F.log_softmax(logits).data
+        assert np.isfinite(out).all()
+
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 1.0, 0.0], [0.0, 0.0, 0.0]]))
+        targets = np.array([0, 2])
+        loss = float(F.cross_entropy(logits, targets).data)
+        probs = np.exp(logits.data) / np.exp(logits.data).sum(axis=1, keepdims=True)
+        manual = -np.log(probs[[0, 1], targets]).mean()
+        assert loss == pytest.approx(manual, rel=1e-12)
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = float(F.cross_entropy(logits, np.array([0, 1])).data)
+        assert loss < 1e-6
+
+    def test_cross_entropy_gradient_sign(self):
+        # Gradient should push the correct logit up.
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        F.cross_entropy(logits, np.array([1])).backward()
+        grad = logits.grad[0]
+        assert grad[1] < 0 and grad[0] > 0 and grad[2] > 0
+
+    def test_cross_entropy_validates_shapes(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_uniform_logits_loss_is_log_k(self):
+        loss = float(F.cross_entropy(Tensor(np.zeros((4, 5))), np.zeros(4, dtype=int)).data)
+        assert loss == pytest.approx(np.log(5.0), rel=1e-12)
+
+
+class TestActivations:
+    def test_clipped_relu_values(self):
+        x = Tensor(np.array([-1.0, 0.5, 2.0]))
+        np.testing.assert_allclose(F.clipped_relu(x, 1.0).data, [0.0, 0.5, 1.0])
+
+    def test_softplus_positive_and_asymptotic(self):
+        x = Tensor(np.array([-50.0, 0.0, 50.0]))
+        out = F.softplus(x).data
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(np.log(2.0))
+        assert out[2] == pytest.approx(50.0, rel=1e-9)
+
+    def test_mse_loss(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert float(F.mse_loss(pred, np.array([0.0, 0.0])).data) == pytest.approx(2.5)
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert F.accuracy(Tensor(logits), np.array([0, 1, 1])) == pytest.approx(2.0 / 3.0)
+
+
+class TestIndicators:
+    def test_hard_indicator(self):
+        x = Tensor(np.array([-1.0, 0.0, 0.5]))
+        np.testing.assert_allclose(F.hard_indicator(x), [0.0, 0.0, 1.0])
+
+    def test_soft_indicator_limits(self):
+        x = Tensor(np.array([-5.0, 5.0]))
+        out = F.soft_indicator(x, sharpness=10.0).data
+        assert out[0] < 1e-8 and out[1] > 1 - 1e-8
+
+    def test_soft_indicator_midpoint(self):
+        out = float(F.soft_indicator(Tensor(np.array([0.0]))).data[0])
+        assert out == pytest.approx(0.5)
+
+    def test_straight_through_forward_is_hard(self):
+        x = Tensor(np.array([-0.2, 0.3]), requires_grad=True)
+        out = F.straight_through_indicator(x)
+        np.testing.assert_allclose(out.data, [0.0, 1.0])
+
+    def test_straight_through_backward_is_soft(self):
+        x = Tensor(np.array([0.05]), requires_grad=True)
+        F.straight_through_indicator(x, sharpness=10.0).sum().backward()
+        # sigmoid'(0.5) * 10 = 10 * s(0.5)(1-s(0.5))
+        s = 1 / (1 + np.exp(-0.5))
+        assert x.grad[0] == pytest.approx(10 * s * (1 - s), rel=1e-9)
+
+    def test_row_max_reduces_input_axis(self):
+        theta = Tensor(np.array([[1.0, 0.0], [0.5, 2.0], [0.2, 0.1]]))
+        np.testing.assert_allclose(F.row_max(theta).data, [1.0, 2.0])

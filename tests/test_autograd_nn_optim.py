@@ -1,0 +1,219 @@
+"""Unit tests for Module/Parameter plumbing and the optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.autograd import nn, optim, init as pinit
+from repro.autograd import functional as F
+
+
+class TestModule:
+    def test_parameter_discovery(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_parameter_discovery(self, rng):
+        net = nn.Sequential(nn.Linear(3, 4, rng=rng), nn.ReLULayer(), nn.Linear(4, 2, rng=rng))
+        params = list(net.parameters())
+        assert len(params) == 4
+
+    def test_state_dict_roundtrip(self, rng):
+        net = nn.mlp(3, [5], 2, rng=rng)
+        state = net.state_dict()
+        for param in net.parameters():
+            param.data += 1.0
+        net.load_state_dict(state)
+        for name, param in net.named_parameters():
+            np.testing.assert_allclose(param.data, state[name])
+
+    def test_load_state_dict_rejects_mismatch(self, rng):
+        net = nn.Linear(3, 2, rng=rng)
+        with pytest.raises(KeyError):
+            net.load_state_dict({"weight": np.zeros((3, 2))})
+        state = net.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_state_dict_is_copy(self, rng):
+        net = nn.Linear(2, 2, rng=rng)
+        state = net.state_dict()
+        state["weight"][:] = 42.0
+        assert not np.allclose(net.weight.data, 42.0)
+
+    def test_zero_grad(self, rng):
+        net = nn.Linear(3, 2, rng=rng)
+        out = net(Tensor(np.ones((1, 3))))
+        out.sum().backward()
+        assert net.weight.grad is not None
+        net.zero_grad()
+        assert net.weight.grad is None
+
+    def test_train_eval_mode_propagates(self, rng):
+        net = nn.Sequential(nn.Linear(2, 2, rng=rng))
+        net.eval()
+        assert not net.training and not net.layers[0].training
+        net.train()
+        assert net.training and net.layers[0].training
+
+    def test_mlp_depth(self, rng):
+        net = nn.mlp(4, [8, 8, 8], 2, rng=rng)
+        linears = [l for l in net if isinstance(l, nn.Linear)]
+        assert [l.in_features for l in linears] == [4, 8, 8, 8]
+        assert linears[-1].out_features == 2
+
+
+class TestOptimizers:
+    @staticmethod
+    def quadratic_loss(param):
+        return ((param - 3.0) * (param - 3.0)).sum()
+
+    def test_sgd_converges_on_quadratic(self):
+        p = nn.Parameter(np.zeros(3))
+        opt = optim.SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            self.quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(3, 3.0), atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        p = nn.Parameter(np.zeros(3))
+        opt = optim.SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            self.quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(3, 3.0), atol=1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        p = nn.Parameter(np.zeros(3))
+        opt = optim.Adam([p], lr=0.1)
+        for _ in range(500):
+            opt.zero_grad()
+            self.quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(3, 3.0), atol=1e-2)
+
+    def test_adam_skips_gradientless_params(self):
+        a, b = nn.Parameter(np.zeros(2)), nn.Parameter(np.zeros(2))
+        opt = optim.Adam([a, b], lr=0.1)
+        (a * a - a).sum().backward()
+        opt.step()
+        assert not np.allclose(a.data, 0.0)
+        np.testing.assert_allclose(b.data, 0.0)
+
+    def test_lr_scale_slows_parameter(self):
+        fast = nn.Parameter(np.zeros(1))
+        slow = nn.Parameter(np.zeros(1), lr_scale=0.1)
+        opt = optim.Adam([fast, slow], lr=0.1)
+        opt.zero_grad()
+        ((fast - 1.0) ** 2 + (slow - 1.0) ** 2).sum().backward()
+        opt.step()
+        assert abs(float(fast.data[0])) > abs(float(slow.data[0])) * 5
+
+    def test_optimizer_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            optim.Adam([], lr=0.1)
+
+    def test_optimizer_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            optim.Adam([nn.Parameter(np.zeros(1))], lr=0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        p = nn.Parameter(np.full(2, 10.0))
+        opt = optim.Adam([p], lr=0.1, weight_decay=0.1)
+        for _ in range(50):
+            opt.zero_grad()
+            (p * 0.0).sum().backward()  # zero task gradient
+            opt.step()
+        assert np.abs(p.data).max() < 10.0
+
+
+class TestScheduler:
+    def test_plateau_halves_after_patience(self):
+        p = nn.Parameter(np.zeros(1))
+        opt = optim.Adam([p], lr=0.1)
+        sched = optim.ReduceLROnPlateau(opt, patience=3, factor=0.5, mode="max")
+        sched.step(0.5)  # establishes best
+        for _ in range(2):
+            assert not sched.step(0.4)
+        assert sched.step(0.4)  # third stale epoch triggers
+        assert opt.lr == pytest.approx(0.05)
+
+    def test_improvement_resets_counter(self):
+        p = nn.Parameter(np.zeros(1))
+        opt = optim.Adam([p], lr=0.1)
+        sched = optim.ReduceLROnPlateau(opt, patience=2, mode="max")
+        sched.step(0.5)
+        sched.step(0.4)
+        sched.step(0.6)  # improvement
+        sched.step(0.5)
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_min_lr_floor(self):
+        p = nn.Parameter(np.zeros(1))
+        opt = optim.Adam([p], lr=2e-4)
+        sched = optim.ReduceLROnPlateau(opt, patience=1, factor=0.5, min_lr=1e-4, mode="max")
+        sched.step(1.0)
+        for _ in range(10):
+            sched.step(0.0)
+        assert opt.lr == pytest.approx(1e-4)
+
+    def test_min_mode(self):
+        p = nn.Parameter(np.zeros(1))
+        opt = optim.Adam([p], lr=0.1)
+        sched = optim.ReduceLROnPlateau(opt, patience=1, mode="min")
+        sched.step(1.0)
+        assert not sched.step(0.5)  # improvement in min mode
+        sched.step(0.6)
+        assert opt.lr < 0.1
+
+
+class TestInit:
+    def test_uniform_bounds(self, rng):
+        values = pinit.uniform(rng, (1000,), -2.0, 3.0)
+        assert values.min() >= -2.0 and values.max() < 3.0
+
+    def test_uniform_validates(self, rng):
+        with pytest.raises(ValueError):
+            pinit.uniform(rng, (3,), 1.0, 1.0)
+
+    def test_normal_moments(self, rng):
+        values = pinit.normal(rng, (20000,), mean=1.0, std=2.0)
+        assert values.mean() == pytest.approx(1.0, abs=0.1)
+        assert values.std() == pytest.approx(2.0, abs=0.1)
+
+    def test_xavier_bound(self, rng):
+        w = pinit.xavier_uniform(rng, (100, 50))
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= bound
+
+    def test_surrogate_conductance_range_and_signs(self, rng):
+        theta = pinit.surrogate_conductance(rng, (50, 50), 0.1, 100.0, negative_fraction=0.5)
+        magnitude = np.abs(theta)
+        assert magnitude.min() >= 0.1 and magnitude.max() <= 100.0
+        negative_fraction = (theta < 0).mean()
+        assert 0.4 < negative_fraction < 0.6
+
+    def test_surrogate_conductance_validates(self, rng):
+        with pytest.raises(ValueError):
+            pinit.surrogate_conductance(rng, (2, 2), -1.0, 1.0)
+        with pytest.raises(ValueError):
+            pinit.surrogate_conductance(rng, (2, 2), 0.1, 1.0, negative_fraction=2.0)
+
+    def test_training_xor_end_to_end(self, rng):
+        """Integration: the engine learns XOR (nonlinear task)."""
+        x = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] * 10)
+        y = np.array([0, 1, 1, 0] * 10)
+        net = nn.mlp(2, [8], 2, rng=rng, activation=nn.TanhLayer)
+        opt = optim.Adam(net.parameters(), lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            F.cross_entropy(net(Tensor(x)), y).backward()
+            opt.step()
+        assert F.accuracy(net(Tensor(x)), y) == 1.0

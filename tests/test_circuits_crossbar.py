@@ -1,0 +1,144 @@
+"""Unit tests for the crossbar layer: Kirchhoff forward, power, masks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.circuits.crossbar import CrossbarLayer
+from repro.pdk.params import DEFAULT_PDK
+
+
+class TestForward:
+    def test_output_is_conductance_weighted_average(self, rng):
+        layer = CrossbarLayer(2, 1, rng=rng)
+        # set θ manually: inputs 3, 1 (µS), bias 0-ish, pulldown 0-ish
+        layer.theta.data = np.array([[3.0], [1.0], [1e-9], [1e-9]])
+        x = Tensor(np.array([[1.0, 0.0]]))
+        out = layer(x).data
+        assert out[0, 0] == pytest.approx(3.0 / 4.0, rel=1e-6)
+
+    def test_negative_theta_uses_negated_input(self, rng):
+        layer = CrossbarLayer(1, 1, rng=rng)
+        layer.theta.data = np.array([[-2.0], [1e-9], [1e-9]])
+        x = Tensor(np.array([[0.5]]))
+        out = layer(x).data
+        # numerator: θ·x = -1.0; denominator |θ| = 2 → -0.5
+        assert out[0, 0] == pytest.approx(-0.5, rel=1e-6)
+
+    def test_bias_row_drives_output(self, rng):
+        layer = CrossbarLayer(1, 1, rng=rng, bias_voltage=1.0)
+        layer.theta.data = np.array([[1e-9], [5.0], [1e-9]])
+        out = layer(Tensor(np.array([[0.0]]))).data
+        assert out[0, 0] == pytest.approx(1.0, rel=1e-4)
+
+    def test_pulldown_only_loads_denominator(self, rng):
+        layer = CrossbarLayer(1, 1, rng=rng)
+        layer.theta.data = np.array([[2.0], [1e-9], [2.0]])
+        out = layer(Tensor(np.array([[1.0]]))).data
+        assert out[0, 0] == pytest.approx(0.5, rel=1e-4)
+
+    def test_outputs_bounded_by_inputs(self, rng):
+        # A conductance-normalized sum is a convex-ish combination: with
+        # inputs in [-1, 1] and bias 1, outputs stay within [-1, 1].
+        layer = CrossbarLayer(4, 3, rng=rng)
+        x = Tensor(rng.uniform(-1, 1, size=(50, 4)))
+        out = layer(x).data
+        assert out.min() >= -1.0 - 1e-9 and out.max() <= 1.0 + 1e-9
+
+    def test_input_dimension_validated(self, rng):
+        layer = CrossbarLayer(3, 2, rng=rng)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((1, 4))))
+
+    def test_gradient_reaches_theta(self, rng):
+        layer = CrossbarLayer(3, 2, rng=rng)
+        out = layer(Tensor(rng.random((5, 3))))
+        out.sum().backward()
+        assert layer.theta.grad is not None
+        assert np.abs(layer.theta.grad).sum() > 0
+
+
+class TestPower:
+    def test_power_positive_and_differentiable(self, rng):
+        layer = CrossbarLayer(3, 2, rng=rng)
+        x = Tensor(rng.random((10, 3)))
+        v_out = layer(x)
+        power = layer.power(x, v_out)
+        assert float(power.data) > 0
+        power.backward()
+        assert np.isfinite(layer.theta.grad).all()
+
+    def test_power_scales_with_conductance(self, rng):
+        layer = CrossbarLayer(2, 1, rng=rng)
+        layer.theta.data = np.array([[1.0], [1e-9], [1e-9], [1e-9]])
+        x = Tensor(np.array([[1.0, 0.0]]))
+        p1 = float(layer.power(x, layer(x)).data)
+        layer.theta.data *= 10.0
+        p10 = float(layer.power(x, layer(x)).data)
+        assert p10 > p1  # more conductance, more dissipation
+
+    def test_zero_input_zero_theta_power_negligible(self, rng):
+        layer = CrossbarLayer(2, 2, rng=rng)
+        layer.theta.data = np.full_like(layer.theta.data, 1e-9)
+        x = Tensor(np.zeros((4, 2)))
+        power = float(layer.power(x, layer(x)).data)
+        assert power < 1e-12
+
+
+class TestProjectionAndMasks:
+    def test_project_clamps_magnitude(self, rng):
+        layer = CrossbarLayer(2, 2, rng=rng)
+        layer.theta.data[0, 0] = 1e6
+        layer.theta.data[1, 1] = -1e6
+        layer.project_()
+        g_max = DEFAULT_PDK.conductance_max_us
+        assert layer.theta.data[0, 0] == pytest.approx(g_max)
+        assert layer.theta.data[1, 1] == pytest.approx(-g_max)
+
+    def test_project_keeps_pulldown_positive(self, rng):
+        layer = CrossbarLayer(2, 2, rng=rng)
+        layer.theta.data[-1, :] = -5.0
+        layer.project_()
+        assert (layer.theta.data[-1, :] > 0).all()
+
+    def test_keep_mask_zeroes_entries(self, rng):
+        layer = CrossbarLayer(2, 1, rng=rng)
+        keep = np.ones_like(layer.theta.data, dtype=bool)
+        keep[0, 0] = False
+        layer.set_masks(keep, None)
+        assert layer.effective_theta().data[0, 0] == 0.0
+
+    def test_keep_mask_blocks_gradient(self, rng):
+        layer = CrossbarLayer(2, 1, rng=rng)
+        keep = np.ones_like(layer.theta.data, dtype=bool)
+        keep[0, 0] = False
+        layer.set_masks(keep, None)
+        out = layer(Tensor(rng.random((3, 2))))
+        out.sum().backward()
+        assert layer.theta.grad[0, 0] == 0.0
+
+    def test_positive_mask_forces_abs(self, rng):
+        layer = CrossbarLayer(2, 1, rng=rng)
+        layer.theta.data[0, 0] = -3.0
+        force = np.zeros_like(layer.theta.data, dtype=bool)
+        force[0, 0] = True
+        layer.set_masks(None, force)
+        assert layer.effective_theta().data[0, 0] == pytest.approx(3.0)
+
+    def test_mask_shape_validated(self, rng):
+        layer = CrossbarLayer(2, 1, rng=rng)
+        with pytest.raises(ValueError):
+            layer.set_masks(np.ones((2, 2), dtype=bool), None)
+
+    def test_printed_resistor_count(self, rng):
+        layer = CrossbarLayer(2, 2, rng=rng)
+        layer.theta.data = np.array(
+            [[10.0, 0.01], [0.01, 10.0], [10.0, 0.01], [0.01, 10.0]]
+        )
+        assert layer.printed_resistor_count(threshold=0.05) == 4
+
+    def test_dimension_validation(self, rng):
+        with pytest.raises(ValueError):
+            CrossbarLayer(0, 2, rng=rng)

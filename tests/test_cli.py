@@ -1,0 +1,58 @@
+"""Tests for the command-line interface (fast commands only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, cmd_datasets, cmd_circuits, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "iris"])
+        assert args.dataset == "iris"
+        assert args.budget_fraction == 0.4
+        assert args.af == "p-tanh"
+
+    def test_train_absolute_budget(self):
+        args = build_parser().parse_args(["train", "iris", "--budget-mw", "0.5"])
+        assert args.budget_mw == 0.5
+
+    def test_grid_budget_list(self):
+        args = build_parser().parse_args(["grid", "iris", "seeds", "--budgets", "0.2", "0.8"])
+        assert args.datasets == ["iris", "seeds"]
+        assert args.budgets == [0.2, 0.8]
+
+    def test_sweep_args(self):
+        args = build_parser().parse_args(["sweep", "seeds", "--n-alphas", "3"])
+        assert args.n_alphas == 3
+
+    def test_montecarlo_args(self):
+        args = build_parser().parse_args(["montecarlo", "iris", "--sigma-scale", "2.0"])
+        assert args.sigma_scale == 2.0
+
+
+class TestFastCommands:
+    def test_datasets_lists_thirteen(self, capsys):
+        assert cmd_datasets() == 0
+        out = capsys.readouterr().out
+        assert "iris" in out and "pendigits" in out
+        assert len(out.strip().splitlines()) == 14  # header + 13
+
+    def test_circuits_table(self, capsys):
+        assert cmd_circuits() == 0
+        out = capsys.readouterr().out
+        assert "p-ReLU" in out and "p-tanh" in out
+        assert "R_s" in out
+
+    def test_main_dispatch_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        assert "iris" in capsys.readouterr().out
+
+    def test_main_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

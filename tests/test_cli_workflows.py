@@ -1,0 +1,49 @@
+"""End-to-end CLI workflow tests at miniature scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTrainCommand:
+    def test_train_absolute_budget_runs(self, capsys, af_surrogates, neg_surrogate):
+        # Tiny epoch count: exercises the full path (surrogates come from the
+        # session cache), not the learning quality.
+        code = main([
+            "train", "iris", "--af", "p-ReLU", "--budget-mw", "1.0",
+            "--epochs", "25", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert "hard budget: 1.0000 mW" in out
+        assert "result:" in out
+        assert code in (0, 1)  # feasibility depends on the tiny schedule
+
+    def test_train_fraction_budget_runs(self, capsys):
+        code = main([
+            "train", "iris", "--af", "p-ReLU", "--budget-fraction", "0.9",
+            "--epochs", "25", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert "unconstrained:" in out
+        assert "90%" in out or "hard budget" in out
+        assert code in (0, 1)
+
+
+class TestCircuitsCommand:
+    def test_transfer_rows_have_nine_columns(self, capsys):
+        main(["circuits"])
+        out = capsys.readouterr().out
+        transfer_lines = [
+            line for line in out.splitlines() if line.startswith("p-") and "+" in line
+        ]
+        assert len(transfer_lines) == 4
+        for line in transfer_lines:
+            assert line.count(".") >= 9  # nine voltage columns
+
+
+class TestUnknownDataset:
+    def test_train_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            main(["train", "not_a_dataset", "--epochs", "5"])

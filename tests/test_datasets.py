@@ -1,0 +1,139 @@
+"""Tests for the benchmark dataset registry, generators, and splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASET_NAMES, load_dataset, dataset_info, train_val_test_split
+from repro.datasets.generators import gaussian_blobs, categorical_rule, regression_binned, TabularDataset
+
+
+class TestRegistry:
+    def test_thirteen_benchmarks(self):
+        assert len(DATASET_NAMES) == 13
+
+    def test_expected_names_present(self):
+        for name in ("iris", "pendigits", "tic_tac_toe", "cardiotocography", "vertebral_3c"):
+            assert name in DATASET_NAMES
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_shapes_match_spec(self, name):
+        spec = dataset_info(name)
+        data = load_dataset(name)
+        assert data.n_samples == spec.n_samples
+        assert data.n_features == spec.n_features
+        assert data.n_classes == spec.n_classes
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_features_are_voltages(self, name):
+        data = load_dataset(name)
+        assert data.features.min() >= 0.0
+        assert data.features.max() <= 1.0
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_all_classes_present(self, name):
+        data = load_dataset(name)
+        assert set(np.unique(data.labels)) == set(range(data.n_classes))
+
+    def test_deterministic_and_memoized(self):
+        a = load_dataset("iris")
+        b = load_dataset("iris")
+        assert a is b  # memoized
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("mnist")
+        with pytest.raises(KeyError):
+            dataset_info("mnist")
+
+    def test_uci_shapes(self):
+        # spot-check famous dimensions
+        assert dataset_info("iris").n_samples == 150
+        assert dataset_info("pendigits").n_classes == 10
+        assert dataset_info("breast_cancer_wisc").n_features == 9
+        assert dataset_info("balance_scale").n_samples == 625
+
+
+class TestGenerators:
+    def test_gaussian_separation_controls_difficulty(self):
+        easy = gaussian_blobs("easy", 400, 5, 3, separation=6.0, seed=0)
+        hard = gaussian_blobs("hard", 400, 5, 3, separation=0.5, seed=0)
+
+        def centroid_accuracy(ds):
+            centroids = np.stack([ds.features[ds.labels == c].mean(axis=0) for c in range(3)])
+            distance = ((ds.features[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+            return (distance.argmin(axis=1) == ds.labels).mean()
+
+        assert centroid_accuracy(easy) > centroid_accuracy(hard) + 0.2
+
+    def test_gaussian_class_weights(self):
+        ds = gaussian_blobs("w", 1000, 4, 2, separation=2.0, seed=1, class_weights=np.array([0.8, 0.2]))
+        fraction = (ds.labels == 0).mean()
+        assert 0.7 < fraction < 0.9
+
+    def test_label_noise_flips_labels(self):
+        clean = gaussian_blobs("c", 500, 4, 2, separation=8.0, seed=2, label_noise=0.0)
+        noisy = gaussian_blobs("n", 500, 4, 2, separation=8.0, seed=2, label_noise=0.3)
+        # same features (same seed consumes identically until noise step)
+        assert (clean.labels != noisy.labels).mean() > 0.05
+
+    def test_categorical_levels(self):
+        ds = categorical_rule("ttt", 300, 9, n_levels=3, n_classes=2, seed=0)
+        scaled_levels = np.unique(ds.features)
+        assert len(scaled_levels) <= 3
+
+    def test_regression_binned_balanced(self):
+        ds = regression_binned("e", 900, 8, n_classes=3, seed=0)
+        counts = np.bincount(ds.labels, minlength=3)
+        assert counts.min() > 200  # quantile binning ≈ balanced
+
+    def test_tabular_validation(self):
+        with pytest.raises(ValueError):
+            TabularDataset("bad", np.zeros((3, 2)), np.zeros(2, dtype=int), 2)
+        with pytest.raises(ValueError):
+            TabularDataset("bad", np.full((3, 2), 2.0), np.zeros(3, dtype=int), 2)
+
+
+class TestSplits:
+    def test_fractions(self):
+        data = load_dataset("mammographic")
+        split = train_val_test_split(data, seed=0)
+        n_train, n_val, n_test = split.sizes
+        total = n_train + n_val + n_test
+        assert total == data.n_samples
+        assert n_train / total == pytest.approx(0.6, abs=0.03)
+        assert n_val / total == pytest.approx(0.2, abs=0.03)
+
+    def test_stratified_all_classes_everywhere(self):
+        data = load_dataset("vertebral_3c")
+        split = train_val_test_split(data, seed=1)
+        for labels in (split.y_train, split.y_val, split.y_test):
+            assert set(np.unique(labels)) == set(range(3))
+
+    def test_no_overlap_and_complete(self):
+        data = load_dataset("iris")
+        split = train_val_test_split(data, seed=0)
+        rows = np.vstack([split.x_train, split.x_val, split.x_test])
+        assert rows.shape[0] == data.n_samples
+        # each original row appears exactly once
+        original = np.sort(data.features.view([("", data.features.dtype)] * data.n_features), axis=0)
+        recombined = np.sort(rows.view([("", rows.dtype)] * rows.shape[1]), axis=0)
+        assert (original == recombined).all()
+
+    def test_deterministic_given_seed(self):
+        data = load_dataset("iris")
+        a = train_val_test_split(data, seed=3)
+        b = train_val_test_split(data, seed=3)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+
+    def test_seed_changes_assignment(self):
+        data = load_dataset("iris")
+        a = train_val_test_split(data, seed=3)
+        b = train_val_test_split(data, seed=4)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_invalid_fractions_rejected(self):
+        data = load_dataset("iris")
+        with pytest.raises(ValueError):
+            train_val_test_split(data, fractions=(0.5, 0.2, 0.2))

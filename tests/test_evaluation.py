@@ -1,0 +1,159 @@
+"""Tests for metrics, experiment records, reporting, and ASCII figures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import (
+    MetricRow,
+    accuracy_power_ratio,
+    average_metrics,
+    ratio_improvement,
+    top_k_mean,
+)
+from repro.evaluation.experiments import BudgetRunRecord, POWER_BUDGET_FRACTIONS, BASELINE_ALPHAS
+from repro.evaluation.reporting import (
+    aggregate_table1,
+    render_table1,
+    render_fig4_rows,
+    baseline_table_rows,
+)
+from repro.evaluation.figures import AsciiCanvas, fig4_canvas, fig3_power_curve, fig5_canvas
+from repro.pdk.params import ActivationKind
+from repro.training.trainer import TrainResult
+
+
+def fake_result(accuracy=0.8, power=1e-4, devices=30, feasible=True) -> TrainResult:
+    return TrainResult(
+        train_accuracy=accuracy,
+        val_accuracy=accuracy,
+        test_accuracy=accuracy,
+        power=power,
+        feasible=feasible,
+        device_count=devices,
+        epochs_run=10,
+        best_epoch=5,
+    )
+
+
+def fake_record(dataset="iris", kind=ActivationKind.RELU, fraction=0.2, accuracy=0.8,
+                power=1e-4, devices=30) -> BudgetRunRecord:
+    return BudgetRunRecord(
+        dataset=dataset,
+        kind=kind,
+        budget_fraction=fraction,
+        budget_w=power * 1.2,
+        max_power_w=power * 6,
+        result=fake_result(accuracy=accuracy, power=power, devices=devices),
+    )
+
+
+class TestMetrics:
+    def test_accuracy_power_ratio(self):
+        assert accuracy_power_ratio(80.0, 0.5) == pytest.approx(160.0)
+
+    def test_ratio_requires_positive_power(self):
+        with pytest.raises(ValueError):
+            accuracy_power_ratio(80.0, 0.0)
+
+    def test_ratio_improvement(self):
+        # proposed: 75 % at 0.25 mW; baseline: 55 % at 10 mW → 54.5×
+        improvement = ratio_improvement(75.0, 0.25, 55.0, 10.0)
+        assert improvement == pytest.approx((75 / 0.25) / (55 / 10))
+
+    def test_average_metrics_units(self):
+        row = average_metrics([1e-4, 3e-4], [0.6, 0.8], [10, 20])
+        assert row.power_mw == pytest.approx(0.2)
+        assert row.accuracy_pct == pytest.approx(70.0)
+        assert row.device_count == pytest.approx(15.0)
+
+    def test_average_metrics_validates(self):
+        with pytest.raises(ValueError):
+            average_metrics([1.0], [0.5, 0.6], [1])
+        with pytest.raises(ValueError):
+            average_metrics([], [], [])
+
+    def test_top_k_mean(self):
+        assert top_k_mean([0.5, 0.9, 0.7, 0.3], k=3) == pytest.approx((0.9 + 0.7 + 0.5) / 3)
+        assert top_k_mean([0.5], k=3) == pytest.approx(0.5)
+
+
+class TestAggregation:
+    def test_constants_match_paper(self):
+        assert POWER_BUDGET_FRACTIONS == (0.2, 0.4, 0.6, 0.8)
+        assert BASELINE_ALPHAS == (1.0, 0.75, 0.5, 0.25)
+
+    def test_aggregate_groups_by_budget_and_kind(self):
+        records = [
+            fake_record(dataset="iris", fraction=0.2, accuracy=0.6),
+            fake_record(dataset="seeds", fraction=0.2, accuracy=0.8),
+            fake_record(dataset="iris", fraction=0.4, accuracy=0.9),
+        ]
+        table = aggregate_table1(records)
+        assert table[(0.2, ActivationKind.RELU)].accuracy_pct == pytest.approx(70.0)
+        assert table[(0.4, ActivationKind.RELU)].accuracy_pct == pytest.approx(90.0)
+
+    def test_render_table1_contains_rows(self):
+        records = [fake_record(fraction=f) for f in (0.2, 0.4)]
+        text = render_table1(records)
+        assert "20%" in text and "40%" in text
+        assert "p-ReLU" in text
+        assert "Pow" in text and "Acc" in text and "#Dev" in text
+
+    def test_render_table1_with_baseline(self):
+        records = [fake_record(fraction=0.2)]
+        text = render_table1(records, baseline_rows={0.2: (10.8, 54.9)})
+        assert "Baseline" in text
+        assert "10.8" in text
+
+    def test_render_fig4_rows(self):
+        text = render_fig4_rows([fake_record()])
+        assert "iris" in text and "p-ReLU" in text and "True" in text
+
+    def test_baseline_table_rows_pairs_alphas(self):
+        points = np.array([[0.55, 1e-2], [0.85, 5e-2]])
+        alphas = np.array([1.0, 0.25])
+        rows = baseline_table_rows(points, alphas)
+        assert rows[0.2][1] == pytest.approx(55.0)  # α=1 pairs with 20 %
+        assert rows[0.8][1] == pytest.approx(85.0)  # α=0.25 pairs with 80 %
+
+
+class TestFigures:
+    def test_canvas_point_inside(self):
+        canvas = AsciiCanvas((0, 10), (0, 10), width=20, height=10)
+        canvas.point(5, 5, "X")
+        assert "X" in canvas.render()
+
+    def test_canvas_point_outside_ignored(self):
+        canvas = AsciiCanvas((0, 10), (0, 10), width=20, height=10)
+        canvas.point(50, 50, "X")
+        assert "X" not in canvas.render()
+
+    def test_canvas_hline(self):
+        canvas = AsciiCanvas((0, 10), (0, 10), width=20, height=10)
+        canvas.hline(5.0, marker="-")
+        rows_with_dash = [row for row in canvas.render().splitlines() if "-" * 10 in row]
+        assert rows_with_dash
+
+    def test_canvas_validates_ranges(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas((1, 0), (0, 1))
+
+    def test_fig4_canvas_smoke(self):
+        text = fig4_canvas(
+            [(80.0, 0.2, "p-ReLU"), (70.0, 0.1, "p-tanh")],
+            budget_lines_mw=[0.25, 0.5],
+        )
+        assert "o" in text and "*" in text
+        assert "accuracy %" in text
+
+    def test_fig5_canvas_smoke(self):
+        front = np.array([[0.6, 1e-4], [0.8, 3e-4]])
+        al_points = np.array([[0.75, 2e-4]])
+        text = fig5_canvas(front, al_points, budgets_mw=[0.25])
+        assert "~" in text and "D" in text
+
+    def test_fig3_power_curve_smoke(self):
+        text = fig3_power_curve(np.linspace(-1, 1, 20), np.abs(np.linspace(-1, 1, 20)) * 1e-6, "p-ReLU")
+        assert "p-ReLU" in text and "*" in text

@@ -1,0 +1,93 @@
+"""Tests for experiment configuration plumbing and reporting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.experiments import (
+    BASELINE_ALPHAS,
+    POWER_BUDGET_FRACTIONS,
+    BudgetRunRecord,
+    ExperimentConfig,
+    _better,
+    full_scale,
+)
+from repro.evaluation.reporting import baseline_table_rows
+from repro.pdk.params import ActivationKind
+from repro.training.trainer import TrainResult
+
+
+def result(accuracy=0.8, power=1e-4, feasible=True):
+    return TrainResult(
+        train_accuracy=accuracy, val_accuracy=accuracy, test_accuracy=accuracy,
+        power=power, feasible=feasible, device_count=20, epochs_run=10, best_epoch=5,
+    )
+
+
+class TestConfig:
+    def test_defaults_are_annealed(self):
+        config = ExperimentConfig()
+        assert config.anneal_epochs > 0
+        assert config.warmup_epochs > 0
+        assert config.finetune
+
+    def test_trainer_settings_mirror(self):
+        config = ExperimentConfig(epochs=123, patience=45)
+        settings = config.trainer_settings()
+        assert settings.epochs == 123 and settings.patience == 45
+
+    def test_full_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_scale()
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_scale()
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert not full_scale()
+
+
+class TestRecord:
+    def test_properties_delegate(self):
+        record = BudgetRunRecord(
+            dataset="iris", kind=ActivationKind.RELU, budget_fraction=0.4,
+            budget_w=4e-4, max_power_w=1e-3, result=result(accuracy=0.77, power=3e-4),
+        )
+        assert record.accuracy == pytest.approx(0.77)
+        assert record.power_w == pytest.approx(3e-4)
+        assert record.feasible
+        assert record.device_count == 20
+
+
+class TestSelection:
+    def test_feasible_beats_infeasible(self):
+        assert _better(result(accuracy=0.5, feasible=True), result(accuracy=0.9, feasible=False))
+        assert not _better(result(accuracy=0.9, feasible=False), result(accuracy=0.5, feasible=True))
+
+    def test_accuracy_breaks_ties(self):
+        assert _better(result(accuracy=0.9), result(accuracy=0.5))
+        assert not _better(result(accuracy=0.5), result(accuracy=0.9))
+
+
+class TestBaselinePairing:
+    def test_paper_pairing_order(self):
+        # α=1 ↔ 20 %, α=0.75 ↔ 40 %, α=0.5 ↔ 60 %, α=0.25 ↔ 80 %
+        points = np.array([[0.5, 1e-3], [0.6, 2e-3], [0.7, 3e-3], [0.8, 4e-3]])
+        alphas = np.array(BASELINE_ALPHAS)
+        rows = baseline_table_rows(points, alphas)
+        assert set(rows) == set(POWER_BUDGET_FRACTIONS)
+        assert rows[0.2][1] == pytest.approx(50.0)
+        assert rows[0.8][1] == pytest.approx(80.0)
+
+    def test_nearest_alpha_fallback(self):
+        points = np.array([[0.5, 1e-3], [0.9, 5e-3]])
+        alphas = np.array([0.9, 0.3])  # none exactly matches the table α's
+        rows = baseline_table_rows(points, alphas)
+        assert rows[0.2][1] == pytest.approx(50.0)  # α=1 → nearest is 0.9
+        assert rows[0.8][1] == pytest.approx(90.0)  # α=0.25 → nearest is 0.3
+
+    def test_multiple_seeds_averaged(self):
+        points = np.array([[0.4, 1e-3], [0.6, 3e-3]])
+        alphas = np.array([1.0, 1.0])
+        rows = baseline_table_rows(points, alphas)
+        assert rows[0.2][1] == pytest.approx(50.0)
+        assert rows[0.2][0] == pytest.approx(2.0)  # mW mean

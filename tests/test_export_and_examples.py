@@ -1,0 +1,113 @@
+"""Tests for CSV export and the runnable example scripts.
+
+Examples are smoke-checked structurally (they compile, expose ``main``, and
+their module constants are sane) — full runs belong to manual/benchmark
+time, not the unit suite.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import py_compile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.evaluation.experiments import BudgetRunRecord
+from repro.evaluation.export import (
+    GRID_FIELDS,
+    read_grid_csv,
+    record_to_row,
+    write_grid_csv,
+)
+from repro.pdk.params import ActivationKind
+from repro.training.trainer import TrainResult
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def make_record(dataset="iris", accuracy=0.8):
+    result = TrainResult(
+        train_accuracy=accuracy,
+        val_accuracy=accuracy,
+        test_accuracy=accuracy,
+        power=2e-4,
+        feasible=True,
+        device_count=33,
+        epochs_run=100,
+        best_epoch=60,
+        counts={"activation_circuits": 5, "negation_circuits": 4},
+    )
+    return BudgetRunRecord(
+        dataset=dataset,
+        kind=ActivationKind.SIGMOID,
+        budget_fraction=0.4,
+        budget_w=3e-4,
+        max_power_w=7.5e-4,
+        result=result,
+    )
+
+
+class TestExport:
+    def test_record_to_row_fields(self):
+        row = record_to_row(make_record())
+        assert set(row) == set(GRID_FIELDS)
+        assert row["activation"] == "p-sigmoid"
+        assert row["power_mw"] == pytest.approx(0.2)
+        assert row["activation_circuits"] == 5
+
+    def test_write_and_read_roundtrip(self, tmp_path):
+        records = [make_record("iris", 0.8), make_record("seeds", 0.6)]
+        path = write_grid_csv(records, tmp_path / "grid.csv")
+        rows = read_grid_csv(path)
+        assert len(rows) == 2
+        assert rows[0]["dataset"] == "iris"
+        assert float(rows[1]["test_accuracy"]) == pytest.approx(0.6)
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        path = write_grid_csv([make_record()], tmp_path / "deep" / "dir" / "grid.csv")
+        assert path.exists()
+
+    def test_pareto_csv(self, tmp_path):
+        from repro.evaluation.experiments import ParetoComparison
+        from repro.evaluation.export import write_pareto_csv
+        from repro.training.penalty import ParetoSweepResult
+
+        sweep = ParetoSweepResult(alphas=[0.0, 1.0], seeds=[0])
+        sweep.results = [make_record().result, make_record("seeds", 0.5).result]
+        comparison = ParetoComparison(
+            dataset="iris",
+            sweep=sweep,
+            front=np.array([[0.8, 2e-4]]),
+            al_records=[make_record()],
+        )
+        path = write_pareto_csv(comparison, tmp_path / "pareto.csv")
+        content = path.read_text()
+        assert "sweep" in content and "front" in content and "al" in content
+
+
+class TestExamples:
+    def test_at_least_three_examples(self):
+        assert len(EXAMPLE_FILES) >= 4  # quickstart + 3 scenarios
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_examples_compile(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_examples_have_main_and_docstring(self, path):
+        source = path.read_text()
+        assert "def main()" in source
+        assert source.lstrip().startswith('"""')
+        assert '__name__ == "__main__"' in source
+
+    def test_quickstart_builds_network(self, af_surrogates, neg_surrogate):
+        spec = importlib.util.spec_from_file_location("quickstart", EXAMPLES_DIR / "quickstart.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        net = module.make_network(
+            0, af_surrogates[module.ACTIVATION], neg_surrogate
+        )
+        assert net.in_features == 4

@@ -1,0 +1,131 @@
+"""Cross-module integration tests.
+
+These exercise whole pipelines end to end at miniature scale: experiment
+records through reporting, surrogate → network → training → fine-tuning →
+Monte-Carlo, and the consistency contracts between power paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.circuits import PrintedNeuralNetwork, PNCConfig
+from repro.datasets import load_dataset, train_val_test_split
+from repro.evaluation.experiments import (
+    ExperimentConfig,
+    run_budget_experiment,
+    unconstrained_max_power,
+    dataset_split,
+)
+from repro.evaluation.montecarlo import run_monte_carlo
+from repro.evaluation.reporting import render_table1, aggregate_table1
+from repro.pdk.params import ActivationKind
+from repro.pdk.variation import VariationSpec
+from repro.training import TrainerSettings, finetune, generate_masks, train_power_constrained
+
+TINY = ExperimentConfig(epochs=80, patience=40, surrogate_n_q=600, surrogate_epochs=50)
+
+
+class TestExperimentPipeline:
+    def test_budget_experiment_record_complete(self):
+        record = run_budget_experiment("iris", ActivationKind.RELU, 0.5, TINY)
+        assert record.dataset == "iris"
+        assert record.budget_w == pytest.approx(0.5 * record.max_power_w)
+        assert 0.0 <= record.accuracy <= 1.0
+        assert record.power_w > 0
+        assert record.device_count > 0
+
+    def test_records_render_into_table(self):
+        records = [
+            run_budget_experiment("iris", ActivationKind.RELU, fraction, TINY)
+            for fraction in (0.4, 0.8)
+        ]
+        table = aggregate_table1(records)
+        assert len(table) == 2
+        text = render_table1(records)
+        assert "40%" in text and "80%" in text
+
+    def test_max_power_is_max_of_trace(self):
+        split = dataset_split("iris", seed=0)
+        max_power, result = unconstrained_max_power("iris", ActivationKind.RELU, TINY, split=split)
+        assert max_power == pytest.approx(max(result.power_trace))
+        assert max_power >= result.power
+
+
+class TestTrainPruneMonteCarloPipeline:
+    def test_full_lifecycle(self, af_surrogates, neg_surrogate):
+        """Train under budget → prune+finetune → Monte-Carlo the result."""
+        data = load_dataset("iris")
+        split = train_val_test_split(data, seed=0)
+        net = PrintedNeuralNetwork(
+            data.n_features, data.n_classes, PNCConfig(kind=ActivationKind.RELU),
+            np.random.default_rng(21), af_surrogates[ActivationKind.RELU], neg_surrogate,
+        )
+        budget = 8e-4
+        result = train_power_constrained(
+            net, split, power_budget=budget, warmup_epochs=20,
+            settings=TrainerSettings(epochs=100, patience=40),
+        )
+        masks = generate_masks(net)
+        fine = finetune(net, split, power_budget=budget, masks=masks,
+                        settings=TrainerSettings(epochs=40, lr=0.02))
+        net.eval()
+        report = run_monte_carlo(
+            net, split.x_test, split.y_test, VariationSpec(), n_samples=10,
+            power_budget=budget, accuracy_floor=0.3,
+        )
+        assert report.n_samples == 10
+        assert 0.0 <= report.parametric_yield <= 1.0
+        # The three accuracy views agree on the same circuit state
+        assert fine.test_accuracy == pytest.approx(report.nominal_accuracy, abs=1e-9)
+
+
+class TestPowerPathConsistency:
+    def test_surrogate_vs_analytic_power_same_order(self, af_surrogates, neg_surrogate, rng):
+        """The surrogate power path must track the analytic circuit power."""
+        data = load_dataset("iris")
+        x = Tensor(data.features[:64])
+        kind = ActivationKind.RELU
+        surrogate_net = PrintedNeuralNetwork(
+            4, 3, PNCConfig(kind=kind), np.random.default_rng(9),
+            af_surrogates[kind], neg_surrogate,
+        )
+        analytic_net = PrintedNeuralNetwork(
+            4, 3, PNCConfig(kind=kind, power_mode="analytic"), np.random.default_rng(9),
+        )
+        analytic_net.load_state_dict(surrogate_net.state_dict())
+        with no_grad():
+            _, surrogate_power = surrogate_net.forward_with_power(x)
+            _, analytic_power = analytic_net.forward_with_power(x)
+        s = float(surrogate_power.total.data)
+        a = float(analytic_power.total.data)
+        assert s > 0 and a > 0
+        # Crossbar terms are identical; AF/neg terms are surrogate-predicted,
+        # so agreement is approximate — within a factor of ~2.
+        assert 0.5 < s / a < 2.0
+
+    def test_power_estimate_invariant_to_grad_mode(self, af_surrogates, neg_surrogate):
+        data = load_dataset("iris")
+        net = PrintedNeuralNetwork(
+            4, 3, PNCConfig(kind=ActivationKind.TANH), np.random.default_rng(4),
+            af_surrogates[ActivationKind.TANH], neg_surrogate,
+        )
+        x = Tensor(data.features[:32])
+        inside = net.power_estimate(x)
+        _, breakdown = net.forward_with_power(x)
+        assert inside == pytest.approx(float(breakdown.total.data), rel=1e-9)
+
+    def test_logit_scale_preserves_argmax(self, af_surrogates, neg_surrogate):
+        data = load_dataset("iris")
+        net = PrintedNeuralNetwork(
+            4, 3, PNCConfig(kind=ActivationKind.CLIPPED_RELU), np.random.default_rng(5),
+            af_surrogates[ActivationKind.CLIPPED_RELU], neg_surrogate,
+        )
+        net.eval()
+        x = Tensor(data.features[:32])
+        with no_grad():
+            logits = net(x).data
+        raw = logits / net.logit_scale
+        assert (logits.argmax(axis=1) == raw.argmax(axis=1)).all()

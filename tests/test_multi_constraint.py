@@ -1,0 +1,93 @@
+"""Tests for the power+area multi-constraint extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.circuits import PrintedNeuralNetwork, PNCConfig
+from repro.datasets import load_dataset, train_val_test_split
+from repro.pdk.params import ActivationKind
+from repro.training import TrainerSettings, train_power_area_constrained
+from repro.training.multi_constraint import PowerAreaObjective
+
+
+def make_net(af_surrogates, neg_surrogate, seed=30):
+    data = load_dataset("iris")
+    return PrintedNeuralNetwork(
+        data.n_features, data.n_classes, PNCConfig(kind=ActivationKind.RELU),
+        np.random.default_rng(seed), af_surrogates[ActivationKind.RELU], neg_surrogate,
+    )
+
+
+class TestObjectiveMechanics:
+    def test_validates_budgets(self, af_surrogates, neg_surrogate):
+        net = make_net(af_surrogates, neg_surrogate)
+        with pytest.raises(ValueError):
+            PowerAreaObjective(net=net, power_budget=0.0, device_budget=10)
+        with pytest.raises(ValueError):
+            PowerAreaObjective(net=net, power_budget=1e-4, device_budget=0)
+
+    def test_warmup_is_pure_loss(self, af_surrogates, neg_surrogate):
+        net = make_net(af_surrogates, neg_surrogate)
+        objective = PowerAreaObjective(net=net, power_budget=1e-9, device_budget=1,
+                                       warmup_epochs=10)
+        loss = Tensor(np.array(1.0))
+        out = objective.training_loss(loss, Tensor(np.array(1.0)), epoch=0)
+        assert float(out.data) == pytest.approx(1.0)
+
+    def test_both_multipliers_update(self, af_surrogates, neg_surrogate):
+        net = make_net(af_surrogates, neg_surrogate)
+        # Run a forward so soft_device_count is populated.
+        net.forward_with_power(Tensor(np.random.default_rng(0).random((8, 4))))
+        objective = PowerAreaObjective(
+            net=net, power_budget=1e-9, device_budget=1.0,
+            warmup_epochs=0, multiplier_every=1,
+        )
+        objective.on_epoch_end(power_value=1e-3, epoch=0)
+        assert objective.multiplier_power > 0
+        assert objective.multiplier_area > 0
+        assert objective.multiplier == objective.multiplier_power
+
+    def test_feasibility_needs_both(self, af_surrogates, neg_surrogate):
+        net = make_net(af_surrogates, neg_surrogate)
+        devices = net.device_count()
+        loose_area = PowerAreaObjective(net=net, power_budget=1.0, device_budget=devices + 10)
+        assert loose_area.is_feasible(0.5)
+        tight_area = PowerAreaObjective(net=net, power_budget=1.0, device_budget=devices - 5)
+        assert not tight_area.is_feasible(0.5)
+
+    def test_area_term_enters_loss(self, af_surrogates, neg_surrogate):
+        net = make_net(af_surrogates, neg_surrogate)
+        net.forward_with_power(Tensor(np.random.default_rng(0).random((8, 4))))
+        objective = PowerAreaObjective(
+            net=net, power_budget=1.0, device_budget=1.0, warmup_epochs=0,
+        )
+        objective.multiplier_area = 1.0
+        loss = Tensor(np.array(0.0))
+        out = objective.training_loss(loss, Tensor(np.array(1e-6)), epoch=0)
+        assert float(out.data) > 0  # device violation dominates
+
+
+class TestEndToEnd:
+    def test_reduces_devices_under_area_budget(self, af_surrogates, neg_surrogate):
+        data = load_dataset("iris")
+        split = train_val_test_split(data, seed=0)
+        reference = make_net(af_surrogates, neg_surrogate, seed=31)
+        initial_devices = reference.device_count()
+
+        net = make_net(af_surrogates, neg_surrogate, seed=31)
+        device_budget = int(initial_devices * 0.7)
+        result = train_power_area_constrained(
+            net, split,
+            power_budget=2e-3,  # loose power, tight area
+            device_budget=device_budget,
+            warmup_epochs=20,
+            settings=TrainerSettings(epochs=150, patience=50),
+        )
+        final_devices = net.device_count()
+        assert final_devices < initial_devices
+        # feasible runs must respect the area budget
+        if result.feasible:
+            assert final_devices <= device_budget * 1.01

@@ -1,0 +1,188 @@
+"""Unit tests for the printed activation/negation netlists and design spaces.
+
+Includes the Fig. 3(c–f) qualitative behaviour checks: the distinct power
+signatures of the four activation circuits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pdk.params import (
+    ActivationKind,
+    ALL_ACTIVATIONS,
+    DEFAULT_PDK,
+    design_space,
+    negation_design_space,
+)
+from repro.pdk.circuits import (
+    activation_device_count,
+    build_activation_circuit,
+    build_negation_circuit,
+    simulate_activation,
+    simulate_negation,
+    NEGATION_DEVICE_COUNT,
+)
+
+
+class TestActivationKind:
+    def test_from_name_flexible(self):
+        assert ActivationKind.from_name("relu") is ActivationKind.RELU
+        assert ActivationKind.from_name("p-ReLU") is ActivationKind.RELU
+        assert ActivationKind.from_name("p_clipped_relu") is ActivationKind.CLIPPED_RELU
+        assert ActivationKind.from_name("P-Sigmoid") is ActivationKind.SIGMOID
+        assert ActivationKind.from_name("tanh") is ActivationKind.TANH
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ActivationKind.from_name("gelu")
+
+
+class TestDesignSpace:
+    @pytest.mark.parametrize("kind", ALL_ACTIVATIONS)
+    def test_dimension_matches_names(self, kind):
+        space = design_space(kind)
+        assert space.dimension == len(space.names)
+        assert len(space.log_scale) == space.dimension
+
+    def test_expected_dimensions(self):
+        assert design_space(ActivationKind.RELU).dimension == 3
+        assert design_space(ActivationKind.CLIPPED_RELU).dimension == 6
+        assert design_space(ActivationKind.SIGMOID).dimension == 8
+        assert design_space(ActivationKind.TANH).dimension == 10
+
+    @pytest.mark.parametrize("kind", ALL_ACTIVATIONS)
+    def test_from_unit_hits_bounds(self, kind):
+        space = design_space(kind)
+        low = space.from_unit(np.zeros(space.dimension))
+        high = space.from_unit(np.ones(space.dimension))
+        np.testing.assert_allclose(low, space.lows, rtol=1e-9)
+        np.testing.assert_allclose(high, space.highs, rtol=1e-9)
+
+    def test_center_inside(self):
+        space = design_space(ActivationKind.TANH)
+        assert space.contains(space.center())
+
+    def test_clip(self):
+        space = design_space(ActivationKind.RELU)
+        clipped = space.clip(np.array([0.0, 1.0, 1.0]))
+        assert space.contains(clipped)
+
+    def test_log_scale_geometric_center(self):
+        space = design_space(ActivationKind.RELU)
+        center = space.center()
+        expected = np.sqrt(space.lows[0] * space.highs[0])
+        assert center[0] == pytest.approx(expected)
+
+    def test_negation_space(self):
+        space = negation_design_space()
+        assert space.dimension == 3
+
+
+class TestNetlists:
+    @pytest.mark.parametrize("kind", ALL_ACTIVATIONS)
+    def test_builds_and_solves(self, kind):
+        q = design_space(kind).center()
+        v_out, power = simulate_activation(kind, q, 0.3)
+        assert np.isfinite(v_out) and np.isfinite(power)
+        assert power >= 0.0
+
+    @pytest.mark.parametrize("kind", ALL_ACTIVATIONS)
+    def test_output_within_rails(self, kind):
+        q = design_space(kind).center()
+        for v in (-1.0, 0.0, 1.0):
+            v_out, _ = simulate_activation(kind, q, v)
+            assert DEFAULT_PDK.vss - 0.05 <= v_out <= DEFAULT_PDK.vdd + 0.05
+
+    def test_device_counts(self):
+        assert activation_device_count(ActivationKind.RELU) == 2
+        assert activation_device_count(ActivationKind.CLIPPED_RELU) == 4
+        assert activation_device_count(ActivationKind.SIGMOID) == 6
+        assert activation_device_count(ActivationKind.TANH) == 8
+        assert NEGATION_DEVICE_COUNT == 2
+
+    def test_relu_circuit_components(self):
+        circuit = build_activation_circuit(ActivationKind.RELU, design_space(ActivationKind.RELU).center(), 0.5)
+        assert len(circuit.transistors) == 1
+        assert len(circuit.resistors) == 1
+
+    def test_tanh_has_negative_rail(self):
+        circuit = build_activation_circuit(ActivationKind.TANH, design_space(ActivationKind.TANH).center(), 0.0)
+        assert any(s.voltage < 0 for s in circuit.sources)
+
+    def test_sigmoid_single_supply(self):
+        circuit = build_activation_circuit(
+            ActivationKind.SIGMOID, design_space(ActivationKind.SIGMOID).center(), 0.0
+        )
+        assert all(s.voltage >= 0 for s in circuit.sources if s.name != "vin")
+
+
+class TestQualitativeShapes:
+    """Fig. 3(c–f): characteristic transfer and power behaviours."""
+
+    def _sweep(self, kind, q, vs):
+        return zip(*[simulate_activation(kind, q, float(v)) for v in vs])
+
+    def test_relu_transfer_monotone_and_thresholded(self):
+        q = design_space(ActivationKind.RELU).center()
+        vs = np.linspace(-0.5, 1.0, 16)
+        outs, powers = self._sweep(ActivationKind.RELU, q, vs)
+        outs, powers = np.array(outs), np.array(powers)
+        assert outs[0] == pytest.approx(0.0, abs=1e-3)  # off below threshold
+        assert all(b >= a - 1e-9 for a, b in zip(outs, outs[1:]))  # monotone
+        # power smooth increase with input (p-ReLU's unbounded nature)
+        assert powers[-1] > 10 * max(powers[0], 1e-12)
+
+    def test_clipped_relu_clips_relative_to_relu(self):
+        # Same follower core; the clamp + current limit must reduce the
+        # high-input output relative to the plain follower.
+        relu_q = design_space(ActivationKind.RELU).center()
+        clip_space = design_space(ActivationKind.CLIPPED_RELU)
+        q = clip_space.center()
+        q[1:4] = relu_q  # align follower parameters [R_s, W_1, L_1]
+        q[4] = clip_space.highs[4]  # strong clamp
+        q[5] = clip_space.lows[5]
+        out_relu, _ = simulate_activation(ActivationKind.RELU, relu_q, 1.0)
+        out_clip, _ = simulate_activation(ActivationKind.CLIPPED_RELU, q, 1.0)
+        assert out_clip < out_relu * 0.75
+
+    def test_clipped_relu_power_plateaus(self):
+        # Fig. 3(c): after the turn-on spike the power growth collapses.
+        clip_space = design_space(ActivationKind.CLIPPED_RELU)
+        q = clip_space.center()
+        q[0] = 3e5  # firm current limit
+        q[4] = clip_space.highs[4]
+        q[5] = clip_space.lows[5]
+        powers = [simulate_activation(ActivationKind.CLIPPED_RELU, q, v)[1]
+                  for v in (0.2, 0.4, 0.8, 1.0)]
+        spike_growth = powers[1] - powers[0]
+        tail_growth = powers[3] - powers[2]
+        assert tail_growth < 0.2 * spike_growth
+
+    def test_sigmoid_transfer_monotone_increasing_bounded(self):
+        q = design_space(ActivationKind.SIGMOID).center()
+        vs = np.linspace(-1.0, 1.0, 9)
+        outs, _ = self._sweep(ActivationKind.SIGMOID, q, vs)
+        outs = np.array(outs)
+        assert all(b >= a - 1e-6 for a, b in zip(outs, outs[1:]))
+        assert outs[0] < 0.1 and outs[-1] > 0.8  # 0 → VDD swing
+
+    def test_tanh_transfer_spans_negative_and_positive(self):
+        q = design_space(ActivationKind.TANH).center()
+        vs = np.linspace(-1.0, 1.0, 9)
+        outs, _ = self._sweep(ActivationKind.TANH, q, vs)
+        outs = np.array(outs)
+        assert outs.min() < -0.3 and outs.max() > 0.3
+
+    def test_negation_inverts_around_zero(self):
+        from repro.circuits.negation import NEGATION_NOMINAL_Q
+
+        v_neg, _ = simulate_negation(NEGATION_NOMINAL_Q, 0.3)
+        v_pos, _ = simulate_negation(NEGATION_NOMINAL_Q, -0.3)
+        assert v_neg < 0 < v_pos
+
+    def test_negation_power_positive(self):
+        q = negation_design_space().center()
+        _, power = simulate_negation(q, 0.2)
+        assert power > 0

@@ -1,0 +1,130 @@
+"""Transfer-model tests: SPICE equivalence and gradient correctness.
+
+The differentiable transfer models must agree with the full MNA solver
+(they share the EKV equations) and provide exact implicit-function
+gradients; these tests are the license for using them in training and as
+the surrogate-data generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.pdk.params import ActivationKind, ALL_ACTIVATIONS, design_space, negation_design_space
+from repro.pdk.circuits import simulate_activation, simulate_negation
+from repro.pdk.transfer import TransferModel, NegationModel, make_transfer_model
+
+
+@pytest.mark.parametrize("kind", ALL_ACTIVATIONS)
+class TestSpiceEquivalence:
+    def test_matches_spice_at_random_q(self, kind, rng):
+        space = design_space(kind)
+        model = TransferModel(kind)
+        vs = np.linspace(-1.0, 1.0, 9)
+        for _ in range(3):
+            q = space.from_unit(rng.random(space.dimension))
+            spice = [simulate_activation(kind, q, float(v)) for v in vs]
+            v_out, power = model.output_and_power(Tensor(vs), [Tensor(x) for x in q])
+            spice_v = np.array([s[0] for s in spice])
+            spice_p = np.array([s[1] for s in spice])
+            np.testing.assert_allclose(v_out.data, spice_v, atol=5e-4)
+            np.testing.assert_allclose(power.data, spice_p, rtol=5e-3, atol=1e-12)
+
+    def test_power_nonnegative(self, kind, rng):
+        space = design_space(kind)
+        model = TransferModel(kind)
+        q = space.from_unit(rng.random(space.dimension))
+        _, power = model.output_and_power(Tensor(np.linspace(-1, 1, 7)), [Tensor(x) for x in q])
+        assert (power.data >= 0).all()
+
+
+@pytest.mark.parametrize("kind", ALL_ACTIVATIONS)
+class TestGradients:
+    def test_vin_gradient_matches_finite_difference(self, kind, rng):
+        space = design_space(kind)
+        model = TransferModel(kind)
+        q = space.from_unit(0.25 + 0.5 * rng.random(space.dimension))
+        v0 = np.array([-0.2, 0.1, 0.4])
+        vin = Tensor(v0.copy(), requires_grad=True)
+        v_out, _ = model.output_and_power(vin, [Tensor(x) for x in q])
+        v_out.sum().backward()
+        eps = 1e-5
+        for i in range(len(v0)):
+            vp, vm = v0.copy(), v0.copy()
+            vp[i] += eps
+            vm[i] -= eps
+            op, _ = model.output_and_power(Tensor(vp), [Tensor(x) for x in q])
+            om, _ = model.output_and_power(Tensor(vm), [Tensor(x) for x in q])
+            numeric = (float(op.data.sum()) - float(om.data.sum())) / (2 * eps)
+            assert vin.grad[i] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+    def test_q_gradient_matches_finite_difference(self, kind, rng):
+        space = design_space(kind)
+        model = TransferModel(kind)
+        q = space.from_unit(0.25 + 0.5 * rng.random(space.dimension))
+        vs = np.array([-0.2, 0.1, 0.4])
+        q_tensors = [Tensor(x, requires_grad=True) for x in q]
+        v_out, power = model.output_and_power(Tensor(vs), q_tensors)
+        (v_out.sum() + power.sum() * 1e5).backward()
+        for i in range(space.dimension):
+            rel = 1e-6
+            qp, qm = q.copy(), q.copy()
+            qp[i] *= 1 + rel
+            qm[i] *= 1 - rel
+            op, pp = model.output_and_power(Tensor(vs), [Tensor(x) for x in qp])
+            om, pm = model.output_and_power(Tensor(vs), [Tensor(x) for x in qm])
+            f_plus = float(op.data.sum()) + float(pp.data.sum()) * 1e5
+            f_minus = float(om.data.sum()) + float(pm.data.sum()) * 1e5
+            numeric = (f_plus - f_minus) / (2 * rel * q[i])
+            autograd = float(q_tensors[i].grad)
+            assert autograd == pytest.approx(numeric, rel=5e-3, abs=1e-8)
+
+
+class TestBroadcasting:
+    def test_batched_q_columns(self, rng):
+        """(n_q, 1) parameter columns × (1, n_v) inputs solve in one call."""
+        space = design_space(ActivationKind.RELU)
+        model = TransferModel(ActivationKind.RELU)
+        q_samples = space.from_unit(rng.random((4, space.dimension)))
+        q_cols = [Tensor(q_samples[:, i].reshape(4, 1)) for i in range(space.dimension)]
+        vs = np.linspace(-0.5, 1.0, 5)
+        v_out, power = model.output_and_power(Tensor(vs.reshape(1, -1)), q_cols)
+        assert power.data.shape == (4, 5)
+        # row 0 must equal a scalar-q solve
+        v_row, p_row = model.output_and_power(Tensor(vs), [Tensor(x) for x in q_samples[0]])
+        np.testing.assert_allclose(np.broadcast_to(v_out.data, (4, 5))[0], v_row.data, atol=1e-9)
+        np.testing.assert_allclose(power.data[0], p_row.data, rtol=1e-9)
+
+
+class TestNegationModel:
+    def test_matches_spice(self, rng):
+        space = negation_design_space()
+        model = NegationModel()
+        q = space.from_unit(rng.random(space.dimension))
+        vs = np.linspace(-0.8, 0.8, 7)
+        spice = [simulate_negation(q, float(v)) for v in vs]
+        v_out, power = model.output_and_power(Tensor(vs), [Tensor(x) for x in q])
+        np.testing.assert_allclose(v_out.data, [s[0] for s in spice], atol=5e-4)
+        np.testing.assert_allclose(power.data, [s[1] for s in spice], rtol=5e-3)
+
+    def test_nominal_negation_roughly_unity_gain(self):
+        from repro.circuits.negation import NEGATION_NOMINAL_Q
+
+        model = NegationModel()
+        v_out, _ = model.output_and_power(
+            Tensor(np.array([-0.3, 0.3])), [Tensor(x) for x in NEGATION_NOMINAL_Q]
+        )
+        # inverting: output sign flips
+        assert v_out.data[0] > 0 > v_out.data[1]
+
+
+class TestFactory:
+    def test_make_transfer_model_accepts_strings(self):
+        model = make_transfer_model("clipped_relu")
+        assert model.kind is ActivationKind.CLIPPED_RELU
+
+    def test_make_transfer_model_accepts_enum(self):
+        model = make_transfer_model(ActivationKind.TANH)
+        assert model.kind is ActivationKind.TANH

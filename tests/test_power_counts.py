@@ -1,0 +1,125 @@
+"""Unit tests for device counting: hard, soft, and straight-through."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.power.counts import (
+    hard_activation_count,
+    hard_negation_count,
+    soft_activation_count,
+    soft_negation_count,
+    soft_column_activity,
+    soft_row_negativity,
+    straight_through_activation_count,
+    straight_through_negation_count,
+    straight_through_column_activity,
+    straight_through_row_negativity,
+)
+
+
+@pytest.fixture
+def theta_example():
+    # 3 inputs + bias + pulldown (rows), 2 outputs (columns)
+    return Tensor(
+        np.array(
+            [
+                [5.0, 0.0],
+                [-3.0, 0.0],
+                [0.0, 0.0],
+                [2.0, 0.0],
+                [1.0, 0.0],
+            ]
+        ),
+        requires_grad=True,
+    )
+
+
+class TestHardCounts:
+    def test_activation_count_column_wise(self, theta_example):
+        # column 0 active, column 1 entirely zero
+        assert hard_activation_count(theta_example) == 1
+
+    def test_activation_count_all_active(self):
+        theta = Tensor(np.ones((4, 3)))
+        assert hard_activation_count(theta) == 3
+
+    def test_activation_count_threshold(self):
+        theta = Tensor(np.full((3, 2), 0.04))
+        assert hard_activation_count(theta, threshold=0.05) == 0
+        assert hard_activation_count(theta, threshold=0.03) == 2
+
+    def test_negation_count_row_wise(self, theta_example):
+        # only row 1 has a negative entry
+        assert hard_negation_count(theta_example) == 1
+
+    def test_negation_count_no_negatives(self):
+        theta = Tensor(np.abs(np.random.default_rng(0).normal(size=(4, 3))))
+        assert hard_negation_count(theta) == 0
+
+    def test_negation_threshold(self):
+        theta = Tensor(np.array([[-0.04, 0.0], [0.0, 0.0]]))
+        assert hard_negation_count(theta, threshold=0.05) == 0
+
+
+class TestSoftCounts:
+    def test_soft_close_to_hard_for_large_magnitudes(self, theta_example):
+        # A dead column sits at σ(-k·τ); with a threshold and high sharpness
+        # the soft count approaches the hard count.
+        soft = float(soft_activation_count(theta_example, threshold=0.05, sharpness=200.0).data)
+        assert soft == pytest.approx(1.0, abs=0.02)
+
+    def test_soft_count_of_zero_column_is_half_at_zero_threshold(self, theta_example):
+        # σ(0) = 0.5: the paper's relaxation charges half a circuit for an
+        # all-zero column when no prune threshold is applied.
+        soft = float(soft_activation_count(theta_example, sharpness=20.0).data)
+        assert soft == pytest.approx(1.5, abs=0.01)
+
+    def test_soft_differentiable(self, theta_example):
+        soft_activation_count(theta_example).backward()
+        assert theta_example.grad is not None
+        assert np.isfinite(theta_example.grad).all()
+
+    def test_soft_negation_close_to_hard(self, theta_example):
+        soft = float(soft_negation_count(theta_example, sharpness=20.0).data)
+        assert soft == pytest.approx(1.0, abs=0.05)
+
+    def test_soft_negation_gradient_only_through_negatives(self):
+        theta = Tensor(np.array([[-1.0, 2.0]]), requires_grad=True)
+        soft_negation_count(theta).backward()
+        assert theta.grad[0, 0] != 0.0
+        assert theta.grad[0, 1] == 0.0
+
+    def test_soft_activity_shapes(self, theta_example):
+        assert soft_column_activity(theta_example).shape == (2,)
+        assert soft_row_negativity(theta_example).shape == (5,)
+
+
+class TestStraightThrough:
+    def test_forward_values_exact(self, theta_example):
+        st = straight_through_activation_count(theta_example)
+        assert float(st.data) == hard_activation_count(theta_example)
+        st_neg = straight_through_negation_count(theta_example)
+        assert float(st_neg.data) == hard_negation_count(theta_example)
+
+    def test_backward_uses_soft_gradient(self):
+        # Mid-range magnitudes keep the sigmoid out of saturation so the
+        # straight-through gradient is visibly non-zero.
+        theta = Tensor(np.array([[0.1, 0.05], [0.02, 0.08]]), requires_grad=True)
+        straight_through_activation_count(theta).backward()
+        assert np.abs(theta.grad).sum() > 0
+
+    def test_column_activity_forward_binary(self, theta_example):
+        activity = straight_through_column_activity(theta_example)
+        np.testing.assert_allclose(activity.data, [1.0, 0.0])
+
+    def test_row_negativity_forward_binary(self, theta_example):
+        negativity = straight_through_row_negativity(theta_example)
+        np.testing.assert_allclose(negativity.data, [0.0, 1.0, 0.0, 0.0, 0.0])
+
+    def test_threshold_consistency(self):
+        theta = Tensor(np.array([[0.04, 0.2]]), requires_grad=True)
+        activity = straight_through_column_activity(theta, threshold=0.05)
+        np.testing.assert_allclose(activity.data, [0.0, 1.0])

@@ -1,0 +1,264 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd.tensor import Tensor, unbroadcast
+from repro.autograd import functional as F
+from repro.power.counts import (
+    hard_activation_count,
+    hard_negation_count,
+    soft_activation_count,
+    straight_through_activation_count,
+)
+from repro.training.pareto import pareto_front, dominates
+from repro.pdk.params import ActivationKind, design_space
+from repro.spice.egt import EGTModel
+
+finite_floats = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+small_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=6),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+
+
+class TestTensorAlgebraProperties:
+    @given(small_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_add_commutes(self, a):
+        x, y = Tensor(a), Tensor(a[::-1].copy().reshape(a.shape))
+        np.testing.assert_allclose((x + y).data, (y + x).data)
+
+    @given(small_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_double_negation_identity(self, a):
+        np.testing.assert_allclose((-(-Tensor(a))).data, a)
+
+    @given(small_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_exp_log_roundtrip(self, a):
+        x = Tensor(np.abs(a) + 0.1)
+        np.testing.assert_allclose(x.log().exp().data, x.data, rtol=1e-10)
+
+    @given(small_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_sigmoid_bounded(self, a):
+        out = Tensor(a).sigmoid().data
+        assert (out >= 0).all() and (out <= 1).all()
+
+    @given(small_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_sum_matches_numpy(self, a):
+        assert float(Tensor(a).sum().data) == np.float64(a.sum())
+
+    @given(small_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_of_sum_is_ones(self, a):
+        t = Tensor(a, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(a))
+
+    @given(
+        hnp.arrays(np.float64, (3, 4), elements=st.floats(-5, 5, allow_nan=False)),
+        hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unbroadcast_preserves_total(self, grad, shape):
+        # Summing a gradient down to a broadcastable shape preserves sums.
+        try:
+            np.broadcast_shapes(grad.shape, shape)
+        except ValueError:
+            return
+        if len(shape) > grad.ndim:
+            return
+        reduced = unbroadcast(grad, shape if isinstance(shape, tuple) else tuple(shape))
+        np.testing.assert_allclose(reduced.sum(), grad.sum(), rtol=1e-10)
+
+
+class TestSoftmaxProperties:
+    @given(hnp.arrays(np.float64, (4, 3), elements=st.floats(-30, 30, allow_nan=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_is_distribution(self, logits):
+        probs = F.softmax(Tensor(logits)).data
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+        assert (probs >= 0).all()
+
+    @given(
+        hnp.arrays(np.float64, (4, 3), elements=st.floats(-30, 30, allow_nan=False)),
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_shift_invariant(self, logits, shift):
+        a = F.softmax(Tensor(logits)).data
+        b = F.softmax(Tensor(logits + shift)).data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    @given(hnp.arrays(np.float64, (5, 4), elements=st.floats(-20, 20, allow_nan=False)))
+    @settings(max_examples=40, deadline=None)
+    def test_cross_entropy_nonnegative(self, logits):
+        targets = np.zeros(5, dtype=np.int64)
+        assert float(F.cross_entropy(Tensor(logits), targets).data) >= -1e-12
+
+
+theta_arrays = hnp.arrays(
+    np.float64,
+    hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=8),
+    elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+)
+
+
+class TestCountProperties:
+    @given(theta_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_hard_counts_bounded(self, theta):
+        n_af = hard_activation_count(Tensor(theta))
+        n_neg = hard_negation_count(Tensor(theta))
+        assert 0 <= n_af <= theta.shape[1]
+        assert 0 <= n_neg <= theta.shape[0]
+
+    @given(theta_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_straight_through_forward_equals_hard(self, theta):
+        t = Tensor(theta, requires_grad=True)
+        st_count = straight_through_activation_count(t)
+        assert float(st_count.data) == hard_activation_count(t)
+
+    @given(theta_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_soft_count_bounded_by_columns(self, theta):
+        soft = float(soft_activation_count(Tensor(theta)).data)
+        assert -1e-9 <= soft <= theta.shape[1] + 1e-9
+
+    @given(theta_arrays, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_hard_count_monotone_in_threshold(self, theta, threshold):
+        t = Tensor(theta)
+        assert hard_activation_count(t, threshold=threshold) >= hard_activation_count(
+            t, threshold=threshold + 0.5
+        )
+
+
+points_arrays = st.integers(min_value=1, max_value=30).flatmap(
+    lambda n: hnp.arrays(
+        np.float64, (n, 2), elements=st.floats(min_value=0, max_value=100, allow_nan=False)
+    )
+)
+
+
+class TestParetoProperties:
+    @given(points_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_front_is_subset_and_nondominated(self, points):
+        front = pareto_front(points)
+        point_set = {tuple(p) for p in points}
+        for entry in front:
+            assert tuple(entry) in point_set
+        for i, a in enumerate(front):
+            for j, b in enumerate(front):
+                if i != j:
+                    assert not dominates(tuple(a), tuple(b))
+
+    @given(points_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_every_point_dominated_or_on_front(self, points):
+        front = pareto_front(points)
+        front_set = {tuple(p) for p in front}
+        for p in points:
+            if tuple(p) in front_set:
+                continue
+            assert any(dominates(tuple(f), tuple(p)) or tuple(f) == tuple(p) for f in front)
+
+
+class TestPhysicalProperties:
+    @given(
+        st.floats(min_value=-1, max_value=1),
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=20e-6, max_value=1000e-6),
+        st.floats(min_value=20e-6, max_value=200e-6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_egt_current_sign_follows_vds(self, vg, vd, width, length):
+        model = EGTModel()
+        ids = model.ids(vg, vd, 0.0, width, length)
+        if vd > 1e-12:
+            assert ids >= -1e-18
+        elif vd < -1e-12:
+            assert ids <= 1e-18
+
+    @given(
+        st.sampled_from(list(ActivationKind)),
+        hnp.arrays(np.float64, (6,), elements=st.floats(0.02, 0.98)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_design_space_roundtrip(self, kind, unit):
+        space = design_space(kind)
+        u = np.resize(unit, space.dimension)
+        q = space.from_unit(u)
+        assert space.contains(q)
+        assert space.contains(space.clip(q * 1.5))
+
+
+class TestCircuitProperties:
+    @given(
+        hnp.arrays(np.float64, (6,), elements=st.floats(0.05, 0.95)),
+        st.floats(min_value=1.5, max_value=20.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_crossbar_output_invariant_to_theta_scale(self, unit, scale):
+        """V_z = (V@θ)/Σ|θ| is scale-free in θ — the property that makes
+        crossbar power reducible without touching the computation."""
+        from repro.circuits.crossbar import CrossbarLayer
+
+        rng = np.random.default_rng(int(unit[0] * 1e6))
+        layer = CrossbarLayer(2, 2, rng=rng)
+        x = Tensor(np.resize(unit, (3, 2)))
+        base = layer(x).data.copy()
+        layer.theta.data = layer.theta.data * scale
+        scaled = layer(x).data
+        np.testing.assert_allclose(scaled, base, rtol=1e-6, atol=1e-9)
+
+    @given(hnp.arrays(np.float64, (5,), elements=st.floats(0.1, 0.9)))
+    @settings(max_examples=15, deadline=None)
+    def test_relu_transfer_monotone_for_random_q(self, unit):
+        from repro.pdk.params import design_space as _ds
+
+        space = _ds(ActivationKind.RELU)
+        q = space.from_unit(np.resize(unit, space.dimension))
+        from repro.pdk.transfer import TransferModel
+
+        model = TransferModel(ActivationKind.RELU)
+        vs = np.linspace(-0.8, 1.0, 12)
+        out, power = model.output_and_power(Tensor(vs), [Tensor(v) for v in q])
+        assert (np.diff(out.data) >= -1e-9).all()
+        assert (power.data >= -1e-18).all()
+
+    @given(hnp.arrays(np.float64, (3,), elements=st.floats(0.1, 0.9)))
+    @settings(max_examples=15, deadline=None)
+    def test_negation_monotone_decreasing(self, unit):
+        from repro.pdk.params import negation_design_space
+        from repro.pdk.transfer import NegationModel
+
+        space = negation_design_space()
+        q = space.from_unit(np.resize(unit, space.dimension))
+        model = NegationModel()
+        vs = np.linspace(-0.8, 0.8, 9)
+        out, _ = model.output_and_power(Tensor(vs), [Tensor(v) for v in q])
+        assert (np.diff(out.data) <= 1e-9).all()
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_dataset_split_partition_property(self, seed):
+        from repro.datasets import load_dataset, train_val_test_split
+
+        data = load_dataset("seeds")
+        split = train_val_test_split(data, seed=seed)
+        n_train, n_val, n_test = split.sizes
+        assert n_train + n_val + n_test == data.n_samples
+        for labels in (split.y_train, split.y_val, split.y_test):
+            assert set(np.unique(labels)) <= set(range(data.n_classes))

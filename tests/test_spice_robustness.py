@@ -1,0 +1,142 @@
+"""Solver robustness on larger / nastier circuits than the PDK netlists."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, solve_dc, total_power, source_power
+
+
+class TestResistorNetworks:
+    def test_ladder_network(self):
+        # 10-stage R-2R ladder: classic structured network with known result.
+        c = Circuit("ladder")
+        c.add_vsource("vin", "n0", "0", 1.0)
+        for i in range(10):
+            c.add_resistor(f"rs{i}", f"n{i}", f"n{i+1}", 1e4)
+            c.add_resistor(f"rp{i}", f"n{i+1}", "0", 2e4)
+        op = solve_dc(c)
+        voltages = [op.voltage(f"n{i}") for i in range(11)]
+        # strictly decaying along the ladder
+        assert all(b < a for a, b in zip(voltages, voltages[1:]))
+        assert voltages[-1] > 0
+
+    def test_wheatstone_bridge_balanced(self):
+        c = Circuit("bridge")
+        c.add_vsource("v", "top", "0", 1.0)
+        for name, a, b in (("r1", "top", "left"), ("r2", "top", "right"),
+                           ("r3", "left", "0"), ("r4", "right", "0")):
+            c.add_resistor(name, a, b, 10e3)
+        c.add_resistor("rg", "left", "right", 5e3)  # galvanometer branch
+        op = solve_dc(c)
+        # balanced bridge: no current through the bridge resistor
+        assert op.voltage("left") == pytest.approx(op.voltage("right"), abs=1e-9)
+
+    def test_mesh_grid(self):
+        # 4x4 resistor mesh between two rails: solver handles ~16 nodes.
+        c = Circuit("mesh")
+        c.add_vsource("v", "n_0_0", "0", 1.0)
+        for i in range(4):
+            for j in range(4):
+                if j < 3:
+                    c.add_resistor(f"rh{i}{j}", f"n_{i}_{j}", f"n_{i}_{j+1}", 1e4)
+                if i < 3:
+                    c.add_resistor(f"rv{i}{j}", f"n_{i}_{j}", f"n_{i+1}_{j}", 1e4)
+        c.add_resistor("rload", "n_3_3", "0", 1e4)
+        op = solve_dc(c)
+        assert 0 < op.voltage("n_3_3") < 1.0
+
+
+class TestMultiTransistorCircuits:
+    def test_differential_pair(self):
+        # Two EGTs sharing a source-degeneration resistor: the classic
+        # difference amplifier.  Outputs must cross as the inputs cross.
+        def solve(v_plus, v_minus):
+            c = Circuit("diffpair")
+            c.add_vsource("vdd", "vdd", "0", 1.0)
+            c.add_vsource("vp", "inp", "0", v_plus)
+            c.add_vsource("vm", "inm", "0", v_minus)
+            c.add_resistor("rl1", "vdd", "out1", 200e3)
+            c.add_resistor("rl2", "vdd", "out2", 200e3)
+            c.add_egt("m1", "out1", "inp", "tail", 200e-6, 50e-6)
+            c.add_egt("m2", "out2", "inm", "tail", 200e-6, 50e-6)
+            c.add_resistor("rt", "tail", "0", 50e3)
+            op = solve_dc(c)
+            return op.voltage("out1"), op.voltage("out2")
+
+        o1_hi, o2_hi = solve(0.7, 0.5)
+        o1_lo, o2_lo = solve(0.5, 0.7)
+        assert o1_hi < o2_hi  # stronger drive pulls its output lower
+        assert o1_lo > o2_lo
+        o1_eq, o2_eq = solve(0.6, 0.6)
+        assert o1_eq == pytest.approx(o2_eq, abs=1e-9)
+
+    def test_three_stage_inverter_chain(self):
+        c = Circuit("chain")
+        c.add_vsource("vdd", "vdd", "0", 1.0)
+        c.add_vsource("vin", "s0", "0", 0.45)
+        previous = "s0"
+        for i in range(3):
+            c.add_resistor(f"r{i}", "vdd", f"s{i+1}", 150e3)
+            c.add_egt(f"m{i}", f"s{i+1}", previous, "0", 150e-6, 50e-6)
+            previous = f"s{i+1}"
+        op = solve_dc(c)
+        for i in range(4):
+            assert -0.01 <= op.voltage(f"s{i}") <= 1.01
+
+    def test_stacked_transistors(self):
+        # Series EGTs (NAND-style pull-down): both on → output low.
+        def out(vg1, vg2):
+            c = Circuit("stack")
+            c.add_vsource("vdd", "vdd", "0", 1.0)
+            c.add_vsource("va", "a", "0", vg1)
+            c.add_vsource("vb", "b", "0", vg2)
+            c.add_resistor("rl", "vdd", "out", 100e3)
+            c.add_egt("m1", "out", "a", "mid", 400e-6, 50e-6)
+            c.add_egt("m2", "mid", "b", "0", 400e-6, 50e-6)
+            return solve_dc(c).voltage("out")
+
+        assert out(1.0, 1.0) < 0.25
+        assert out(1.0, 0.0) > 0.9
+        assert out(0.0, 1.0) > 0.9
+
+    def test_energy_conservation_on_complex_circuit(self):
+        c = Circuit("complex")
+        c.add_vsource("vdd", "vdd", "0", 1.0)
+        c.add_vsource("vin", "in", "0", 0.5)
+        c.add_resistor("r1", "vdd", "a", 100e3)
+        c.add_egt("m1", "a", "in", "b", 200e-6, 50e-6)
+        c.add_resistor("r2", "b", "0", 80e3)
+        c.add_resistor("r3", "a", "b", 500e3)
+        op = solve_dc(c)
+        assert total_power(c, op) == pytest.approx(source_power(c, op), rel=1e-6, abs=1e-14)
+
+
+class TestSolverEdgeCases:
+    def test_very_large_resistance_ratios(self):
+        c = Circuit("ratios")
+        c.add_vsource("v", "a", "0", 1.0)
+        c.add_resistor("r1", "a", "b", 1e3)
+        c.add_resistor("r2", "b", "0", 1e9)  # far outside printable range
+        op = solve_dc(c)
+        assert op.voltage("b") == pytest.approx(1.0, rel=1e-4)
+
+    def test_source_only_circuit(self):
+        c = Circuit("src")
+        c.add_vsource("v", "a", "0", 0.7)
+        c.add_resistor("r", "a", "0", 1e6)
+        assert solve_dc(c).voltage("a") == pytest.approx(0.7)
+
+    def test_negative_supply(self):
+        c = Circuit("neg")
+        c.add_vsource("vss", "vss", "0", -1.0)
+        c.add_resistor("r1", "vss", "mid", 1e4)
+        c.add_resistor("r2", "mid", "0", 1e4)
+        assert solve_dc(c).voltage("mid") == pytest.approx(-0.5)
+
+    def test_iterations_reported(self):
+        c = Circuit("iters")
+        c.add_vsource("v", "a", "0", 1.0)
+        c.add_resistor("r", "a", "0", 1e4)
+        assert solve_dc(c).iterations >= 1

@@ -1,0 +1,124 @@
+"""Focused tests on trainer checkpoint/restore semantics and schedules.
+
+These pin down the behaviours the experiment pipeline depends on: which
+state is restored under which feasibility history, the post-step power
+measurement, and LR plateau interaction with infeasible epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.circuits import PrintedNeuralNetwork, PNCConfig
+from repro.datasets import load_dataset, train_val_test_split
+from repro.pdk.params import ActivationKind
+from repro.training.trainer import TrainerSettings, train_model, evaluate_model
+
+
+@dataclass
+class RecordingObjective:
+    """Pass-through objective that records the powers it was shown."""
+
+    budget: float = np.inf
+    seen_powers: list[float] = field(default_factory=list)
+    seen_epochs: list[int] = field(default_factory=list)
+
+    def training_loss(self, loss, power, epoch):
+        return loss
+
+    def on_epoch_end(self, power_value, epoch):
+        self.seen_powers.append(power_value)
+        self.seen_epochs.append(epoch)
+
+    def is_feasible(self, power_value):
+        return power_value <= self.budget
+
+
+@pytest.fixture(scope="module")
+def iris_bits():
+    data = load_dataset("iris")
+    return data, train_val_test_split(data, seed=0)
+
+
+def make_net(af_surrogates, neg_surrogate, seed=40):
+    data = load_dataset("iris")
+    return PrintedNeuralNetwork(
+        data.n_features, data.n_classes, PNCConfig(kind=ActivationKind.RELU),
+        np.random.default_rng(seed), af_surrogates[ActivationKind.RELU], neg_surrogate,
+    )
+
+
+class TestPostStepMeasurement:
+    def test_objective_sees_post_step_power(self, af_surrogates, neg_surrogate, iris_bits):
+        _, split = iris_bits
+        net = make_net(af_surrogates, neg_surrogate)
+        objective = RecordingObjective()
+        train_model(net, split, objective, settings=TrainerSettings(epochs=3))
+        assert len(objective.seen_powers) == 3
+        assert objective.seen_epochs == [0, 1, 2]
+        # The last power shown equals the power of the final parameters when
+        # the final epoch is also the restored checkpoint... at minimum every
+        # recorded power must be positive and finite.
+        assert all(np.isfinite(p) and p > 0 for p in objective.seen_powers)
+
+    def test_restored_power_matches_result_field(self, af_surrogates, neg_surrogate, iris_bits):
+        _, split = iris_bits
+        net = make_net(af_surrogates, neg_surrogate, seed=41)
+        objective = RecordingObjective()
+        result = train_model(net, split, objective, settings=TrainerSettings(epochs=20))
+        _, measured = evaluate_model(net, split.x_train, split.y_train)
+        assert measured == pytest.approx(result.power, rel=1e-12)
+
+
+class TestCheckpointSelection:
+    def test_all_feasible_restores_best_val(self, af_surrogates, neg_surrogate, iris_bits):
+        _, split = iris_bits
+        net = make_net(af_surrogates, neg_surrogate, seed=42)
+        objective = RecordingObjective()  # budget ∞ → always feasible
+        result = train_model(net, split, objective, settings=TrainerSettings(epochs=40))
+        assert result.best_epoch >= 0
+        assert result.val_accuracy == pytest.approx(max(result.val_accuracy_trace), abs=1e-9)
+
+    def test_never_feasible_restores_min_power(self, af_surrogates, neg_surrogate, iris_bits):
+        _, split = iris_bits
+        net = make_net(af_surrogates, neg_surrogate, seed=43)
+        objective = RecordingObjective(budget=0.0)  # nothing is feasible
+        result = train_model(net, split, objective, settings=TrainerSettings(epochs=25))
+        assert not result.feasible
+        assert result.best_epoch == -1
+        assert result.power == pytest.approx(min(objective.seen_powers), rel=1e-9)
+
+    def test_traces_lengths_match_epochs(self, af_surrogates, neg_surrogate, iris_bits):
+        _, split = iris_bits
+        net = make_net(af_surrogates, neg_surrogate, seed=44)
+        result = train_model(
+            net, split, RecordingObjective(), settings=TrainerSettings(epochs=15)
+        )
+        assert len(result.loss_trace) == 15
+        assert len(result.power_trace) == 15
+        assert len(result.val_accuracy_trace) == 15
+
+    def test_state_field_is_restored_state(self, af_surrogates, neg_surrogate, iris_bits):
+        _, split = iris_bits
+        net = make_net(af_surrogates, neg_surrogate, seed=45)
+        result = train_model(net, split, RecordingObjective(), settings=TrainerSettings(epochs=10))
+        for name, value in net.state_dict().items():
+            np.testing.assert_array_equal(value, result.state[name])
+
+
+class TestSignalHealthToggle:
+    def test_health_weight_zero_changes_nothing_about_interfaces(
+        self, af_surrogates, neg_surrogate, iris_bits
+    ):
+        data, split = iris_bits
+        config = PNCConfig(kind=ActivationKind.RELU, signal_health_weight=0.0)
+        net = PrintedNeuralNetwork(
+            data.n_features, data.n_classes, config, np.random.default_rng(46),
+            af_surrogates[ActivationKind.RELU], neg_surrogate,
+        )
+        result = train_model(net, split, RecordingObjective(), settings=TrainerSettings(epochs=5))
+        assert result.epochs_run == 5

@@ -1,0 +1,172 @@
+"""End-to-end training tests: the shared loop, AL training, penalty baseline,
+fine-tuning, and μ search — on a tiny dataset for speed."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import PrintedNeuralNetwork, PNCConfig
+from repro.datasets import load_dataset, train_val_test_split
+from repro.pdk.params import ActivationKind
+from repro.training import (
+    TrainerSettings,
+    train_model,
+    train_power_constrained,
+    train_penalty,
+    train_unconstrained,
+    generate_masks,
+    finetune,
+    tune_mu,
+)
+from repro.training.augmented_lagrangian import AugmentedLagrangianObjective
+
+FAST = TrainerSettings(epochs=120, patience=40)
+
+
+@pytest.fixture(scope="module")
+def iris_split():
+    return train_val_test_split(load_dataset("iris"), seed=0)
+
+
+def make_net(af_surrogates, neg_surrogate, seed=7, kind=ActivationKind.RELU):
+    data = load_dataset("iris")
+    return PrintedNeuralNetwork(
+        data.n_features, data.n_classes, PNCConfig(kind=kind),
+        np.random.default_rng(seed), af_surrogates[kind], neg_surrogate,
+    )
+
+
+class TestUnconstrained:
+    def test_learns_above_chance(self, af_surrogates, neg_surrogate, iris_split):
+        net = make_net(af_surrogates, neg_surrogate)
+        result = train_unconstrained(net, iris_split, settings=FAST)
+        assert result.test_accuracy > 0.5  # 3 classes, chance ≈ 0.33
+        assert result.power > 0
+        assert result.epochs_run <= FAST.epochs
+
+    def test_traces_recorded(self, af_surrogates, neg_surrogate, iris_split):
+        net = make_net(af_surrogates, neg_surrogate, seed=8)
+        result = train_unconstrained(net, iris_split, settings=TrainerSettings(epochs=30))
+        assert len(result.loss_trace) == 30
+        assert len(result.power_trace) == 30
+        assert all(np.isfinite(v) for v in result.loss_trace)
+
+
+class TestAugmentedLagrangian:
+    def test_respects_budget(self, af_surrogates, neg_surrogate, iris_split):
+        net = make_net(af_surrogates, neg_surrogate, seed=9)
+        reference = train_unconstrained(
+            make_net(af_surrogates, neg_surrogate, seed=9), iris_split, settings=FAST
+        )
+        budget = 0.6 * reference.power
+        result = train_power_constrained(
+            net, iris_split, power_budget=budget, mu=5.0, warmup_epochs=30,
+            anneal_epochs=80,  # annealing must finish inside the epoch budget
+            settings=TrainerSettings(epochs=250, patience=60),
+        )
+        assert result.feasible
+        assert result.power <= budget * 1.01
+
+    def test_multiplier_trace_recorded(self, af_surrogates, neg_surrogate, iris_split):
+        net = make_net(af_surrogates, neg_surrogate, seed=10)
+        result = train_power_constrained(
+            net, iris_split, power_budget=1e-4, warmup_epochs=5, anneal_epochs=0,
+            settings=TrainerSettings(epochs=40),
+        )
+        assert len(result.multiplier_trace) == 40
+
+    def test_infeasible_budget_returns_min_power_state(self, af_surrogates, neg_surrogate, iris_split):
+        # An absurd budget (1 nW) can never be met; the trainer must return
+        # the least-violating (minimum power) checkpoint, flagged infeasible.
+        net = make_net(af_surrogates, neg_surrogate, seed=11)
+        result = train_power_constrained(
+            net, iris_split, power_budget=1e-9, warmup_epochs=0, anneal_epochs=0,
+            settings=TrainerSettings(epochs=50),
+        )
+        assert not result.feasible
+        assert result.power <= max(result.power_trace)
+
+    def test_restores_best_feasible_checkpoint(self, af_surrogates, neg_surrogate, iris_split):
+        net = make_net(af_surrogates, neg_surrogate, seed=12)
+        result = train_power_constrained(
+            net, iris_split, power_budget=5e-4, warmup_epochs=10, anneal_epochs=30,
+            settings=TrainerSettings(epochs=80),
+        )
+        if result.feasible:
+            assert result.best_epoch >= 0
+
+
+class TestPenaltyBaseline:
+    def test_larger_alpha_lower_power(self, af_surrogates, neg_surrogate, iris_split):
+        weak = train_penalty(
+            make_net(af_surrogates, neg_surrogate, seed=13), iris_split, alpha=0.01, settings=FAST
+        )
+        strong = train_penalty(
+            make_net(af_surrogates, neg_surrogate, seed=13), iris_split, alpha=2.0, settings=FAST
+        )
+        assert strong.power < weak.power
+
+    def test_all_runs_feasible_flag(self, af_surrogates, neg_surrogate, iris_split):
+        result = train_penalty(
+            make_net(af_surrogates, neg_surrogate, seed=14), iris_split, alpha=0.5,
+            settings=TrainerSettings(epochs=30),
+        )
+        assert result.feasible  # soft constraint: always "feasible"
+
+
+class TestFinetune:
+    def test_masks_shapes_and_semantics(self, af_surrogates, neg_surrogate, iris_split):
+        net = make_net(af_surrogates, neg_surrogate, seed=15)
+        train_unconstrained(net, iris_split, settings=TrainerSettings(epochs=40))
+        masks = generate_masks(net)
+        assert len(masks.keep) == net.n_layers
+        for keep, crossbar in zip(masks.keep, net.crossbars()):
+            assert keep.shape == crossbar.theta.data.shape
+        assert 0.0 < masks.kept_fraction <= 1.0
+
+    def test_finetune_keeps_pruned_entries_dead(self, af_surrogates, neg_surrogate, iris_split):
+        net = make_net(af_surrogates, neg_surrogate, seed=16)
+        train_unconstrained(net, iris_split, settings=TrainerSettings(epochs=40))
+        budget = net.power_estimate(__import__("repro.autograd.tensor", fromlist=["Tensor"]).Tensor(iris_split.x_train)) * 1.2
+        masks = generate_masks(net)
+        finetune(net, iris_split, power_budget=budget, masks=masks,
+                 settings=TrainerSettings(epochs=30, lr=0.02))
+        for keep, crossbar in zip(masks.keep, net.crossbars()):
+            effective = crossbar.effective_theta().data
+            assert (effective[~keep] == 0.0).all()
+
+    def test_finetune_mask_count_validated(self, af_surrogates, neg_surrogate, iris_split):
+        from repro.training.finetune import MaskSet
+
+        net = make_net(af_surrogates, neg_surrogate, seed=17)
+        bad = MaskSet([np.ones((2, 2), dtype=bool)], [np.zeros((2, 2), dtype=bool)])
+        with pytest.raises(ValueError):
+            finetune(net, iris_split, power_budget=1e-4, masks=bad)
+
+
+class TestTuneMu:
+    def test_selects_feasible_mu(self, af_surrogates, neg_surrogate, iris_split):
+        def factory():
+            return make_net(af_surrogates, neg_surrogate, seed=18)
+
+        result = tune_mu(
+            factory, iris_split, power_budget=3e-4, mu_grid=[1.0, 5.0],
+            settings=TrainerSettings(epochs=60, patience=30),
+        )
+        assert result.best_mu in (1.0, 5.0)
+        assert len(result.trials) == 2
+
+
+class TestTrainerMechanics:
+    def test_zero_budget_epochs(self, af_surrogates, neg_surrogate, iris_split):
+        net = make_net(af_surrogates, neg_surrogate, seed=19)
+        objective = AugmentedLagrangianObjective(power_budget=1e-3)
+        result = train_model(net, iris_split, objective, settings=TrainerSettings(epochs=0))
+        assert result.epochs_run <= 1
+
+    def test_result_counts_populated(self, af_surrogates, neg_surrogate, iris_split):
+        net = make_net(af_surrogates, neg_surrogate, seed=20)
+        result = train_unconstrained(net, iris_split, settings=TrainerSettings(epochs=10))
+        assert "activation_circuits" in result.counts
+        assert result.device_count > 0

@@ -1,0 +1,159 @@
+"""Tests for the process-variation models and Monte-Carlo analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.circuits import PrintedNeuralNetwork, PNCConfig
+from repro.evaluation.montecarlo import run_monte_carlo
+from repro.pdk.params import ActivationKind, design_space
+from repro.pdk.variation import (
+    NOMINAL,
+    VariationSpec,
+    perturb_model_card,
+    perturb_q,
+    perturb_theta,
+)
+from repro.spice.egt import EGTModel
+
+
+class TestVariationSpec:
+    def test_defaults_physical(self):
+        spec = VariationSpec()
+        assert 0 < spec.sigma_resistance < 1
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            VariationSpec(sigma_resistance=-0.1)
+
+    def test_scaled(self):
+        spec = VariationSpec().scaled(2.0)
+        assert spec.sigma_resistance == pytest.approx(0.20)
+        with pytest.raises(ValueError):
+            VariationSpec().scaled(-1.0)
+
+    def test_nominal_is_zero(self):
+        assert NOMINAL.sigma_conductance == 0.0
+
+
+class TestPerturbations:
+    def test_perturb_q_nominal_identity(self, rng):
+        space = design_space(ActivationKind.RELU)
+        q = space.center()
+        np.testing.assert_array_equal(perturb_q(q, space, NOMINAL, rng), q)
+
+    def test_perturb_q_stays_positive(self, rng):
+        space = design_space(ActivationKind.TANH)
+        q = space.center()
+        for _ in range(20):
+            varied = perturb_q(q, space, VariationSpec().scaled(3.0), rng)
+            assert (varied > 0).all()
+
+    def test_perturb_q_resistance_sigma_applies_to_log_axes(self):
+        space = design_space(ActivationKind.RELU)  # [R_s(log), W, L]
+        q = space.center()
+        spec = VariationSpec(sigma_resistance=0.5, sigma_geometry=0.0,
+                             sigma_vth=0.0, sigma_k=0.0, sigma_conductance=0.0)
+        rng = np.random.default_rng(0)
+        varied = np.stack([perturb_q(q, space, spec, rng) for _ in range(200)])
+        assert varied[:, 0].std() > 0  # resistance moved
+        np.testing.assert_array_equal(varied[:, 1], q[1])  # geometry frozen
+
+    def test_perturb_q_validates_shape(self, rng):
+        space = design_space(ActivationKind.RELU)
+        with pytest.raises(ValueError):
+            perturb_q(np.ones(2), space, NOMINAL, rng)
+
+    def test_perturb_theta_preserves_signs(self, rng):
+        theta = np.array([[5.0, -5.0], [-2.0, 2.0]])
+        varied = perturb_theta(theta, VariationSpec(), rng)
+        assert (np.sign(varied) == np.sign(theta)).all()
+
+    def test_perturb_theta_skips_unprinted(self, rng):
+        theta = np.array([[5.0, 0.01]])
+        varied = perturb_theta(theta, VariationSpec(), rng, prune_threshold=0.05)
+        assert varied[0, 1] == 0.01  # below threshold: untouched
+        assert varied[0, 0] != 5.0
+
+    def test_perturb_theta_mean_preserving_roughly(self, rng):
+        theta = np.full((50, 50), 10.0)
+        varied = perturb_theta(theta, VariationSpec(sigma_conductance=0.1), rng)
+        assert abs(np.log(varied).mean() - np.log(10.0)) < 0.02
+
+    def test_perturb_model_card(self, rng):
+        base = EGTModel()
+        varied = perturb_model_card(base, VariationSpec(), rng)
+        assert varied.k > 0
+        assert varied.n == base.n and varied.phi == base.phi
+
+    def test_perturb_model_card_nominal_identity(self, rng):
+        base = EGTModel()
+        varied = perturb_model_card(base, NOMINAL, rng)
+        assert varied.vth == base.vth and varied.k == base.k
+
+
+class TestMonteCarlo:
+    @pytest.fixture
+    def trained_like_net(self, af_surrogates, neg_surrogate):
+        net = PrintedNeuralNetwork(
+            4, 2, PNCConfig(kind=ActivationKind.RELU), np.random.default_rng(3),
+            af_surrogates[ActivationKind.RELU], neg_surrogate,
+        )
+        net.eval()
+        return net
+
+    @pytest.fixture
+    def xy(self, rng):
+        x = rng.random((60, 4))
+        y = (x[:, 0] + x[:, 1] > x[:, 2] + x[:, 3]).astype(int)
+        return x, y
+
+    def test_nominal_spec_reproduces_nominal(self, trained_like_net, xy):
+        x, y = xy
+        report = run_monte_carlo(trained_like_net, x, y, NOMINAL, n_samples=5)
+        np.testing.assert_allclose(report.accuracies, report.nominal_accuracy)
+        np.testing.assert_allclose(report.powers, report.nominal_power, rtol=1e-9)
+        assert report.parametric_yield == 1.0
+
+    def test_variation_spreads_power(self, trained_like_net, xy):
+        x, y = xy
+        report = run_monte_carlo(trained_like_net, x, y, VariationSpec(), n_samples=20, seed=1)
+        assert report.power_std > 0
+        assert report.n_samples == 20
+
+    def test_net_restored_after_run(self, trained_like_net, xy):
+        x, y = xy
+        before = trained_like_net.state_dict()
+        run_monte_carlo(trained_like_net, x, y, VariationSpec(), n_samples=5)
+        after = trained_like_net.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_yield_decreases_with_budget(self, trained_like_net, xy):
+        x, y = xy
+        report_loose = run_monte_carlo(
+            trained_like_net, x, y, VariationSpec(), n_samples=20, seed=2,
+            power_budget=1.0,  # 1 W — everything passes
+        )
+        report_tight = run_monte_carlo(
+            trained_like_net, x, y, VariationSpec(), n_samples=20, seed=2,
+            power_budget=report_loose.power_mean * 0.5,
+        )
+        assert report_tight.parametric_yield <= report_loose.parametric_yield
+
+    def test_summary_renders(self, trained_like_net, xy):
+        x, y = xy
+        report = run_monte_carlo(
+            trained_like_net, x, y, VariationSpec(), n_samples=5,
+            power_budget=1e-3, accuracy_floor=0.5,
+        )
+        text = report.summary()
+        assert "yield" in text and "nominal" in text
+
+    def test_quantiles(self, trained_like_net, xy):
+        x, y = xy
+        report = run_monte_carlo(trained_like_net, x, y, VariationSpec(), n_samples=30, seed=3)
+        assert report.quantile(0.05) <= report.quantile(0.95)
+        assert report.quantile(0.05, "power") <= report.quantile(0.95, "power")
