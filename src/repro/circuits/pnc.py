@@ -18,6 +18,7 @@ crossbar dissipation.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -40,6 +41,14 @@ from repro.power.counts import (
     hard_negation_count,
 )
 from repro.power.surrogate import SurrogatePowerModel
+from repro.observability.metrics import get_registry
+from repro.observability.profiling import span
+
+logger = logging.getLogger(__name__)
+
+_FORWARD_CALLS = get_registry().counter(
+    "forward_calls", "full network forward passes (signal-only and with power assembly)"
+)
 
 #: Target standard deviation of the scaled logits.  The raw logit scale is
 #: calibrated per network at construction (see ``_calibrate_activations``)
@@ -186,14 +195,21 @@ class PrintedNeuralNetwork(Module):
     # ------------------------------------------------------------------
     def forward(self, x: Tensor) -> Tensor:
         """Logits ``(B, out_features)`` — scaled output-neuron voltages."""
-        signal = x
-        for crossbar, activation in zip(self.crossbars(), self.activations()):
-            signal = activation(crossbar(signal))
-        return signal * self.logit_scale
+        _FORWARD_CALLS.inc()
+        with span("pnc.forward"):
+            signal = x
+            for crossbar, activation in zip(self.crossbars(), self.activations()):
+                signal = activation(crossbar(signal))
+            return signal * self.logit_scale
 
     # ------------------------------------------------------------------
     def forward_with_power(self, x: Tensor) -> tuple[Tensor, PowerBreakdown]:
         """Run the signal path and assemble the differentiable power."""
+        _FORWARD_CALLS.inc()
+        with span("pnc.forward_with_power"):
+            return self._forward_with_power(x)
+
+    def _forward_with_power(self, x: Tensor) -> tuple[Tensor, PowerBreakdown]:
         threshold = self.config.pdk.prune_threshold_us
         straight = self.config.count_mode == "straight_through"
         crossbar_power = Tensor(0.0)

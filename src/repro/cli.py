@@ -8,17 +8,48 @@ Exposes the main workflows as subcommands::
     python -m repro.cli grid iris seeds --budgets 0.2 0.8
     python -m repro.cli circuits                      # AF transfer/power table
     python -m repro.cli montecarlo iris --af p-ReLU --samples 50
+    python -m repro.cli report run.jsonl              # replay a recorded run
 
 Every command prints plain text (tables / ASCII charts) and is deterministic
 given its ``--seed``.
+
+Observability flags (available on every subcommand)::
+
+    --log-json PATH     write a structured JSONL event stream of the run
+    --profile           enable span profiling; prints the breakdown at exit
+    --metrics-out PATH  write a Prometheus textfile of the metrics registry
+    -v / -q             raise / lower log verbosity (INFO / ERROR; -vv DEBUG)
+
+With none of them passed, output is byte-identical to the
+pre-observability CLI and nothing extra is computed.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import subprocess
 import sys
+from pathlib import Path
+from time import perf_counter
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument("--log-json", metavar="PATH", default=None,
+                       help="write a JSONL structured event log of this run")
+    group.add_argument("--profile", action="store_true",
+                       help="time instrumented spans; print the breakdown at exit")
+    group.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write a Prometheus textfile of the metrics registry at exit")
+    group.add_argument("-v", "--verbose", action="count", default=0,
+                       help="more logging (-v INFO, -vv DEBUG)")
+    group.add_argument("-q", "--quiet", action="count", default=0,
+                       help="less logging (errors only)")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -38,7 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("datasets", help="list the 13 benchmark datasets")
+    datasets = sub.add_parser("datasets", help="list the 13 benchmark datasets")
 
     train = sub.add_parser("train", help="one augmented-Lagrangian run under a hard budget")
     train.add_argument("dataset")
@@ -61,7 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--seed", type=int, default=0)
     grid.add_argument("--epochs", type=int, default=300)
 
-    sub.add_parser("circuits", help="print the printed-AF circuit summary table")
+    circuits = sub.add_parser("circuits", help="print the printed-AF circuit summary table")
 
     mc = sub.add_parser("montecarlo", help="process-variation robustness of a trained circuit")
     mc.add_argument("dataset")
@@ -71,7 +102,43 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--budget-fraction", type=float, default=0.6)
     _add_common(mc)
 
+    report = sub.add_parser("report", help="render the summary of a recorded run (JSONL)")
+    report.add_argument("run_file", help="event log written by --log-json")
+
+    for subparser in (datasets, train, sweep, grid, circuits, mc, report):
+        _add_obs_flags(subparser)
+
     return parser
+
+
+# ----------------------------------------------------------------------
+def _git_sha() -> str:
+    """Short revision of the source tree (best effort; 'unknown' offline)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return proc.stdout.strip() if proc.returncode == 0 else "unknown"
+
+
+def _run_config(args) -> dict:
+    """JSON-safe view of the parsed arguments (observability flags excluded)."""
+    skip = {"command", "log_json", "profile", "metrics_out", "verbose", "quiet"}
+    return {k: v for k, v in vars(args).items() if k not in skip}
+
+
+def _train_callbacks(run_logger, phase: str) -> list:
+    """Stock callbacks for a CLI-driven training run."""
+    from repro.observability import EventLogCallback, ProgressReporter
+
+    callbacks = [ProgressReporter(every=25, log=logger)]
+    if run_logger is not None and run_logger.enabled:
+        callbacks.append(EventLogCallback(run_logger, phase=phase))
+    return callbacks
 
 
 # ----------------------------------------------------------------------
@@ -109,7 +176,7 @@ def _make_net(data, kind, seed, af, neg):
     )
 
 
-def cmd_train(args) -> int:
+def cmd_train(args, run_logger=None) -> int:
     from repro.training import train_power_constrained, train_unconstrained
 
     kind, data, split, af, neg, settings = _prepare(args.dataset, args.af, args.seed, args.epochs)
@@ -117,14 +184,20 @@ def cmd_train(args) -> int:
         budget = args.budget_mw * 1e-3
         print(f"hard budget: {args.budget_mw:.4f} mW (absolute)")
     else:
-        reference = train_unconstrained(_make_net(data, kind, args.seed, af, neg), split, settings=settings)
+        reference = train_unconstrained(
+            _make_net(data, kind, args.seed, af, neg), split, settings=settings,
+            callbacks=_train_callbacks(run_logger, phase="reference"),
+        )
         max_power = max(reference.power_trace)
         budget = args.budget_fraction * max_power
         print(f"unconstrained: acc {reference.test_accuracy * 100:.1f}%  P_max {max_power * 1e3:.4f} mW")
         print(f"hard budget: {budget * 1e3:.4f} mW ({args.budget_fraction:.0%} of P_max)")
 
     net = _make_net(data, kind, args.seed + 1, af, neg)
-    result = train_power_constrained(net, split, power_budget=budget, mu=args.mu, settings=settings)
+    result = train_power_constrained(
+        net, split, power_budget=budget, mu=args.mu, settings=settings,
+        callbacks=_train_callbacks(run_logger, phase="constrained"),
+    )
     print(f"result: acc {result.test_accuracy * 100:.2f}%  P {result.power * 1e3:.4f} mW  "
           f"feasible={result.feasible}  devices={result.device_count}")
     return 0 if result.feasible else 1
@@ -184,16 +257,22 @@ def cmd_circuits() -> int:
     return 0
 
 
-def cmd_montecarlo(args) -> int:
+def cmd_montecarlo(args, run_logger=None) -> int:
     from repro.evaluation.montecarlo import run_monte_carlo
     from repro.pdk.variation import VariationSpec
     from repro.training import train_power_constrained, train_unconstrained
 
     kind, data, split, af, neg, settings = _prepare(args.dataset, args.af, args.seed, args.epochs)
-    reference = train_unconstrained(_make_net(data, kind, args.seed, af, neg), split, settings=settings)
+    reference = train_unconstrained(
+        _make_net(data, kind, args.seed, af, neg), split, settings=settings,
+        callbacks=_train_callbacks(run_logger, phase="reference"),
+    )
     budget = args.budget_fraction * max(reference.power_trace)
     net = _make_net(data, kind, args.seed + 1, af, neg)
-    result = train_power_constrained(net, split, power_budget=budget, settings=settings)
+    result = train_power_constrained(
+        net, split, power_budget=budget, settings=settings,
+        callbacks=_train_callbacks(run_logger, phase="constrained"),
+    )
     print(f"trained: acc {result.test_accuracy * 100:.1f}%  P {result.power * 1e3:.4f} mW  "
           f"feasible={result.feasible}")
     net.eval()
@@ -206,12 +285,25 @@ def cmd_montecarlo(args) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def cmd_report(args) -> int:
+    from repro.observability import render_report_file
+
+    try:
+        print(render_report_file(args.run_file))
+    except OSError as exc:
+        print(f"error: cannot read {args.run_file}: {exc.strerror or exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _dispatch(args, run_logger) -> int:
     if args.command == "datasets":
         return cmd_datasets()
     if args.command == "train":
-        return cmd_train(args)
+        return cmd_train(args, run_logger)
     if args.command == "sweep":
         return cmd_sweep(args)
     if args.command == "grid":
@@ -219,8 +311,55 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "circuits":
         return cmd_circuits()
     if args.command == "montecarlo":
-        return cmd_montecarlo(args)
+        return cmd_montecarlo(args, run_logger)
+    if args.command == "report":
+        return cmd_report(args)
     raise AssertionError(f"unhandled command {args.command}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    from repro.observability import (
+        JsonlSink,
+        RunLogger,
+        configure_logging,
+        enable_profiling,
+        get_profiler,
+        get_registry,
+    )
+
+    configure_logging(args.verbose - args.quiet)
+    run_logger = RunLogger(JsonlSink(args.log_json)) if args.log_json else RunLogger()
+    if args.profile:
+        enable_profiling()
+
+    started = perf_counter()
+    run_logger.emit(
+        "run_start",
+        command=args.command,
+        config=_run_config(args),
+        git_sha=_git_sha(),
+    )
+    code = 1
+    try:
+        code = _dispatch(args, run_logger)
+        return code
+    finally:
+        profiler = get_profiler()
+        if args.profile:
+            run_logger.emit("profile", spans=profiler.as_json())
+            print("\nspan breakdown:")
+            print(profiler.render_tree())
+        if args.metrics_out:
+            Path(args.metrics_out).write_text(get_registry().render_prometheus(), encoding="utf-8")
+        run_logger.emit(
+            "run_end",
+            exit_code=code,
+            duration_s=perf_counter() - started,
+            metrics=get_registry().snapshot(),
+        )
+        run_logger.close()
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ default to a reduced-but-structurally-identical schedule and honour
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass, field
 
@@ -32,6 +33,8 @@ from repro.training import (
     pareto_front,
 )
 from repro.training.penalty import ParetoSweepResult
+
+logger = logging.getLogger(__name__)
 
 #: The paper's power budgets, as fractions of the unconstrained maximum.
 POWER_BUDGET_FRACTIONS: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8)
@@ -155,6 +158,10 @@ def run_budget_experiment(
     if max_power_w is None:
         max_power_w, _ = unconstrained_max_power(dataset_name, kind, config, split=split)
     budget = budget_fraction * max_power_w
+    logger.info(
+        "budget experiment: %s / %s @ %.0f%% (%.4g W)",
+        dataset_name, kind.value, budget_fraction * 100, budget,
+    )
 
     best: TrainResult | None = None
     for restart in range(config.n_restarts):

@@ -10,6 +10,7 @@ within the power budget and clear an accuracy floor.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,6 +19,8 @@ from repro.autograd.tensor import Tensor, no_grad
 from repro.autograd import functional as F
 from repro.circuits.pnc import PrintedNeuralNetwork
 from repro.pdk.variation import VariationSpec, perturb_q, perturb_theta, perturb_model_card
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -103,6 +106,7 @@ def run_monte_carlo(
     state = net.state_dict()
     x_t = Tensor(x)
     threshold = net.config.pdk.prune_threshold_us
+    logger.info("monte carlo: %d printed instances, seed %d", n_samples, seed)
 
     with no_grad():
         logits, breakdown = net.forward_with_power(x_t)

@@ -1,0 +1,89 @@
+"""Structured observability: run events, metrics, span profiling, callbacks.
+
+The instrumentation substrate for the whole reproduction (and the perf
+work the ROADMAP plans on top of it):
+
+- :mod:`repro.observability.events` — JSONL structured event log
+  (:class:`RunLogger`, schema validation, sinks);
+- :mod:`repro.observability.metrics` — process-wide counters / gauges /
+  histograms with a Prometheus textfile exporter;
+- :mod:`repro.observability.profiling` — nested wall-time spans
+  (``with span("pnc.forward_with_power"): ...``), off by default;
+- :mod:`repro.observability.callbacks` — the trainer's per-epoch
+  :class:`EpochEvent` dispatch and the stock callbacks;
+- :mod:`repro.observability.logconf` — ``configure_logging(verbosity)``,
+  the single opt-in entry point for the module-logger tree;
+- :mod:`repro.observability.report` — ASCII rendering of a recorded run
+  (``repro.cli report RUN.jsonl``).
+
+Everything is zero-cost by default: the null event sink drops events
+before they are built, disabled spans are one attribute check, and
+metric increments are plain float adds.
+"""
+
+from repro.observability.events import (
+    EVENT_SCHEMAS,
+    EVENT_TYPES,
+    JsonlSink,
+    ListSink,
+    NullSink,
+    RunLogger,
+    read_events,
+    validate_event,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.observability.profiling import (
+    SpanProfiler,
+    SpanStat,
+    disable_profiling,
+    enable_profiling,
+    get_profiler,
+    span,
+)
+from repro.observability.callbacks import (
+    EpochEvent,
+    EventLogCallback,
+    ProgressReporter,
+    TraceRecorder,
+    TrainerCallback,
+)
+from repro.observability.logconf import configure_logging, verbosity_to_level
+from repro.observability.report import render_report, render_report_file, sparkline
+
+__all__ = [
+    "EVENT_SCHEMAS",
+    "EVENT_TYPES",
+    "JsonlSink",
+    "ListSink",
+    "NullSink",
+    "RunLogger",
+    "read_events",
+    "validate_event",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "SpanProfiler",
+    "SpanStat",
+    "disable_profiling",
+    "enable_profiling",
+    "get_profiler",
+    "span",
+    "EpochEvent",
+    "EventLogCallback",
+    "ProgressReporter",
+    "TraceRecorder",
+    "TrainerCallback",
+    "configure_logging",
+    "verbosity_to_level",
+    "render_report",
+    "render_report_file",
+    "sparkline",
+]

@@ -1,0 +1,203 @@
+"""Structured run events: schema, validation, sinks, and the RunLogger.
+
+Every training run can emit a JSONL event stream — one JSON object per
+line — that captures the *dynamics* the paper's headline claim rests on
+(λ convergence, constraint-violation decay, feasible-epoch checkpointing)
+without re-running anything.  The stream is the contract between the
+trainer/CLI (producers) and ``repro.cli report`` (consumer), so every
+event type has an explicit schema and :func:`validate_event` is applied
+on both ends.
+
+Event envelope (all types)::
+
+    {"type": "<event type>", "ts": <unix seconds>, ...payload}
+
+Payload schemas are listed in :data:`EVENT_SCHEMAS`; optional fields in
+:data:`OPTIONAL_FIELDS`.  The default sink is :class:`NullSink`, so a
+:class:`RunLogger` constructed without arguments is free: ``emit`` returns
+before building the event dict.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from pathlib import Path
+
+logger = logging.getLogger(__name__)
+
+#: Required payload fields per event type, as ``name -> allowed types``.
+#: ``float`` fields accept ints (JSON does not distinguish); ``bool`` is
+#: never accepted where a number is required.
+EVENT_SCHEMAS: dict[str, dict[str, tuple[type, ...]]] = {
+    # One per process: the command line, its resolved configuration and the
+    # source revision, so a run file is self-describing.
+    "run_start": {"command": (str,), "config": (dict,), "git_sha": (str,)},
+    # One per training epoch (the core trace).
+    "epoch": {
+        "epoch": (int,),
+        "loss": (float, int),
+        "power_w": (float, int),
+        "val_accuracy": (float, int),
+        "feasible": (bool,),
+        "lr": (float, int),
+        "phase": (str,),
+    },
+    # Plateau scheduler halved the learning rate this epoch.
+    "lr_drop": {"epoch": (int,), "from_lr": (float, int), "to_lr": (float, int), "phase": (str,)},
+    # The dual variable moved (post-update value, aligned with the power
+    # that drove the update — see repro.training.trainer).
+    "multiplier_update": {"epoch": (int,), "multiplier": (float, int), "phase": (str,)},
+    # A new best feasible validation checkpoint was taken.
+    "checkpoint": {
+        "epoch": (int,),
+        "val_accuracy": (float, int),
+        "power_w": (float, int),
+        "phase": (str,),
+    },
+    # The run transitioned from feasible to violating the budget.
+    "infeasible": {"epoch": (int,), "power_w": (float, int), "phase": (str,)},
+    # Span-profiler breakdown (emitted once, when --profile is active).
+    "profile": {"spans": (list,)},
+    # One per process; carries the exit code and a metrics snapshot.
+    "run_end": {"exit_code": (int,), "duration_s": (float, int)},
+}
+
+#: Optional payload fields per event type.
+OPTIONAL_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
+    "epoch": {"multiplier": (float, int, type(None))},
+    "run_end": {"metrics": (dict,)},
+}
+
+EVENT_TYPES = tuple(EVENT_SCHEMAS)
+
+
+def _check_type(value, allowed: tuple[type, ...]) -> bool:
+    # bool subclasses int: only accept it where bool is explicitly allowed.
+    if isinstance(value, bool):
+        return bool in allowed
+    return isinstance(value, allowed)
+
+
+def validate_event(event: dict) -> None:
+    """Raise ``ValueError`` unless ``event`` matches its type's schema."""
+    if not isinstance(event, dict):
+        raise ValueError(f"event must be a dict, got {type(event).__name__}")
+    event_type = event.get("type")
+    if event_type not in EVENT_SCHEMAS:
+        raise ValueError(f"unknown event type {event_type!r} (known: {', '.join(EVENT_TYPES)})")
+    if not _check_type(event.get("ts"), (float, int)):
+        raise ValueError(f"{event_type}: missing or non-numeric 'ts'")
+    schema = EVENT_SCHEMAS[event_type]
+    optional = OPTIONAL_FIELDS.get(event_type, {})
+    for field, allowed in schema.items():
+        if field not in event:
+            raise ValueError(f"{event_type}: missing required field {field!r}")
+        if not _check_type(event[field], allowed):
+            raise ValueError(
+                f"{event_type}.{field}: expected {'/'.join(t.__name__ for t in allowed)}, "
+                f"got {type(event[field]).__name__}"
+            )
+    for field, value in event.items():
+        if field in ("type", "ts") or field in schema:
+            continue
+        if field not in optional:
+            raise ValueError(f"{event_type}: unexpected field {field!r}")
+        if not _check_type(value, optional[field]):
+            raise ValueError(
+                f"{event_type}.{field}: expected "
+                f"{'/'.join(t.__name__ for t in optional[field])}, got {type(value).__name__}"
+            )
+
+
+# ----------------------------------------------------------------------
+class NullSink:
+    """Discard every event (the zero-cost default)."""
+
+    def write(self, event: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Append events to a JSONL file, one object per line, flushed per event."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def write(self, event: dict) -> None:
+        json.dump(event, self._fh, separators=(",", ":"), sort_keys=False)
+        self._fh.write("\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class ListSink:
+    """Collect events in memory (tests, report post-processing)."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+
+    def write(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class RunLogger:
+    """Validated event emitter over a sink.
+
+    With the default :class:`NullSink` every ``emit`` is a single branch;
+    callers that build expensive payloads should guard on :attr:`enabled`.
+    """
+
+    def __init__(self, sink=None):
+        self.sink = sink if sink is not None else NullSink()
+
+    @property
+    def enabled(self) -> bool:
+        return not isinstance(self.sink, NullSink)
+
+    def emit(self, event_type: str, **fields) -> None:
+        """Validate and write one event (timestamped now)."""
+        if not self.enabled:
+            return
+        event = {"type": event_type, "ts": time.time(), **fields}
+        validate_event(event)
+        self.sink.write(event)
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Parse and validate a JSONL run file.
+
+    Raises ``ValueError`` naming the first offending line, so a truncated
+    or hand-edited file fails loudly instead of rendering garbage.
+    """
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})") from exc
+            try:
+                validate_event(event)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from exc
+            events.append(event)
+    return events

@@ -1,0 +1,51 @@
+"""Logging configuration for the ``repro`` package tree.
+
+Every ``repro.*`` module holds a module logger
+(``logger = logging.getLogger(__name__)``) and emits through it; nothing
+in the library calls ``logging.basicConfig`` or touches the root logger,
+so importing ``repro`` never alters the host application's logging.
+
+:func:`configure_logging` is the single opt-in entry point (the CLI calls
+it from ``-v`` / ``-q``): it installs one stream handler on the
+``"repro"`` package logger, idempotently — repeat calls replace the
+handler instead of stacking duplicates.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: verbosity -> level for the ``repro`` logger tree.
+_LEVELS = {-1: logging.ERROR, 0: logging.WARNING, 1: logging.INFO, 2: logging.DEBUG}
+
+_HANDLER_FLAG = "_repro_observability_handler"
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map a ``-q``/``-v`` count (−1, 0, 1, 2, ...) to a logging level."""
+    return _LEVELS[max(-1, min(2, verbosity))]
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree and return its root.
+
+    Parameters
+    ----------
+    verbosity:
+        −1 (``-q``) → ERROR, 0 → WARNING, 1 (``-v``) → INFO,
+        ≥2 (``-vv``) → DEBUG.
+    stream:
+        Destination stream (default ``sys.stderr`` — log lines never mix
+        into the CLI's stdout tables).
+    """
+    package_logger = logging.getLogger("repro")
+    package_logger.setLevel(verbosity_to_level(verbosity))
+    for handler in list(package_logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            package_logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    setattr(handler, _HANDLER_FLAG, True)
+    package_logger.addHandler(handler)
+    return package_logger

@@ -1,0 +1,215 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The registry is the quantitative side of observability: hot-path call
+counts (``forward_calls``, ``surrogate_evals``, ``spice_iterations``),
+constraint state (``power_violation``) and epoch timing
+(``epoch_time_s``).  Instrumented modules fetch their metric once at
+import time and mutate it in place — an increment is a single float add,
+cheap enough to leave on unconditionally.
+
+Two renderers ship with the registry:
+
+- :meth:`MetricsRegistry.render_prometheus` — the Prometheus *textfile*
+  exposition format (``# HELP`` / ``# TYPE`` + samples), written by the
+  CLI's ``--metrics-out PATH`` for node-exporter-style scraping;
+- :meth:`MetricsRegistry.render_summary` — an aligned plain-text table
+  for humans.
+
+``reset()`` zeroes values **in place** (registered metric objects keep
+their identity) so cached module-level references stay valid across
+tests and repeated runs.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from dataclasses import dataclass, field
+
+logger = logging.getLogger(__name__)
+
+#: Default histogram bucket upper bounds (seconds-flavoured).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+_PROM_PREFIX = "repro_"
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+
+@dataclass
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    name: str
+    help: str = ""
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self):
+        self.buckets = tuple(sorted(self.buckets))
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * len(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def _reset(self) -> None:
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by metric name.
+
+    Re-registering a name with the same kind returns the existing object;
+    a kind mismatch raises, catching copy-paste instrumentation bugs.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {type(existing).__name__}, "
+                    f"requested {cls.__name__}"
+                )
+            return existing
+        metric = cls(name=name, help=help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def reset(self) -> None:
+        """Zero every metric in place (identities are preserved)."""
+        for metric in self._metrics.values():
+            metric._reset()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serializable view of every metric's current value."""
+        out: dict[str, object] = {}
+        for metric in self._metrics.values():
+            if isinstance(metric, Histogram):
+                out[metric.name] = {"count": metric.count, "sum": metric.sum}
+            else:
+                out[metric.name] = metric.value
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus textfile exposition of the whole registry."""
+        lines: list[str] = []
+        for metric in self._metrics.values():
+            full = _PROM_PREFIX + metric.name
+            if metric.help:
+                lines.append(f"# HELP {full} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {full} counter")
+                lines.append(f"{full} {_fmt(metric.value)}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {full} gauge")
+                lines.append(f"{full} {_fmt(metric.value)}")
+            else:
+                lines.append(f"# TYPE {full} histogram")
+                for bound, count in zip(metric.buckets, metric.bucket_counts):
+                    lines.append(f'{full}_bucket{{le="{_fmt(bound)}"}} {count}')
+                lines.append(f'{full}_bucket{{le="+Inf"}} {metric.count}')
+                lines.append(f"{full}_sum {_fmt(metric.sum)}")
+                lines.append(f"{full}_count {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_summary(self) -> str:
+        """Aligned plain-text table of every metric."""
+        if not self._metrics:
+            return "(no metrics recorded)"
+        rows = [("metric", "kind", "value")]
+        for metric in self._metrics.values():
+            if isinstance(metric, Histogram):
+                value = f"n={metric.count} sum={metric.sum:.4g} mean={metric.mean:.4g}"
+                kind = "histogram"
+            else:
+                value = f"{metric.value:g}"
+                kind = "counter" if isinstance(metric, Counter) else "gauge"
+            rows.append((metric.name, kind, value))
+        widths = [max(len(r[i]) for r in rows) for i in range(3)]
+        return "\n".join(
+            f"{name:<{widths[0]}}  {kind:<{widths[1]}}  {value}" for name, kind, value in rows
+        )
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+#: The process-wide registry used by all built-in instrumentation.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The global registry (instrumented modules and the CLI share it)."""
+    return _REGISTRY

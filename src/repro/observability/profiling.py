@@ -1,0 +1,178 @@
+"""Span-based wall-time profiling with nested aggregation.
+
+A :class:`span` is a reentrant context manager / decorator marking a named
+region (``with span("pnc.forward_with_power"): ...``).  Spans nest: each
+completed span accumulates (count, total seconds) under its full call
+path, so the report can render a tree with parent totals bounding child
+totals.
+
+The profiler is **off by default** and the disabled fast path is a single
+attribute check per enter/exit — cheap enough to leave spans inline in
+hot code.  The CLI's ``--profile`` flag enables it; tests drive
+:func:`enable_profiling` / :func:`disable_profiling` directly.
+"""
+
+from __future__ import annotations
+
+import functools
+import logging
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class SpanStat:
+    """Aggregated timing of one span path."""
+
+    path: tuple[str, ...]
+    count: int
+    total_s: float
+
+    @property
+    def name(self) -> str:
+        return self.path[-1]
+
+    @property
+    def depth(self) -> int:
+        return len(self.path) - 1
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+class SpanProfiler:
+    """Aggregates span timings per thread-local call path."""
+
+    def __init__(self):
+        self.enabled = False
+        self._stats: dict[tuple[str, ...], list[float]] = {}  # path -> [count, total]
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[tuple[str, float]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def push(self, name: str) -> None:
+        self._stack().append((name, perf_counter()))
+
+    def pop(self) -> None:
+        stack = self._stack()
+        if not stack:  # profiler was enabled mid-span; nothing to attribute
+            return
+        elapsed = perf_counter() - stack[-1][1]
+        path = tuple(name for name, _ in stack)
+        stack.pop()
+        with self._lock:
+            entry = self._stats.setdefault(path, [0, 0.0])
+            entry[0] += 1
+            entry[1] += elapsed
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        with self._lock:
+            self._stats.clear()
+
+    def stats(self) -> list[SpanStat]:
+        """All span paths, depth-first in tree order, children by total desc."""
+        with self._lock:
+            items = {path: (int(c), t) for path, (c, t) in self._stats.items()}
+
+        def children_of(prefix: tuple[str, ...]) -> list[tuple[str, ...]]:
+            kids = [p for p in items if len(p) == len(prefix) + 1 and p[: len(prefix)] == prefix]
+            return sorted(kids, key=lambda p: -items[p][1])
+
+        ordered: list[SpanStat] = []
+
+        def walk(prefix: tuple[str, ...]) -> None:
+            for path in children_of(prefix):
+                count, total = items[path]
+                ordered.append(SpanStat(path=path, count=count, total_s=total))
+                walk(path)
+
+        walk(())
+        return ordered
+
+    def as_json(self) -> list[dict]:
+        """Span stats as plain dicts (the ``profile`` event payload)."""
+        return [
+            {"path": "/".join(s.path), "count": s.count, "total_s": s.total_s}
+            for s in self.stats()
+        ]
+
+    def render_tree(self) -> str:
+        """Indented span table: calls, total and mean wall time."""
+        stats = self.stats()
+        if not stats:
+            return "(no spans recorded — was profiling enabled?)"
+        rows = [("span", "calls", "total_s", "mean_ms")]
+        for s in stats:
+            rows.append(
+                ("  " * s.depth + s.name, str(s.count), f"{s.total_s:.4f}", f"{s.mean_s * 1e3:.3f}")
+            )
+        widths = [max(len(r[i]) for r in rows) for i in range(4)]
+        return "\n".join(
+            f"{r[0]:<{widths[0]}}  {r[1]:>{widths[1]}}  {r[2]:>{widths[2]}}  {r[3]:>{widths[3]}}"
+            for r in rows
+        )
+
+
+#: The process-wide profiler every :class:`span` reports to.
+_PROFILER = SpanProfiler()
+
+
+def get_profiler() -> SpanProfiler:
+    return _PROFILER
+
+
+def enable_profiling() -> None:
+    _PROFILER.enabled = True
+
+
+def disable_profiling() -> None:
+    _PROFILER.enabled = False
+
+
+class span:
+    """Context manager / decorator timing a named region.
+
+    Stateless after construction (timing lives on the profiler's
+    thread-local stack), so one instance may be entered recursively and a
+    decorated function may call itself.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __enter__(self):
+        if _PROFILER.enabled:
+            _PROFILER.push(self.name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if _PROFILER.enabled:
+            _PROFILER.pop()
+        return False
+
+    def __call__(self, fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _PROFILER.enabled:
+                return fn(*args, **kwargs)
+            _PROFILER.push(self.name)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                _PROFILER.pop()
+
+        return wrapper

@@ -1,0 +1,190 @@
+"""Render an ASCII summary of a recorded run (``repro.cli report``).
+
+Consumes the JSONL event stream written by ``--log-json`` and rebuilds
+the run's story without re-running anything: configuration and revision
+from ``run_start``, the accuracy/power/λ trajectory from the ``epoch``
+events, the transition log (LR drops, checkpoints, feasibility losses),
+the span-profiler breakdown when ``--profile`` was active, and the final
+metrics snapshot from ``run_end``.
+"""
+
+from __future__ import annotations
+
+import logging
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.observability.events import read_events
+
+logger = logging.getLogger(__name__)
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], width: int = 60) -> str:
+    """Downsample ``values`` to ``width`` columns of unicode bars."""
+    if not values:
+        return ""
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    low, high = min(values), max(values)
+    if high - low < 1e-30:
+        return _SPARK_CHARS[0] * len(values)
+    scale = (len(_SPARK_CHARS) - 1) / (high - low)
+    return "".join(_SPARK_CHARS[int((v - low) * scale)] for v in values)
+
+
+def _fmt_ts(ts: float) -> str:
+    return datetime.fromtimestamp(ts, tz=timezone.utc).strftime("%Y-%m-%d %H:%M:%S UTC")
+
+
+def _pick_trajectory_phase(epochs_by_phase: dict[str, list[dict]]) -> str | None:
+    """Prefer the phase that carries λ data, else the longest one."""
+    if not epochs_by_phase:
+        return None
+    with_multiplier = [
+        phase
+        for phase, events in epochs_by_phase.items()
+        if any(e.get("multiplier") is not None for e in events)
+    ]
+    candidates = with_multiplier or list(epochs_by_phase)
+    return max(candidates, key=lambda phase: len(epochs_by_phase[phase]))
+
+
+def _trajectory_rows(events: list[dict], max_rows: int = 12) -> list[tuple[str, ...]]:
+    if len(events) > max_rows:
+        stride = (len(events) - 1) / (max_rows - 1)
+        picked = sorted({int(round(i * stride)) for i in range(max_rows)})
+        events = [events[i] for i in picked]
+    rows = []
+    for e in events:
+        multiplier = e.get("multiplier")
+        rows.append(
+            (
+                str(e["epoch"]),
+                f"{e['val_accuracy']:.3f}",
+                f"{e['power_w'] * 1e3:.4f}",
+                "-" if multiplier is None else f"{multiplier:.4f}",
+                "yes" if e["feasible"] else "NO",
+            )
+        )
+    return rows
+
+
+def _table(header: tuple[str, ...], rows: list[tuple[str, ...]]) -> str:
+    all_rows = [header, *rows]
+    widths = [max(len(r[i]) for r in all_rows) for i in range(len(header))]
+    lines = []
+    for r in all_rows:
+        lines.append("  ".join(f"{cell:>{w}}" for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_report(events: list[dict], source: str = "") -> str:
+    """Human-readable multi-section summary of one recorded run."""
+    sections: list[str] = []
+    title = f"run report{f' — {source}' if source else ''}"
+    sections.append(title + "\n" + "=" * len(title))
+
+    run_start = next((e for e in events if e["type"] == "run_start"), None)
+    if run_start is not None:
+        config = run_start["config"]
+        config_line = "  ".join(f"{k}={v}" for k, v in sorted(config.items()))
+        sections.append(
+            f"command : {run_start['command']}\n"
+            f"git sha : {run_start['git_sha']}\n"
+            f"started : {_fmt_ts(run_start['ts'])}\n"
+            f"config  : {config_line if config_line else '(empty)'}"
+        )
+
+    epochs_by_phase: dict[str, list[dict]] = {}
+    for e in events:
+        if e["type"] == "epoch":
+            epochs_by_phase.setdefault(e["phase"], []).append(e)
+    phase = _pick_trajectory_phase(epochs_by_phase)
+    if phase is not None:
+        trajectory = sorted(epochs_by_phase[phase], key=lambda e: e["epoch"])
+        accuracy = [e["val_accuracy"] for e in trajectory]
+        power = [e["power_w"] for e in trajectory]
+        multipliers = [e["multiplier"] for e in trajectory if e.get("multiplier") is not None]
+        lines = [
+            f"trajectory — phase '{phase}', {len(trajectory)} epochs",
+            f"  val_acc  [{min(accuracy):.3f}..{max(accuracy):.3f}]  {sparkline(accuracy)}",
+            f"  power_mW [{min(power) * 1e3:.4f}..{max(power) * 1e3:.4f}]  {sparkline(power)}",
+        ]
+        if multipliers:
+            lines.append(
+                f"  λ        [{min(multipliers):.4f}..{max(multipliers):.4f}]  {sparkline(multipliers)}"
+            )
+        lines.append("")
+        lines.append(
+            _table(("epoch", "val_acc", "power_mW", "λ", "feasible"), _trajectory_rows(trajectory))
+        )
+        sections.append("\n".join(lines))
+
+    transitions = [
+        e for e in events if e["type"] in ("lr_drop", "multiplier_update", "checkpoint", "infeasible")
+    ]
+    if transitions:
+        counts: dict[str, int] = {}
+        for e in transitions:
+            counts[e["type"]] = counts.get(e["type"], 0) + 1
+        summary = "  ".join(f"{name}×{n}" for name, n in sorted(counts.items()))
+        checkpoints = [e for e in transitions if e["type"] == "checkpoint"]
+        lines = [f"transitions: {summary}"]
+        if checkpoints:
+            last = checkpoints[-1]
+            lines.append(
+                f"last checkpoint: epoch {last['epoch']}  val {last['val_accuracy']:.3f}  "
+                f"P {last['power_w'] * 1e3:.4f} mW"
+            )
+        sections.append("\n".join(lines))
+
+    profile = next((e for e in reversed(events) if e["type"] == "profile"), None)
+    if profile is not None and profile["spans"]:
+        rows = []
+        for item in profile["spans"]:
+            path = item["path"].split("/")
+            mean_ms = item["total_s"] / item["count"] * 1e3 if item["count"] else 0.0
+            rows.append(
+                (
+                    "  " * (len(path) - 1) + path[-1],
+                    str(item["count"]),
+                    f"{item['total_s']:.4f}",
+                    f"{mean_ms:.3f}",
+                )
+            )
+        # left-align the span column for the tree indent to read correctly
+        widths = [max(len(r[i]) for r in [("span", "calls", "total_s", "mean_ms"), *rows]) for i in range(4)]
+        lines = ["span breakdown"]
+        for r in [("span", "calls", "total_s", "mean_ms"), *rows]:
+            lines.append(
+                f"  {r[0]:<{widths[0]}}  {r[1]:>{widths[1]}}  {r[2]:>{widths[2]}}  {r[3]:>{widths[3]}}"
+            )
+        sections.append("\n".join(lines))
+
+    run_end = next((e for e in reversed(events) if e["type"] == "run_end"), None)
+    if run_end is not None:
+        lines = [
+            f"finished: exit code {run_end['exit_code']}  duration {run_end['duration_s']:.2f} s"
+        ]
+        metrics = run_end.get("metrics")
+        if metrics:
+            for name in sorted(metrics):
+                value = metrics[name]
+                if isinstance(value, dict):
+                    lines.append(f"  {name}: n={value.get('count')} sum={value.get('sum'):.4g}")
+                else:
+                    lines.append(f"  {name}: {value:g}")
+        sections.append("\n".join(lines))
+
+    if len(sections) == 1:
+        sections.append("(no events)")
+    return "\n\n".join(sections)
+
+
+def render_report_file(path: str | Path) -> str:
+    """Load, validate and render a JSONL run file."""
+    events = read_events(path)
+    return render_report(events, source=str(path))

@@ -16,6 +16,7 @@ refitting.
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -25,8 +26,16 @@ import numpy as np
 from repro.autograd.tensor import Tensor, concatenate, no_grad
 from repro.autograd import nn, optim
 from repro.autograd import functional as F
+from repro.observability.metrics import get_registry
+from repro.observability.profiling import span
 from repro.pdk.params import ActivationKind, DesignSpace, design_space, negation_design_space
 from repro.power.dataset import PowerDataset, generate_power_dataset, generate_negation_dataset
+
+logger = logging.getLogger(__name__)
+
+_SURROGATE_EVALS = get_registry().counter(
+    "surrogate_evals", "surrogate power-model evaluations (predict_numpy + predict_tensor calls)"
+)
 
 LN10 = float(np.log(10.0))
 POWER_FLOOR_W = 1.0e-12
@@ -105,6 +114,11 @@ class SurrogatePowerModel:
     # ------------------------------------------------------------------
     def predict_numpy(self, q: np.ndarray, v_in: np.ndarray) -> np.ndarray:
         """Predict power for ``(n, d)`` q and ``(n,)`` v_in arrays."""
+        _SURROGATE_EVALS.inc()
+        with span("surrogate.predict_numpy"):
+            return self._predict_numpy(q, v_in)
+
+    def _predict_numpy(self, q: np.ndarray, v_in: np.ndarray) -> np.ndarray:
         q = np.atleast_2d(np.asarray(q, dtype=np.float64))
         v_in = np.asarray(v_in, dtype=np.float64).reshape(-1)
         if q.shape[0] == 1 and v_in.size > 1:
@@ -129,6 +143,11 @@ class SurrogatePowerModel:
         Tensor
             ``(n, 1)`` powers in watts, differentiable w.r.t. q and v.
         """
+        _SURROGATE_EVALS.inc()
+        with span("surrogate.predict_tensor"):
+            return self._predict_tensor(q_columns, v_in)
+
+    def _predict_tensor(self, q_columns: list[Tensor], v_in: Tensor) -> Tensor:
         n = v_in.shape[0]
         ones = Tensor(np.ones((n, 1)))
         expanded = []
@@ -241,6 +260,10 @@ def fit_surrogate(
     optimizer = optim.Adam(network.parameters(), lr=lr)
     n_train = x_train.shape[0]
 
+    logger.info(
+        "fitting surrogate %s: %d samples, %d hidden layers, %d epochs",
+        label or "(unlabelled)", len(dataset), len(hidden), epochs,
+    )
     for epoch in range(epochs):
         order = rng.permutation(n_train)
         for start in range(0, n_train, batch_size):
@@ -260,6 +283,10 @@ def fit_surrogate(
     ss_tot = float(((y_test - y_test.mean()) ** 2).sum())
     r2 = 1.0 - ss_res / max(ss_tot, 1e-30)
     report = FitReport(train_mae, test_mae, r2, epochs, len(dataset))
+    logger.info(
+        "surrogate %s fitted: test MAE %.4f log10-W, R² %.4f",
+        label or "(unlabelled)", test_mae, r2,
+    )
     return SurrogatePowerModel(network, normalization, dataset.space, report, label)
 
 
@@ -296,9 +323,12 @@ def get_cached_surrogate(
         space = design_space(ActivationKind.from_name(key_name) if not isinstance(kind, ActivationKind) else kind)
 
     if not refresh and path.exists():
+        logger.debug("surrogate cache hit on disk: %s", path)
         model = load_surrogate(path, space, label=key_name)
         _MEMORY_CACHE[key] = model
         return model
+
+    logger.debug("surrogate cache miss for %s; fitting from scratch", key)
 
     if key_name == "negation":
         dataset = generate_negation_dataset(n_q=n_q, seed=seed)

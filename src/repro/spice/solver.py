@@ -17,11 +17,21 @@ plain Newton fails to converge — the standard SPICE fallback.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability.metrics import get_registry
+from repro.observability.profiling import span
 from repro.spice.netlist import Circuit, GROUND_NAMES
+
+logger = logging.getLogger(__name__)
+
+_SPICE_ITERATIONS = get_registry().counter(
+    "spice_iterations", "Newton iterations spent by the MNA DC solver (incl. gmin stepping)"
+)
+_SPICE_SOLVES = get_registry().counter("spice_solves", "DC operating-point solves")
 
 
 class SolverError(RuntimeError):
@@ -223,6 +233,16 @@ def solve_dc(
     SolverError
         If Newton (with gmin-stepping fallback) fails to converge.
     """
+    with span("spice.solve_dc"):
+        return _solve_dc(circuit, max_iter=max_iter, tol=tol, v_limit=v_limit)
+
+
+def _solve_dc(
+    circuit: Circuit,
+    max_iter: int = 200,
+    tol: float = 1e-13,
+    v_limit: float = 0.5,
+) -> OperatingPoint:
     if circuit.is_empty():
         raise SolverError("cannot solve an empty circuit")
     nodes = circuit.nodes()
@@ -240,6 +260,7 @@ def solve_dc(
     if result is None:
         # gmin stepping: start with a heavy shunt, relax geometrically,
         # warm-starting each stage from the previous solution.
+        logger.debug("plain Newton failed on circuit %r; engaging gmin stepping", circuit.name)
         x = x0
         for gmin in (1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 1e-12):
             result = _newton(circuit, node_index, x, gmin=gmin, max_iter=max_iter, tol=tol, v_limit=v_limit)
@@ -261,6 +282,8 @@ def solve_dc(
     if polished is not None:
         x, iters = polished
         total_iters += iters
+    _SPICE_SOLVES.inc()
+    _SPICE_ITERATIONS.inc(total_iters)
     return _package(circuit, node_index, x, total_iters)
 
 

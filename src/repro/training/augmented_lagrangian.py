@@ -38,14 +38,19 @@ constraint is therefore normalized to ``c = (P - P̄)/P̄`` (dimensionless,
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.circuits.pnc import PrintedNeuralNetwork
 from repro.datasets.splits import DataSplit
+from repro.observability.callbacks import TrainerCallback
 from repro.training.trainer import TrainResult, TrainerSettings, train_model
+
+logger = logging.getLogger(__name__)
 
 
 def augmented_lagrangian_term(c: Tensor, multiplier: float, mu: float) -> Tensor:
@@ -144,6 +149,9 @@ class AugmentedLagrangianObjective:
         budget = self.effective_budget(epoch)
         c = (power_value - budget) / budget
         self.multiplier = max(0.0, self.multiplier + self.mu * c)
+        logger.debug(
+            "epoch %d: λ ← %.6f (c=%.4f, μ=%.3f)", epoch, self.multiplier, c, self.mu
+        )
         if c > self.feasibility_rtol and self.mu_growth > 1.0:
             self.mu *= self.mu_growth
 
@@ -161,6 +169,7 @@ def train_power_constrained(
     warmup_epochs: int = 80,
     anneal_epochs: int = 200,
     settings: TrainerSettings | None = None,
+    callbacks: Sequence[TrainerCallback] | None = None,
 ) -> TrainResult:
     """Train ``net`` under the hard budget ``power_budget`` (watts).
 
@@ -176,4 +185,5 @@ def train_power_constrained(
         warmup_epochs=warmup_epochs,
         anneal_epochs=anneal_epochs,
     )
-    return train_model(net, split, objective, settings=settings)
+    logger.info("augmented-Lagrangian training: budget %.4g W, μ=%.3g", power_budget, mu)
+    return train_model(net, split, objective, settings=settings, callbacks=callbacks)

@@ -11,14 +11,19 @@ accuracy inside the (now cheaper) reduced architecture.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.circuits.pnc import PrintedNeuralNetwork
 from repro.datasets.splits import DataSplit
+from repro.observability.callbacks import TrainerCallback
 from repro.training.trainer import TrainResult, TrainerSettings, train_model
 from repro.training.augmented_lagrangian import AugmentedLagrangianObjective
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -74,6 +79,7 @@ def finetune(
     masks: MaskSet | None = None,
     mu: float = 2.0,
     settings: TrainerSettings | None = None,
+    callbacks: Sequence[TrainerCallback] | None = None,
 ) -> TrainResult:
     """Apply masks and retrain under the hard power budget.
 
@@ -89,6 +95,7 @@ def finetune(
     for crossbar, keep, force in zip(crossbars, masks.keep, masks.force_positive):
         crossbar.set_masks(keep, force)
 
+    logger.debug("finetune: keeping %.1f%% of crossbar entries", masks.kept_fraction * 100)
     settings = settings or TrainerSettings(epochs=200, lr=0.02, patience=50)
     objective = AugmentedLagrangianObjective(power_budget=power_budget, mu=mu)
-    return train_model(net, split, objective, settings=settings)
+    return train_model(net, split, objective, settings=settings, callbacks=callbacks)

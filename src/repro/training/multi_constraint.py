@@ -17,13 +17,18 @@ flows gradients through the straight-through relaxation exposed by
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.autograd.tensor import Tensor
 from repro.circuits.pnc import PrintedNeuralNetwork
 from repro.datasets.splits import DataSplit
+from repro.observability.callbacks import TrainerCallback
 from repro.training.augmented_lagrangian import augmented_lagrangian_term
 from repro.training.trainer import TrainResult, TrainerSettings, train_model
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -104,6 +109,7 @@ def train_power_area_constrained(
     mu_area: float = 2.0,
     warmup_epochs: int = 60,
     settings: TrainerSettings | None = None,
+    callbacks: Sequence[TrainerCallback] | None = None,
 ) -> TrainResult:
     """Train under simultaneous hard power and device-count budgets."""
     objective = PowerAreaObjective(
@@ -114,4 +120,7 @@ def train_power_area_constrained(
         mu_area=mu_area,
         warmup_epochs=warmup_epochs,
     )
-    return train_model(net, split, objective, settings=settings)
+    logger.info(
+        "power+area constrained training: P̄=%.4g W, N̄=%g devices", power_budget, device_budget
+    )
+    return train_model(net, split, objective, settings=settings, callbacks=callbacks)

@@ -8,7 +8,11 @@ Lagrangian's single-run solutions against it.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 
 def dominates(a: tuple[float, float], b: tuple[float, float]) -> bool:
@@ -39,6 +43,7 @@ def pareto_front(points: np.ndarray) -> np.ndarray:
         if accuracy > best_accuracy:
             front.append(points[idx])
             best_accuracy = accuracy
+    logger.debug("pareto front: %d of %d points non-dominated", len(front), len(points))
     return np.array(front)
 
 

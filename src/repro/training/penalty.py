@@ -16,15 +16,19 @@ which is precisely the cost the augmented Lagrangian method eliminates.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.circuits.pnc import PrintedNeuralNetwork
 from repro.datasets.splits import DataSplit
+from repro.observability.callbacks import TrainerCallback
 from repro.training.trainer import TrainResult, TrainerSettings, train_model
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -60,23 +64,25 @@ def train_penalty(
     alpha: float,
     reference_power: float = 1.0e-3,
     settings: TrainerSettings | None = None,
+    callbacks: Sequence[TrainerCallback] | None = None,
 ) -> TrainResult:
     """One penalty-based run at scaling factor ``alpha``."""
     objective = PenaltyObjective(alpha=alpha, reference_power=reference_power)
-    return train_model(net, split, objective, settings=settings)
+    return train_model(net, split, objective, settings=settings, callbacks=callbacks)
 
 
 def train_unconstrained(
     net: PrintedNeuralNetwork,
     split: DataSplit,
     settings: TrainerSettings | None = None,
+    callbacks: Sequence[TrainerCallback] | None = None,
 ) -> TrainResult:
     """Accuracy-only training (α = 0).
 
     Used to establish the maximum (unconstrained) power from which the
     paper's 20/40/60/80 % budgets are derived.
     """
-    return train_penalty(net, split, alpha=0.0, settings=settings)
+    return train_penalty(net, split, alpha=0.0, settings=settings, callbacks=callbacks)
 
 
 @dataclass
@@ -114,8 +120,10 @@ def penalty_pareto_sweep(
     alphas = list(np.linspace(alpha_range[0], alpha_range[1], n_alphas))
     seeds = list(range(n_seeds))
     sweep = ParetoSweepResult(alphas=alphas, seeds=seeds)
+    logger.info("penalty Pareto sweep: %d α values × %d seeds = %d runs", n_alphas, n_seeds, n_alphas * n_seeds)
     for alpha in alphas:
         for seed in seeds:
+            logger.debug("penalty run α=%.4f seed=%d", alpha, seed)
             net = make_net(seed)
             result = train_penalty(
                 net, split, alpha=float(alpha), reference_power=reference_power, settings=settings

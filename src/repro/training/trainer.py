@@ -11,12 +11,27 @@ baseline, and plain unconstrained training all plug in through the
 ``Objective`` protocol, which maps ``(loss, power, epoch)`` to the scalar
 being minimized and owns any dual-variable state (λ updates happen in the
 objective's ``on_epoch_end``).
+
+Observability: the loop packages every epoch into an
+:class:`~repro.observability.callbacks.EpochEvent` and dispatches it to the
+registered callbacks in order.  A :class:`TraceRecorder` is always
+registered first, so the ``TrainResult`` trace lists are identical to the
+pre-callback implementation; extra callbacks (event logging, progress
+reporting, anything user-supplied) ride along via ``train_model``'s
+``callbacks`` argument.
+
+Trace alignment: the objective's dual update runs *before* the epoch's
+traces are recorded, so ``multiplier_trace[i]`` is the **post-update** λ
+computed from ``power_trace[i]`` — the multiplier and the power it was
+updated from share an index.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Protocol
+from time import perf_counter
+from typing import Protocol, Sequence
 
 import numpy as np
 
@@ -25,6 +40,18 @@ from repro.autograd import functional as F
 from repro.autograd import optim
 from repro.circuits.pnc import PrintedNeuralNetwork
 from repro.datasets.splits import DataSplit
+from repro.observability.callbacks import EpochEvent, TraceRecorder, TrainerCallback
+from repro.observability.metrics import get_registry
+from repro.observability.profiling import span
+
+logger = logging.getLogger(__name__)
+
+_EPOCH_TIME = get_registry().histogram(
+    "epoch_time_s", "wall time per training epoch (step + evaluations)"
+)
+_POWER_VIOLATION = get_registry().gauge(
+    "power_violation", "normalized constraint violation max(0, (P - budget)/budget) of the last epoch"
+)
 
 
 class Objective(Protocol):
@@ -87,11 +114,25 @@ def evaluate_model(
     return F.accuracy(logits, y), float(breakdown.total.data)
 
 
+def _accuracy_only(net: PrintedNeuralNetwork, x: np.ndarray, y: np.ndarray) -> float:
+    """Accuracy via the power-free signal path.
+
+    ``forward`` runs the identical op sequence on the signal as
+    ``forward_with_power`` (logits are bit-equal) but skips the surrogate
+    power assembly — the part :func:`evaluate_model` would compute and the
+    accuracy-only callers used to throw away every epoch.
+    """
+    with no_grad():
+        logits = net.forward(Tensor(x))
+    return F.accuracy(logits, y)
+
+
 def train_model(
     net: PrintedNeuralNetwork,
     split: DataSplit,
     objective: Objective,
     settings: TrainerSettings | None = None,
+    callbacks: Sequence[TrainerCallback] | None = None,
 ) -> TrainResult:
     """Run the shared constrained-training loop.
 
@@ -99,6 +140,10 @@ def train_model(
     epochs* (power within the objective's budget); if no epoch is feasible
     the minimum-power checkpoint is kept instead, so the caller always gets
     the least-violating circuit.
+
+    ``callbacks`` are dispatched per epoch after the built-in trace
+    recorder, in the order given; see
+    :class:`repro.observability.callbacks.TrainerCallback`.
     """
     settings = settings or TrainerSettings()
     optimizer = optim.Adam(net.parameters(), lr=settings.lr)
@@ -110,8 +155,14 @@ def train_model(
         mode="max",
     )
 
+    recorder = TraceRecorder(settings.trace_every)
+    all_callbacks: list[TrainerCallback] = [recorder, *(callbacks or [])]
+    for callback in all_callbacks:
+        callback.on_train_start(net, objective, settings)
+
     x_train = Tensor(split.x_train)
     y_train = split.y_train
+    budget = getattr(objective, "power_budget", None)
 
     best_val = -1.0
     best_state: dict[str, np.ndarray] | None = None
@@ -120,71 +171,94 @@ def train_model(
     fallback_state: dict[str, np.ndarray] | None = None
     stale = 0
 
-    loss_trace: list[float] = []
-    power_trace: list[float] = []
-    val_trace: list[float] = []
-    multiplier_trace: list[float] = []
-
     epoch = 0
     for epoch in range(settings.epochs):
-        optimizer.zero_grad()
-        logits, breakdown = net.forward_with_power(x_train)
-        task_loss = F.cross_entropy(logits, y_train)
-        total = objective.training_loss(task_loss, breakdown.total, epoch)
-        if net.config.signal_health_weight > 0.0:
-            total = total + net.signal_health * net.config.signal_health_weight
-        total.backward()
-        optimizer.step()
-        net.project_()
+        with span("trainer.epoch"):
+            epoch_start = perf_counter()
+            optimizer.zero_grad()
+            logits, breakdown = net.forward_with_power(x_train)
+            task_loss = F.cross_entropy(logits, y_train)
+            total = objective.training_loss(task_loss, breakdown.total, epoch)
+            if net.config.signal_health_weight > 0.0:
+                total = total + net.signal_health * net.config.signal_health_weight
+            with span("trainer.backward"):
+                total.backward()
+            optimizer.step()
+            net.project_()
 
-        # Power of the *post-step* parameters — the state a checkpoint would
-        # actually save.  (The pre-step forward's power describes the state
-        # the optimizer just left.)  Feasibility is judged on the
-        # training-distribution power: the budget is defined over the
-        # deployment input distribution; val power differs only by sampling.
-        _, power_value = evaluate_model(net, split.x_train, split.y_train)
-        objective.on_epoch_end(power_value, epoch)
+            # Power of the *post-step* parameters — the state a checkpoint
+            # would actually save.  (The pre-step forward's power describes
+            # the state the optimizer just left.)  Feasibility is judged on
+            # the training-distribution power: the budget is defined over the
+            # deployment input distribution; val power differs only by
+            # sampling.
+            with span("trainer.eval"):
+                with no_grad():
+                    post_logits, post_breakdown = net.forward_with_power(x_train)
+                power_value = float(post_breakdown.total.data)
+                objective.on_epoch_end(power_value, epoch)
 
-        val_accuracy, _ = evaluate_model(net, split.x_val, split.y_val)
-        feasible_now = objective.is_feasible(power_value)
+                # Validation accuracy through the power-free forward; when
+                # the val set aliases the train set the post-step logits are
+                # reused outright (same array → same shapes → same logits).
+                if split.x_val is split.x_train:
+                    val_accuracy = F.accuracy(post_logits, split.y_val)
+                else:
+                    val_accuracy = _accuracy_only(net, split.x_val, split.y_val)
 
-        if epoch % settings.trace_every == 0:
-            loss_trace.append(float(task_loss.data))
-            power_trace.append(power_value)
-            val_trace.append(val_accuracy)
-            multiplier = getattr(objective, "multiplier", None)
-            if multiplier is not None:
-                multiplier_trace.append(float(multiplier))
+            feasible_now = objective.is_feasible(power_value)
+            if budget:
+                _POWER_VIOLATION.set(max(0.0, (power_value - budget) / budget))
 
-        if feasible_now and val_accuracy > best_val:
-            best_val = val_accuracy
-            best_state = net.state_dict()
-            best_epoch = epoch
-            stale = 0
-        else:
-            stale += 1
-        if power_value < fallback_power:
-            fallback_power = power_value
-            fallback_state = net.state_dict()
+            is_best = feasible_now and val_accuracy > best_val
+            if is_best:
+                best_val = val_accuracy
+                best_state = net.state_dict()
+                best_epoch = epoch
+                stale = 0
+            else:
+                stale += 1
+            if power_value < fallback_power:
+                fallback_power = power_value
+                fallback_state = net.state_dict()
 
-        scheduler.step(val_accuracy if feasible_now else -1.0)
+            scheduler.step(val_accuracy if feasible_now else -1.0)
+
+            event = EpochEvent(
+                epoch=epoch,
+                loss=float(task_loss.data),
+                power=power_value,
+                val_accuracy=val_accuracy,
+                feasible=feasible_now,
+                lr=optimizer.lr,
+                multiplier=_objective_multiplier(objective),
+                is_best=is_best,
+                epoch_time_s=perf_counter() - epoch_start,
+            )
+            _EPOCH_TIME.observe(event.epoch_time_s)
+            for callback in all_callbacks:
+                callback.on_epoch(event)
+
         if optimizer.lr <= settings.min_lr and stale >= settings.early_stop_stale:
+            logger.debug("early stop at epoch %d (lr bottomed out, %d stale epochs)", epoch, stale)
             break
 
     if best_state is not None:
         net.load_state_dict(best_state)
         chosen_epoch = best_epoch
     elif fallback_state is not None:
+        logger.debug("no feasible epoch; restoring minimum-power state (P=%.4g W)", fallback_power)
         net.load_state_dict(fallback_state)
         chosen_epoch = -1
     else:  # settings.epochs == 0
         chosen_epoch = -1
 
-    train_accuracy, power = evaluate_model(net, split.x_train, split.y_train)
-    val_accuracy, _ = evaluate_model(net, split.x_val, split.y_val)
-    test_accuracy, _ = evaluate_model(net, split.x_test, split.y_test)
+    with span("trainer.eval"):
+        train_accuracy, power = evaluate_model(net, split.x_train, split.y_train)
+        val_accuracy = _accuracy_only(net, split.x_val, split.y_val)
+        test_accuracy = _accuracy_only(net, split.x_test, split.y_test)
 
-    return TrainResult(
+    result = TrainResult(
         train_accuracy=train_accuracy,
         val_accuracy=val_accuracy,
         test_accuracy=test_accuracy,
@@ -193,10 +267,18 @@ def train_model(
         device_count=net.device_count(),
         epochs_run=epoch + 1,
         best_epoch=chosen_epoch,
-        loss_trace=loss_trace,
-        power_trace=power_trace,
-        val_accuracy_trace=val_trace,
-        multiplier_trace=multiplier_trace,
+        loss_trace=recorder.loss_trace,
+        power_trace=recorder.power_trace,
+        val_accuracy_trace=recorder.val_accuracy_trace,
+        multiplier_trace=recorder.multiplier_trace,
         state=net.state_dict(),
         counts=net.hard_counts(),
     )
+    for callback in all_callbacks:
+        callback.on_train_end(result)
+    return result
+
+
+def _objective_multiplier(objective: Objective) -> float | None:
+    multiplier = getattr(objective, "multiplier", None)
+    return None if multiplier is None else float(multiplier)

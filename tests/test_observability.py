@@ -1,0 +1,372 @@
+"""Tests for the observability layer: events, metrics, spans, report, logging.
+
+These are pure-python tests (no network training) pinning the contracts
+the CLI and trainer rely on: event schema round-trips, metric aggregation
+and Prometheus rendering, span nesting with monotone timings, and the
+report renderer's tolerance of partial runs.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+import pytest
+
+from repro.observability import (
+    EVENT_SCHEMAS,
+    JsonlSink,
+    ListSink,
+    MetricsRegistry,
+    NullSink,
+    RunLogger,
+    configure_logging,
+    disable_profiling,
+    enable_profiling,
+    get_profiler,
+    get_registry,
+    read_events,
+    render_report,
+    render_report_file,
+    span,
+    validate_event,
+    verbosity_to_level,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_profiler():
+    """Every test starts with a disabled, empty profiler."""
+    disable_profiling()
+    get_profiler().reset()
+    yield
+    disable_profiling()
+    get_profiler().reset()
+
+
+# ----------------------------------------------------------------------
+class TestEventSchema:
+    def _sample(self, event_type: str) -> dict:
+        samples = {
+            "run_start": {"command": "train", "config": {"dataset": "iris"}, "git_sha": "abc1234"},
+            "epoch": {
+                "epoch": 3, "loss": 0.9, "power_w": 1.2e-4, "val_accuracy": 0.8,
+                "feasible": True, "lr": 0.05, "phase": "constrained", "multiplier": 0.1,
+            },
+            "lr_drop": {"epoch": 10, "from_lr": 0.1, "to_lr": 0.05, "phase": "constrained"},
+            "multiplier_update": {"epoch": 10, "multiplier": 0.25, "phase": "constrained"},
+            "checkpoint": {"epoch": 7, "val_accuracy": 0.9, "power_w": 1e-4, "phase": "constrained"},
+            "infeasible": {"epoch": 4, "power_w": 2e-4, "phase": "constrained"},
+            "profile": {"spans": [{"path": "a/b", "count": 1, "total_s": 0.1}]},
+            "run_end": {"exit_code": 0, "duration_s": 1.5, "metrics": {"forward_calls": 3.0}},
+        }
+        return {"type": event_type, "ts": time.time(), **samples[event_type]}
+
+    def test_every_event_type_has_a_valid_sample(self):
+        for event_type in EVENT_SCHEMAS:
+            validate_event(self._sample(event_type))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            validate_event({"type": "nope", "ts": 0.0})
+
+    def test_missing_required_field_rejected(self):
+        event = self._sample("lr_drop")
+        del event["to_lr"]
+        with pytest.raises(ValueError, match="to_lr"):
+            validate_event(event)
+
+    def test_unexpected_field_rejected(self):
+        event = self._sample("checkpoint")
+        event["surprise"] = 1
+        with pytest.raises(ValueError, match="unexpected field"):
+            validate_event(event)
+
+    def test_bool_not_accepted_as_number(self):
+        event = self._sample("epoch")
+        event["loss"] = True
+        with pytest.raises(ValueError, match="epoch.loss"):
+            validate_event(event)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        logger = RunLogger(JsonlSink(path))
+        assert logger.enabled
+        for event_type in EVENT_SCHEMAS:
+            sample = self._sample(event_type)
+            payload = {k: v for k, v in sample.items() if k not in ("type", "ts")}
+            logger.emit(event_type, **payload)
+        logger.close()
+        events = read_events(path)
+        assert [e["type"] for e in events] == list(EVENT_SCHEMAS)
+        # Every line is independently parseable JSON.
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_read_events_rejects_garbage_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "run_end", "ts": 1.0, "exit_code": 0, "duration_s": 1.0}\nnot json\n')
+        with pytest.raises(ValueError, match=":2"):
+            read_events(path)
+
+    def test_null_sink_emit_is_noop_even_with_invalid_payload(self):
+        logger = RunLogger()
+        assert isinstance(logger.sink, NullSink)
+        assert not logger.enabled
+        logger.emit("epoch")  # would fail validation if it were validated
+
+    def test_list_sink_collects(self):
+        sink = ListSink()
+        logger = RunLogger(sink)
+        logger.emit("run_start", command="x", config={}, git_sha="dead")
+        assert len(sink.events) == 1
+        assert sink.events[0]["type"] == "run_start"
+        assert sink.events[0]["ts"] > 0
+
+
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_gauge_histogram_aggregation(self):
+        reg = MetricsRegistry()
+        c = reg.counter("calls", "help text")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        g = reg.gauge("violation")
+        g.set(0.25)
+        g.inc(0.25)
+        assert g.value == 0.5
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.55)
+        assert h.bucket_counts == [1, 2]  # cumulative: le=0.1 → 1, le=1.0 → 2
+        assert h.mean == pytest.approx(5.55 / 3)
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_reset_preserves_identity(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc(5)
+        reg.reset()
+        assert c.value == 0.0
+        assert reg.counter("x") is c
+
+    def test_prometheus_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("calls", "number of calls").inc(3)
+        reg.gauge("level").set(0.5)
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        text = reg.render_prometheus()
+        assert "# HELP repro_calls number of calls" in text
+        assert "# TYPE repro_calls counter" in text
+        assert "repro_calls 3" in text
+        assert "# TYPE repro_level gauge" in text
+        assert "repro_level 0.5" in text
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_count 1" in text
+        assert text.endswith("\n")
+
+    def test_global_registry_has_builtin_metrics(self):
+        # Importing the instrumented modules registers the paper-relevant
+        # metrics on the shared registry.
+        import repro.circuits.pnc  # noqa: F401
+        import repro.power.surrogate  # noqa: F401
+        import repro.spice.solver  # noqa: F401
+        import repro.training.trainer  # noqa: F401
+
+        names = {m.name for m in get_registry()}
+        assert {"forward_calls", "surrogate_evals", "spice_iterations",
+                "power_violation", "epoch_time_s"} <= names
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.histogram("b").observe(1.0)
+        json.dumps(reg.snapshot())
+
+    def test_summary_renders_all(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(2)
+        text = reg.render_summary()
+        assert "a" in text and "counter" in text
+        assert "b" in text and "gauge" in text
+
+
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_disabled_spans_record_nothing(self):
+        with span("outer"):
+            pass
+        assert get_profiler().stats() == []
+
+    def test_nesting_and_monotonicity(self):
+        enable_profiling()
+        for _ in range(3):
+            with span("outer"):
+                with span("inner"):
+                    time.sleep(0.001)
+        stats = {s.path: s for s in get_profiler().stats()}
+        outer = stats[("outer",)]
+        inner = stats[("outer", "inner")]
+        assert outer.count == 3 and inner.count == 3
+        # A child's total can never exceed its parent's.
+        assert 0 < inner.total_s <= outer.total_s
+        assert inner.mean_s <= outer.mean_s
+
+    def test_tree_order_is_depth_first(self):
+        enable_profiling()
+        with span("a"):
+            with span("b"):
+                pass
+        with span("c"):
+            pass
+        paths = [s.path for s in get_profiler().stats()]
+        assert paths.index(("a",)) < paths.index(("a", "b"))
+        assert ("c",) in paths
+
+    def test_decorator_and_recursion(self):
+        enable_profiling()
+
+        @span("fib")
+        def fib(n):
+            return n if n < 2 else fib(n - 1) + fib(n - 2)
+
+        assert fib(5) == 5
+        stats = {s.path: s for s in get_profiler().stats()}
+        assert stats[("fib",)].count == 1  # one top-level call
+        assert ("fib", "fib") in stats  # recursive frames nest under it
+
+    def test_as_json_round_trips_through_profile_event(self):
+        enable_profiling()
+        with span("x"):
+            pass
+        payload = get_profiler().as_json()
+        sink = ListSink()
+        RunLogger(sink).emit("profile", spans=payload)
+        assert sink.events[0]["spans"][0]["path"] == "x"
+
+    def test_render_tree_mentions_disabled_state(self):
+        assert "no spans" in get_profiler().render_tree()
+
+
+# ----------------------------------------------------------------------
+class TestLogConfiguration:
+    def test_verbosity_mapping(self):
+        assert verbosity_to_level(-5) == logging.ERROR
+        assert verbosity_to_level(-1) == logging.ERROR
+        assert verbosity_to_level(0) == logging.WARNING
+        assert verbosity_to_level(1) == logging.INFO
+        assert verbosity_to_level(2) == logging.DEBUG
+        assert verbosity_to_level(9) == logging.DEBUG
+
+    def test_configure_is_idempotent(self):
+        root = logging.getLogger("repro")
+        before = list(root.handlers)
+        configure_logging(1)
+        configure_logging(2)
+        ours = [h for h in root.handlers if h not in before]
+        assert len(ours) == 1
+        assert root.level == logging.DEBUG
+        for handler in ours:
+            root.removeHandler(handler)
+        root.setLevel(logging.NOTSET)
+
+
+# ----------------------------------------------------------------------
+class TestReport:
+    def _events(self) -> list[dict]:
+        events = [
+            {"type": "run_start", "ts": 100.0, "command": "train",
+             "config": {"dataset": "iris", "epochs": 3}, "git_sha": "abc1234"},
+        ]
+        for epoch in range(3):
+            events.append({
+                "type": "epoch", "ts": 101.0 + epoch, "epoch": epoch, "loss": 1.0 - 0.1 * epoch,
+                "power_w": 2e-4 - 1e-5 * epoch, "val_accuracy": 0.5 + 0.1 * epoch,
+                "feasible": epoch > 0, "lr": 0.1, "multiplier": 0.05 * epoch,
+                "phase": "constrained",
+            })
+        events.append({"type": "checkpoint", "ts": 103.5, "epoch": 2, "val_accuracy": 0.7,
+                       "power_w": 1.8e-4, "phase": "constrained"})
+        events.append({"type": "run_end", "ts": 104.0, "exit_code": 0, "duration_s": 4.0,
+                       "metrics": {"forward_calls": 6.0}})
+        return events
+
+    def test_render_contains_trajectory_and_metrics(self):
+        text = render_report(self._events(), source="test.jsonl")
+        assert "test.jsonl" in text
+        assert "abc1234" in text
+        assert "constrained" in text
+        assert "forward_calls" in text
+        assert "exit code 0" in text
+        # All three trajectory series render.
+        assert "val_acc" in text and "power_mW" in text and "λ" in text
+
+    def test_render_tolerates_unfinished_run(self):
+        events = self._events()[:2]  # run_start + one epoch, no run_end
+        text = render_report(events, source="partial.jsonl")
+        assert "partial.jsonl" in text
+
+    def test_render_report_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        logger = RunLogger(JsonlSink(path))
+        for event in self._events():
+            payload = {k: v for k, v in event.items() if k not in ("type", "ts")}
+            logger.emit(event["type"], **payload)
+        logger.close()
+        assert "run report" in render_report_file(path)
+
+    def test_render_empty_events(self):
+        text = render_report([], source="empty.jsonl")
+        assert "empty" in text.lower() or "no events" in text.lower()
+
+
+# ----------------------------------------------------------------------
+class TestCliIntegration:
+    def test_obs_flags_parse_on_every_subcommand(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for argv in (
+            ["datasets", "--profile"],
+            ["train", "iris", "--log-json", "r.jsonl", "-vv"],
+            ["circuits", "--metrics-out", "m.prom", "-q"],
+            ["report", "r.jsonl"],
+        ):
+            args = parser.parse_args(argv)
+            assert hasattr(args, "log_json")
+            assert hasattr(args, "profile")
+            assert hasattr(args, "metrics_out")
+
+    def test_datasets_run_emits_valid_run_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        run = tmp_path / "run.jsonl"
+        prom = tmp_path / "metrics.prom"
+        code = main(["datasets", "--log-json", str(run), "--metrics-out", str(prom), "--profile"])
+        assert code == 0
+        events = read_events(run)
+        types = [e["type"] for e in events]
+        assert types[0] == "run_start"
+        assert "profile" in types
+        assert types[-1] == "run_end"
+        assert events[-1]["exit_code"] == 0
+        assert prom.read_text().count("# TYPE") >= 5
+        capsys.readouterr()
+        assert main(["report", str(run)]) == 0
+        out = capsys.readouterr().out
+        assert "run report" in out
