@@ -183,6 +183,24 @@ class PrintedActivation(Module):
         return v_out
 
     # ------------------------------------------------------------------
+    def power_inputs(self, v_in: Tensor, batch_limit: int = 256) -> tuple[list[Tensor], Tensor, int, int]:
+        """Surrogate-ready inputs ``(q_columns, flat_v, batch, n)`` for a layer.
+
+        Applies the deterministic stride subsample down to ``batch_limit``
+        rows and flattens to the ``(batch·n, 1)`` voltage column the P^AF
+        surrogate expects.  Exposed so the network can stack several layers'
+        groups into one :meth:`SurrogatePowerModel.predict_tensor_batched`
+        call; the mean over ``reshape(batch, n)`` of the output reproduces
+        :meth:`power_per_circuit`.
+        """
+        batch, n = v_in.shape
+        if batch > batch_limit:
+            stride = batch // batch_limit
+            index = np.arange(0, batch, stride)[:batch_limit]
+            v_in = v_in[(index, slice(None))]
+            batch = len(index)
+        return self.q_tensors, v_in.reshape(batch * n, 1), batch, n
+
     def power_per_circuit(self, v_in: Tensor, batch_limit: int = 256) -> Tensor:
         """``(N,)`` batch-averaged power of each circuit in the layer (W).
 
@@ -191,18 +209,12 @@ class PrintedActivation(Module):
         mean, so subsampling changes variance, not bias, and keeps large
         datasets (e.g. pendigits) tractable.
         """
-        batch, n = v_in.shape
         if self.power_mode == "analytic":
             _, power = self.transfer.output_and_power(v_in, self.q_tensors)
             return power.mean(axis=0)
 
-        if batch > batch_limit:
-            stride = batch // batch_limit
-            index = np.arange(0, batch, stride)[:batch_limit]
-            v_in = v_in[(index, slice(None))]
-            batch = len(index)
-        flat = v_in.reshape(batch * n, 1)
-        powers = self.surrogate.predict_tensor(self.q_tensors, flat)
+        q_columns, flat, batch, n = self.power_inputs(v_in, batch_limit)
+        powers = self.surrogate.predict_tensor(q_columns, flat)
         return powers.reshape(batch, n).mean(axis=0)
 
     # ------------------------------------------------------------------

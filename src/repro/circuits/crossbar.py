@@ -26,10 +26,15 @@ import numpy as np
 from repro.autograd.tensor import Tensor
 from repro.autograd.nn import Module, Parameter
 from repro.autograd import init as pinit
+from repro.observability.metrics import get_registry
 from repro.pdk.params import PDK, DEFAULT_PDK
 from repro.power.crossbar_power import crossbar_power_matrix_signed
 
 _EPS_G = 1e-9  # µS; keeps the denominator strictly positive
+
+_EFFECTIVE_THETA_COMPUTES = get_registry().counter(
+    "effective_theta_computes", "materializations of a crossbar's masked θ (effective_theta calls)"
+)
 
 
 class CrossbarLayer(Module):
@@ -87,7 +92,15 @@ class CrossbarLayer(Module):
         self._positive_mask = None if force_positive is None else force_positive.astype(bool)
 
     def effective_theta(self) -> Tensor:
-        """θ after masks: pruned entries → 0, sign-forced entries → |θ|."""
+        """θ after masks: pruned entries → 0, sign-forced entries → |θ|.
+
+        Callers that need θ for several terms of the same step should
+        compute it once and pass it through the ``theta=`` parameter of
+        :meth:`forward` / :meth:`power` / :meth:`printed_resistor_count` —
+        the ``effective_theta_computes`` metrics counter tracks how often
+        the masked view is materialized.
+        """
+        _EFFECTIVE_THETA_COMPUTES.inc()
         theta: Tensor = self.theta
         if self._positive_mask is not None:
             positive = theta.abs()
@@ -107,25 +120,31 @@ class CrossbarLayer(Module):
 
         return concatenate([x, bias, ground], axis=1)
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, theta: Tensor | None = None) -> Tensor:
         """Crossbar output voltages ``(B, N)`` for inputs ``(B, M)``.
 
         With the ideal negation ``neg(V) = -V`` the numerator collapses to
         ``V_ext @ θ`` (|θ|·(−V) = θ·V for θ < 0), so the forward pass is a
         single matmul plus normalization.
+
+        ``theta`` accepts a precomputed :meth:`effective_theta` so one
+        materialization can serve forward, power and count terms of the
+        same step.
         """
         if x.shape[1] != self.in_features:
             raise ValueError(f"expected {self.in_features} inputs, got {x.shape[1]}")
-        theta = self.effective_theta()
+        if theta is None:
+            theta = self.effective_theta()
         v_ext = self.extend_inputs(x)
         numerator = v_ext @ theta
         denominator = theta.abs().sum(axis=0) + _EPS_G
         return numerator / denominator
 
     # ------------------------------------------------------------------
-    def power(self, x: Tensor, v_out: Tensor) -> Tensor:
+    def power(self, x: Tensor, v_out: Tensor, theta: Tensor | None = None) -> Tensor:
         """Batch-averaged crossbar dissipation P^C in watts (differentiable)."""
-        theta = self.effective_theta()
+        if theta is None:
+            theta = self.effective_theta()
         v_ext = self.extend_inputs(x)
         matrix = crossbar_power_matrix_signed(theta, v_ext, -v_ext, v_out)
         return matrix.sum()
@@ -146,8 +165,9 @@ class CrossbarLayer(Module):
         self.theta.data[-1, :] = np.abs(self.theta.data[-1, :])
 
     # ------------------------------------------------------------------
-    def printed_resistor_count(self, threshold: float | None = None) -> int:
+    def printed_resistor_count(self, threshold: float | None = None, theta: Tensor | None = None) -> int:
         """Number of crossbar resistors that must actually be printed."""
         threshold = self.pdk.prune_threshold_us if threshold is None else threshold
-        theta = self.effective_theta().data
-        return int((np.abs(theta) > threshold).sum())
+        if theta is None:
+            theta = self.effective_theta()
+        return int((np.abs(theta.data) > threshold).sum())

@@ -213,41 +213,111 @@ class PrintedNeuralNetwork(Module):
         threshold = self.config.pdk.prune_threshold_us
         straight = self.config.count_mode == "straight_through"
         crossbar_power = Tensor(0.0)
-        activation_power = Tensor(0.0)
-        negation_power = Tensor(0.0)
         health_penalty = Tensor(0.0)
         device_count = Tensor(0.0)
 
+        # Pass 1 — signal path.  θ is materialized once per layer and reused
+        # by every power/count term below (see effective_theta_computes).
+        per_layer: list[tuple[Tensor, Tensor, Tensor, CrossbarLayer, PrintedActivation]] = []
         signal = x
         for crossbar, activation in zip(self.crossbars(), self.activations()):
-            v_z = crossbar(signal)
             theta = crossbar.effective_theta()
-
-            crossbar_power = crossbar_power + crossbar.power(signal, v_z)
-            device_count = device_count + self._soft_devices(theta, activation)
-
-            # Negation circuits: one per input row with active negative θ.
-            if straight:
-                row_activity = straight_through_row_negativity(theta, threshold=threshold)
-            else:
-                row_activity = soft_row_negativity(theta, threshold=threshold)
-            negation_power = negation_power + self._negation_power(signal, crossbar, row_activity)
-
-            # Activation circuits: one per crossbar column.
-            if straight:
-                col_activity = straight_through_column_activity(theta, threshold=threshold)
-            else:
-                col_activity = soft_column_activity(theta, threshold=threshold)
-            per_circuit = activation.power_per_circuit(v_z, batch_limit=self.config.power_batch_limit)
-            activation_power = activation_power + (col_activity * per_circuit).sum()
-
+            v_z = crossbar.forward(signal, theta=theta)
+            per_layer.append((signal, v_z, theta, crossbar, activation))
             signal = activation(v_z)
             health_penalty = health_penalty + self._health_term(signal)
+
+        # Pass 2 — power assembly.  Crossbar power and activity coefficients
+        # stay per layer; the surrogate MLP evaluations are stacked across
+        # layers into one call per surrogate (P^AF, P^N) instead of two calls
+        # per layer — row-wise identical numbers, a fraction of the op count.
+        row_activities: list[Tensor] = []
+        col_activities: list[Tensor] = []
+        for layer_in, v_z, theta, crossbar, activation in per_layer:
+            crossbar_power = crossbar_power + crossbar.power(layer_in, v_z, theta=theta)
+            device_count = device_count + self._soft_devices(theta, activation)
+            # Negation circuits: one per input row with active negative θ;
+            # activation circuits: one per crossbar column.
+            if straight:
+                row_activities.append(straight_through_row_negativity(theta, threshold=threshold))
+                col_activities.append(straight_through_column_activity(theta, threshold=threshold))
+            else:
+                row_activities.append(soft_row_negativity(theta, threshold=threshold))
+                col_activities.append(soft_column_activity(theta, threshold=threshold))
+
+        if self.config.power_mode == "surrogate":
+            activation_power, negation_power = self._surrogate_powers(
+                per_layer, row_activities, col_activities
+            )
+        else:
+            activation_power = Tensor(0.0)
+            negation_power = Tensor(0.0)
+            for (layer_in, v_z, theta, crossbar, activation), row_activity, col_activity in zip(
+                per_layer, row_activities, col_activities
+            ):
+                negation_power = negation_power + self._negation_power(
+                    layer_in, crossbar, row_activity
+                )
+                per_circuit = activation.power_per_circuit(
+                    v_z, batch_limit=self.config.power_batch_limit
+                )
+                activation_power = activation_power + (col_activity * per_circuit).sum()
 
         self.signal_health = health_penalty
         self.soft_device_count = device_count
         logits = signal * self.logit_scale
         return logits, PowerBreakdown(crossbar_power, activation_power, negation_power)
+
+    def _surrogate_powers(
+        self,
+        per_layer: list[tuple[Tensor, Tensor, Tensor, CrossbarLayer, PrintedActivation]],
+        row_activities: list[Tensor],
+        col_activities: list[Tensor],
+    ) -> tuple[Tensor, Tensor]:
+        """Batched P^AF and P^N assembly over all layers (two MLP evals).
+
+        Stacking is purely an op-count optimization: the surrogate MLPs act
+        row-wise, so the per-layer slices of the stacked output are
+        numerically identical to per-layer ``predict_tensor`` calls, and the
+        accumulation below keeps the original layer order.
+        """
+        limit = self.config.power_batch_limit
+
+        # P^N — every layer shares the nominal negation design.
+        neg_groups: list[tuple[list[Tensor], Tensor]] = []
+        neg_shapes: list[tuple[int, int]] = []
+        for layer_in, _v_z, _theta, crossbar, _activation in per_layer:
+            q, flat, batch, rows = self._negation_inputs(layer_in, crossbar)
+            neg_groups.append((q, flat))
+            neg_shapes.append((batch, rows))
+        neg_outputs = self.neg_surrogate.predict_tensor_batched(neg_groups)
+        negation_power = Tensor(0.0)
+        for (batch, rows), output, row_activity in zip(neg_shapes, neg_outputs, row_activities):
+            per_row = output.reshape(batch, rows).mean(axis=0)
+            negation_power = negation_power + (row_activity * per_row).sum()
+
+        # P^AF — batched when all layers share one fitted surrogate (the
+        # standard construction); hand-assembled mixed-surrogate networks
+        # fall back to per-layer calls.
+        activations = [activation for *_rest, activation in per_layer]
+        shared = activations[0].surrogate
+        activation_power = Tensor(0.0)
+        if all(activation.surrogate is shared for activation in activations):
+            af_groups: list[tuple[list[Tensor], Tensor]] = []
+            af_shapes: list[tuple[int, int]] = []
+            for _layer_in, v_z, _theta, _crossbar, activation in per_layer:
+                q_columns, flat, batch, n = activation.power_inputs(v_z, batch_limit=limit)
+                af_groups.append((q_columns, flat))
+                af_shapes.append((batch, n))
+            af_outputs = shared.predict_tensor_batched(af_groups)
+            for (batch, n), output, col_activity in zip(af_shapes, af_outputs, col_activities):
+                per_circuit = output.reshape(batch, n).mean(axis=0)
+                activation_power = activation_power + (col_activity * per_circuit).sum()
+        else:
+            for (_layer_in, v_z, *_rest, activation), col_activity in zip(per_layer, col_activities):
+                per_circuit = activation.power_per_circuit(v_z, batch_limit=limit)
+                activation_power = activation_power + (col_activity * per_circuit).sum()
+        return activation_power, negation_power
 
     def _soft_devices(self, theta: Tensor, activation: PrintedActivation) -> Tensor:
         """Differentiable per-layer device count (hard forward, soft backward).
@@ -282,26 +352,38 @@ class PrintedNeuralNetwork(Module):
         shortfall = (Tensor(np.full(std.shape, floor)) - std).relu()
         return (shortfall * shortfall).mean()
 
-    def _negation_power(self, signal: Tensor, crossbar: CrossbarLayer, row_activity: Tensor) -> Tensor:
-        """Σ_i a_i · P^N(neg_q, V_i) over the crossbar's extended input rows."""
+    def _subsampled_extended_inputs(self, signal: Tensor, crossbar: CrossbarLayer) -> Tensor:
+        """The crossbar's extended inputs, stride-subsampled to the batch limit."""
         v_ext = crossbar.extend_inputs(signal)
-        batch, rows = v_ext.shape
+        batch = v_ext.shape[0]
         limit = self.config.power_batch_limit
         if batch > limit:
             stride = batch // limit
             index = np.arange(0, batch, stride)[:limit]
             v_ext = v_ext[(index, slice(None))]
-            batch = len(index)
+        return v_ext
+
+    def _negation_inputs(
+        self, signal: Tensor, crossbar: CrossbarLayer
+    ) -> tuple[list[Tensor], Tensor, int, int]:
+        """Surrogate-ready ``(q, flat_v, batch, rows)`` for one layer's P^N."""
+        v_ext = self._subsampled_extended_inputs(signal, crossbar)
+        batch, rows = v_ext.shape
+        q = [Tensor(v) for v in self.neg_q]
+        return q, v_ext.reshape(batch * rows, 1), batch, rows
+
+    def _negation_power(self, signal: Tensor, crossbar: CrossbarLayer, row_activity: Tensor) -> Tensor:
+        """Σ_i a_i · P^N(neg_q, V_i) over the crossbar's extended input rows."""
         if self.config.power_mode == "analytic":
             from repro.pdk.transfer import NegationModel
 
+            v_ext = self._subsampled_extended_inputs(signal, crossbar)
             model = NegationModel(pdk=self.config.pdk)
             q = [Tensor(v) for v in self.neg_q]
             _, per_sample = model.output_and_power(v_ext, q)
             per_row = per_sample.mean(axis=0)
         else:
-            flat = v_ext.reshape(batch * rows, 1)
-            q = [Tensor(v) for v in self.neg_q]
+            q, flat, batch, rows = self._negation_inputs(signal, crossbar)
             per_sample = self.neg_surrogate.predict_tensor(q, flat)
             per_row = per_sample.reshape(batch, rows).mean(axis=0)
         return (row_activity * per_row).sum()
@@ -327,7 +409,7 @@ class PrintedNeuralNetwork(Module):
         total = 0
         for crossbar, activation in zip(self.crossbars(), self.activations()):
             theta = crossbar.effective_theta()
-            total += crossbar.printed_resistor_count()
+            total += crossbar.printed_resistor_count(theta=theta)
             total += hard_negation_count(theta, threshold=threshold) * NEGATION_DEVICE_COUNT
             total += hard_activation_count(theta, threshold=threshold) * activation_device_count(
                 activation.kind

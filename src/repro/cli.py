@@ -84,6 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("dataset")
     sweep.add_argument("--n-alphas", type=int, default=6)
     sweep.add_argument("--n-seeds", type=int, default=2)
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the sweep runs (results identical to --jobs 1)")
     _add_common(sweep)
 
     grid = sub.add_parser("grid", help="Table I / Fig. 4 grid over datasets")
@@ -91,6 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--budgets", type=float, nargs="+", default=[0.2, 0.4, 0.6, 0.8])
     grid.add_argument("--seed", type=int, default=0)
     grid.add_argument("--epochs", type=int, default=300)
+    grid.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes for the grid cells (results identical to --jobs 1)")
 
     circuits = sub.add_parser("circuits", help="print the printed-AF circuit summary table")
 
@@ -100,6 +104,8 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--sigma-scale", type=float, default=1.0,
                     help="scale all variation sigmas by this factor")
     mc.add_argument("--budget-fraction", type=float, default=0.6)
+    mc.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes for the Monte-Carlo instances (results identical to --jobs 1)")
     _add_common(mc)
 
     report = sub.add_parser("report", help="render the summary of a recorded run (JSONL)")
@@ -203,7 +209,14 @@ def cmd_train(args, run_logger=None) -> int:
     return 0 if result.feasible else 1
 
 
-def cmd_sweep(args) -> int:
+def _task_progress(run_logger):
+    """The per-task progress callback wired into parallel experiment runs."""
+    from repro.parallel import TaskProgressReporter
+
+    return TaskProgressReporter(run_logger=run_logger, log=logger)
+
+
+def cmd_sweep(args, run_logger=None) -> int:
     from repro.evaluation.experiments import ExperimentConfig, run_pareto_comparison
     from repro.evaluation.figures import fig5_canvas
     from repro.evaluation.reporting import render_fig5_rows
@@ -214,6 +227,7 @@ def cmd_sweep(args) -> int:
     comparison = run_pareto_comparison(
         args.dataset, kind=ActivationKind.from_name(args.af),
         n_alphas=args.n_alphas, n_seeds=args.n_seeds, config=config,
+        n_jobs=args.jobs, progress=_task_progress(run_logger),
     )
     print(render_fig5_rows(comparison))
     budgets_mw = [r.budget_w * 1e3 for r in comparison.al_records]
@@ -221,13 +235,14 @@ def cmd_sweep(args) -> int:
     return 0
 
 
-def cmd_grid(args) -> int:
+def cmd_grid(args, run_logger=None) -> int:
     from repro.evaluation.experiments import ExperimentConfig, run_dataset_grid
     from repro.evaluation.reporting import render_table1, render_fig4_rows
 
     config = ExperimentConfig(epochs=args.epochs, patience=max(40, args.epochs // 4),
                               seed=args.seed, surrogate_n_q=800, surrogate_epochs=60)
-    records = run_dataset_grid(args.datasets, budget_fractions=tuple(args.budgets), config=config)
+    records = run_dataset_grid(args.datasets, budget_fractions=tuple(args.budgets), config=config,
+                               n_jobs=args.jobs, progress=_task_progress(run_logger))
     print(render_table1(records))
     print(render_fig4_rows(records))
     return 0
@@ -280,6 +295,7 @@ def cmd_montecarlo(args, run_logger=None) -> int:
     report = run_monte_carlo(
         net, split.x_test, split.y_test, spec, n_samples=args.samples,
         seed=args.seed, power_budget=budget, accuracy_floor=0.5,
+        n_jobs=args.jobs, progress=_task_progress(run_logger),
     )
     print(report.summary())
     return 0
@@ -305,9 +321,9 @@ def _dispatch(args, run_logger) -> int:
     if args.command == "train":
         return cmd_train(args, run_logger)
     if args.command == "sweep":
-        return cmd_sweep(args)
+        return cmd_sweep(args, run_logger)
     if args.command == "grid":
-        return cmd_grid(args)
+        return cmd_grid(args, run_logger)
     if args.command == "circuits":
         return cmd_circuits()
     if args.command == "montecarlo":

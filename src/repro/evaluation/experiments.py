@@ -22,6 +22,13 @@ import numpy as np
 
 from repro.circuits import PrintedNeuralNetwork, PNCConfig
 from repro.datasets import load_dataset, train_val_test_split, DataSplit
+from repro.parallel import (
+    BudgetTask,
+    MaxPowerTask,
+    NetworkSpec,
+    collect_values,
+    map_tasks,
+)
 from repro.pdk.params import ActivationKind, ALL_ACTIVATIONS
 from repro.power.surrogate import SurrogatePowerModel, get_cached_surrogate
 from repro.training import (
@@ -32,6 +39,12 @@ from repro.training import (
     penalty_pareto_sweep,
     pareto_front,
 )
+# Import the *function* explicitly from its defining module.  ``from
+# repro.training import finetune`` is ambiguous: ``finetune`` is both a
+# submodule and a re-exported function of the package, so the binding
+# depends on package import order — an alias that looked callable but could
+# resolve to the module.
+from repro.training.finetune import finetune as run_finetune
 from repro.training.penalty import ParetoSweepResult
 
 logger = logging.getLogger(__name__)
@@ -177,8 +190,6 @@ def run_budget_experiment(
             settings=config.trainer_settings(),
         )
         if config.finetune:
-            from repro.training import finetune as run_finetune
-
             tuned = run_finetune(
                 net,
                 split,
@@ -220,21 +231,36 @@ def run_dataset_grid(
     kinds: tuple[ActivationKind, ...] = ALL_ACTIVATIONS,
     budget_fractions: tuple[float, ...] = POWER_BUDGET_FRACTIONS,
     config: ExperimentConfig | None = None,
+    n_jobs: int = 1,
+    progress=None,
 ) -> list[BudgetRunRecord]:
-    """The full Table I / Fig. 4 grid over the given datasets."""
+    """The full Table I / Fig. 4 grid over the given datasets.
+
+    Runs in two phases so the budget anchor stays shared exactly as in the
+    serial protocol: phase 1 maps one unconstrained run per (dataset, AF)
+    to find each cell's maximum power; phase 2 maps one AL run per
+    (dataset, AF, budget fraction).  Both phases go through
+    :func:`repro.parallel.map_tasks`, so results are bit-identical for any
+    ``n_jobs`` and records come back in the serial iteration order.
+
+    ``progress`` is an optional ``(outcome, done, total)`` callback — see
+    :class:`repro.parallel.TaskProgressReporter`.  If any task fails, the
+    remaining tasks still run, then a
+    :class:`repro.parallel.TaskFailedError` naming every failed cell is
+    raised.
+    """
     config = config or ExperimentConfig()
-    records: list[BudgetRunRecord] = []
-    for dataset_name in dataset_names:
-        split = dataset_split(dataset_name, seed=config.seed)
-        for kind in kinds:
-            max_power, _ = unconstrained_max_power(dataset_name, kind, config, split=split)
-            for fraction in budget_fractions:
-                records.append(
-                    run_budget_experiment(
-                        dataset_name, kind, fraction, config, max_power_w=max_power, split=split
-                    )
-                )
-    return records
+    cells = [(dataset_name, kind) for dataset_name in dataset_names for kind in kinds]
+    max_tasks = [MaxPowerTask(dataset_name, kind, config) for dataset_name, kind in cells]
+    max_powers = collect_values(map_tasks(max_tasks, n_jobs=n_jobs, progress=progress))
+    anchor = dict(zip(cells, max_powers))
+
+    budget_tasks = [
+        BudgetTask(dataset_name, kind, fraction, anchor[(dataset_name, kind)], config)
+        for dataset_name, kind in cells
+        for fraction in budget_fractions
+    ]
+    return collect_values(map_tasks(budget_tasks, n_jobs=n_jobs, progress=progress))
 
 
 @dataclass
@@ -250,6 +276,17 @@ class ParetoComparison:
         return np.array([[r.accuracy, r.power_w] for r in self.al_records])
 
 
+def network_spec(dataset_name: str, kind: ActivationKind, config: ExperimentConfig) -> NetworkSpec:
+    """The picklable recipe matching :func:`make_network` + :func:`dataset_split`."""
+    return NetworkSpec(
+        dataset=dataset_name,
+        kind=kind,
+        surrogate_n_q=config.surrogate_n_q,
+        surrogate_epochs=config.surrogate_epochs,
+        split_seed=config.seed,
+    )
+
+
 def run_pareto_comparison(
     dataset_name: str,
     kind: ActivationKind = ActivationKind.TANH,
@@ -257,35 +294,35 @@ def run_pareto_comparison(
     n_seeds: int = 2,
     budget_fractions: tuple[float, ...] = POWER_BUDGET_FRACTIONS,
     config: ExperimentConfig | None = None,
+    n_jobs: int = 1,
+    progress=None,
 ) -> ParetoComparison:
     """Fig. 5: penalty sweep Pareto front vs single-run AL optima.
 
     Paper scale is ``n_alphas=50, n_seeds=10`` (500 runs); defaults are
-    reduced.  The AL side runs exactly one training per budget.
+    reduced.  The AL side runs exactly one training per budget.  Both the
+    sweep and the AL runs shard over ``n_jobs`` worker processes.
     """
     config = config or ExperimentConfig()
     split = dataset_split(dataset_name, seed=config.seed)
-    af, neg = _surrogates(kind, config)
-    dataset = load_dataset(dataset_name)
-
-    def make_net(seed: int) -> PrintedNeuralNetwork:
-        return PrintedNeuralNetwork(
-            dataset.n_features, dataset.n_classes, PNCConfig(kind=kind),
-            np.random.default_rng(seed), af, neg,
-        )
+    spec = network_spec(dataset_name, kind, config)
 
     sweep = penalty_pareto_sweep(
-        make_net,
+        spec.build,
         split,
         n_alphas=n_alphas,
         n_seeds=n_seeds,
         settings=config.trainer_settings(),
+        n_jobs=n_jobs,
+        net_spec=spec,
+        progress=progress,
     )
     front = pareto_front(sweep.points())
 
     max_power, _ = unconstrained_max_power(dataset_name, kind, config, split=split)
-    al_records = [
-        run_budget_experiment(dataset_name, kind, fraction, config, max_power_w=max_power, split=split)
+    al_tasks = [
+        BudgetTask(dataset_name, kind, fraction, max_power, config)
         for fraction in budget_fractions
     ]
+    al_records = collect_values(map_tasks(al_tasks, n_jobs=n_jobs, progress=progress))
     return ParetoComparison(dataset_name, sweep, front, al_records)

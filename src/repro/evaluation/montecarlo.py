@@ -85,39 +85,42 @@ class MonteCarloReport:
         return "\n".join(lines)
 
 
-def run_monte_carlo(
+def picklable_network(net: PrintedNeuralNetwork) -> PrintedNeuralNetwork:
+    """Prepare ``net`` for shipping to worker processes (in place).
+
+    After a grad-enabled forward the network caches graph tensors
+    (``signal_health``, ``soft_device_count``) whose backward closures are
+    unpicklable; reset them to leaves.  Parameters and buffers are plain
+    arrays and pickle fine.  Returns ``net`` for chaining.
+    """
+    net.signal_health = Tensor(0.0)
+    net.soft_device_count = Tensor(0.0)
+    return net
+
+
+def evaluate_instances(
     net: PrintedNeuralNetwork,
     x: np.ndarray,
     y: np.ndarray,
     spec: VariationSpec,
-    n_samples: int = 100,
-    seed: int = 0,
-    power_budget: float | None = None,
-    accuracy_floor: float = 0.0,
-) -> MonteCarloReport:
-    """Sample ``n_samples`` printed instances of ``net`` and evaluate each.
+    rngs: list[np.random.Generator],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate one printed instance of ``net`` per generator in ``rngs``.
 
-    The network's parameters are perturbed in place per instance and restored
-    afterwards; the caller's ``net`` is untouched on return.  Each instance
-    perturbs crossbar conductances, activation-circuit parameters, and the
-    shared EGT model card.
+    The worker-side core of the Monte-Carlo loop: each instance perturbs
+    crossbar conductances, activation-circuit parameters and the shared EGT
+    model card with *its own* generator, so results depend only on the
+    per-instance seed — not on which process or chunk evaluates it.  The
+    network is restored to its entry state before returning.
     """
-    rng = np.random.default_rng(seed)
     state = net.state_dict()
     x_t = Tensor(x)
     threshold = net.config.pdk.prune_threshold_us
-    logger.info("monte carlo: %d printed instances, seed %d", n_samples, seed)
-
-    with no_grad():
-        logits, breakdown = net.forward_with_power(x_t)
-    nominal_accuracy = F.accuracy(logits, y)
-    nominal_power = float(breakdown.total.data)
-
-    accuracies = np.empty(n_samples)
-    powers = np.empty(n_samples)
+    accuracies = np.empty(len(rngs))
+    powers = np.empty(len(rngs))
     nominal_models = [activation.transfer.model for activation in net.activations()]
     try:
-        for sample in range(n_samples):
+        for sample, rng in enumerate(rngs):
             net.load_state_dict(state)
             for crossbar in net.crossbars():
                 crossbar.theta.data = perturb_theta(
@@ -138,6 +141,63 @@ def run_monte_carlo(
         net.load_state_dict(state)
         for activation, nominal_model in zip(net.activations(), nominal_models):
             activation.transfer.model = nominal_model
+    return accuracies, powers
+
+
+def run_monte_carlo(
+    net: PrintedNeuralNetwork,
+    x: np.ndarray,
+    y: np.ndarray,
+    spec: VariationSpec,
+    n_samples: int = 100,
+    seed: int = 0,
+    power_budget: float | None = None,
+    accuracy_floor: float = 0.0,
+    n_jobs: int = 1,
+    progress=None,
+) -> MonteCarloReport:
+    """Sample ``n_samples`` printed instances of ``net`` and evaluate each.
+
+    The network's parameters are perturbed in place per instance and restored
+    afterwards; the caller's ``net`` is untouched on return.  Each instance
+    perturbs crossbar conductances, activation-circuit parameters, and the
+    shared EGT model card.
+
+    Each instance draws from its own generator spawned from one
+    ``SeedSequence(seed)``, so the report is identical for any ``n_jobs``
+    and any chunking of instances across worker processes.
+    """
+    x_t = Tensor(x)
+    logger.info("monte carlo: %d printed instances, seed %d, %d jobs", n_samples, seed, n_jobs)
+
+    with no_grad():
+        logits, breakdown = net.forward_with_power(x_t)
+    nominal_accuracy = F.accuracy(logits, y)
+    nominal_power = float(breakdown.total.data)
+
+    seed_seqs = np.random.SeedSequence(seed).spawn(n_samples)
+    if n_jobs <= 1:
+        rngs = [np.random.default_rng(ss) for ss in seed_seqs]
+        accuracies, powers = evaluate_instances(net, x, y, spec, rngs)
+    else:
+        from repro.parallel import MonteCarloChunkTask, collect_values, map_tasks
+
+        payload = picklable_network(net)
+        chunk = max(1, -(-n_samples // n_jobs))  # ceil division
+        tasks = [
+            MonteCarloChunkTask(
+                net=payload,
+                x=x,
+                y=y,
+                variation=spec,
+                seed_seqs=tuple(seed_seqs[start:start + chunk]),
+                start=start,
+            )
+            for start in range(0, n_samples, chunk)
+        ]
+        chunks = collect_values(map_tasks(tasks, n_jobs=n_jobs, progress=progress))
+        accuracies = np.concatenate([acc for acc, _ in chunks])
+        powers = np.concatenate([pow_ for _, pow_ in chunks])
 
     return MonteCarloReport(
         accuracies=accuracies,

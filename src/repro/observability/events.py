@@ -58,6 +58,17 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[type, ...]]] = {
     },
     # The run transitioned from feasible to violating the budget.
     "infeasible": {"epoch": (int,), "power_w": (float, int), "phase": (str,)},
+    # One mapped experiment task completed (grid cell, sweep point,
+    # Monte-Carlo chunk) — emitted by the parallel engine's progress
+    # reporter in the coordinating process.
+    "task": {
+        "index": (int,),
+        "label": (str,),
+        "status": (str,),
+        "duration_s": (float, int),
+        "done": (int,),
+        "total": (int,),
+    },
     # Span-profiler breakdown (emitted once, when --profile is active).
     "profile": {"spans": (list,)},
     # One per process; carries the exit code and a metrics snapshot.
@@ -67,6 +78,7 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[type, ...]]] = {
 #: Optional payload fields per event type.
 OPTIONAL_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
     "epoch": {"multiplier": (float, int, type(None))},
+    "task": {"error": (str,), "worker_pid": (int,)},
     "run_end": {"metrics": (dict,)},
 }
 

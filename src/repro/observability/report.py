@@ -123,6 +123,20 @@ def render_report(events: list[dict], source: str = "") -> str:
         )
         sections.append("\n".join(lines))
 
+    tasks = [e for e in events if e["type"] == "task"]
+    if tasks:
+        failed = [e for e in tasks if e["status"] != "ok"]
+        total_s = sum(e["duration_s"] for e in tasks)
+        lines = [
+            f"tasks: {len(tasks) - len(failed)} ok, {len(failed)} failed "
+            f"({total_s:.1f} task-seconds)"
+        ]
+        for e in failed[:5]:
+            lines.append(f"  FAILED {e['label']}: {e.get('error', '(no detail)')}")
+        if len(failed) > 5:
+            lines.append(f"  ... and {len(failed) - 5} more failures")
+        sections.append("\n".join(lines))
+
     transitions = [
         e for e in events if e["type"] in ("lr_drop", "multiplier_update", "checkpoint", "infeasible")
     ]

@@ -1,0 +1,40 @@
+"""Process-pool experiment execution engine (see :mod:`repro.parallel.engine`).
+
+Public surface::
+
+    from repro.parallel import map_tasks, TaskOutcome, TaskError
+    from repro.parallel import MaxPowerTask, BudgetTask, PenaltyTask, NetworkSpec
+    from repro.parallel import TaskProgressReporter
+"""
+
+from repro.parallel.engine import (
+    ExperimentTask,
+    TaskError,
+    TaskFailedError,
+    TaskOutcome,
+    collect_values,
+    map_tasks,
+)
+from repro.parallel.progress import TaskProgressReporter
+from repro.parallel.tasks import (
+    BudgetTask,
+    MaxPowerTask,
+    MonteCarloChunkTask,
+    NetworkSpec,
+    PenaltyTask,
+)
+
+__all__ = [
+    "ExperimentTask",
+    "TaskError",
+    "TaskFailedError",
+    "TaskOutcome",
+    "collect_values",
+    "map_tasks",
+    "TaskProgressReporter",
+    "BudgetTask",
+    "MaxPowerTask",
+    "MonteCarloChunkTask",
+    "NetworkSpec",
+    "PenaltyTask",
+]

@@ -1,0 +1,218 @@
+"""Process-pool experiment execution core.
+
+The paper's evaluation is a large population of *independent* training
+runs (dataset × AF × budget grid cells, penalty-sweep points, Monte-Carlo
+instances).  :func:`map_tasks` farms such a population across worker
+processes with three guarantees:
+
+- **Determinism** — a task is a picklable value object carrying every
+  input of its computation (dataset name, activation kind, seeds,
+  config); workers rebuild state from the task alone, so results are
+  bit-identical whether a task runs in-process (``n_jobs=1``), in any
+  worker, or in any order.
+- **Ordered collection** — results come back in submission order
+  regardless of completion order.
+- **Crash isolation** — a task that raises (or whose worker dies)
+  produces a structured :class:`TaskError` record in its slot; the
+  remaining tasks still run and the pool is never left dead from the
+  caller's perspective.
+
+``n_jobs=1`` is a true serial fallback: the same task objects run inline
+in the calling process, with no executor and no pickling.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Callable, Protocol, Sequence
+
+logger = logging.getLogger(__name__)
+
+#: Environment variable overriding the multiprocessing start method.
+MP_START_ENV = "REPRO_MP_START"
+
+
+class ExperimentTask(Protocol):
+    """A picklable unit of work: ``run()`` plus a human-readable label."""
+
+    @property
+    def label(self) -> str:  # pragma: no cover - protocol
+        ...
+
+    def run(self) -> Any:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """Structured record of one failed task (picklable, JSON-friendly)."""
+
+    label: str
+    error_type: str
+    message: str
+    traceback_text: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.label}: {self.error_type}: {self.message}"
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """One slot of :func:`map_tasks`' result list (submission order)."""
+
+    index: int
+    label: str
+    ok: bool
+    value: Any = None
+    error: TaskError | None = None
+    duration_s: float = 0.0
+    worker_pid: int = 0
+
+
+class TaskFailedError(RuntimeError):
+    """Raised by wiring helpers when a mapped population had failures."""
+
+    def __init__(self, errors: Sequence[TaskError]):
+        self.errors = list(errors)
+        summary = "; ".join(str(e) for e in self.errors[:3])
+        more = f" (+{len(self.errors) - 3} more)" if len(self.errors) > 3 else ""
+        super().__init__(f"{len(self.errors)} task(s) failed: {summary}{more}")
+
+
+def _execute(index: int, task: ExperimentTask) -> TaskOutcome:
+    """Run one task, capturing any exception as a :class:`TaskError`.
+
+    Top-level so it is picklable; runs in the worker (or inline for the
+    serial fallback).  Only ``Exception`` is caught — ``KeyboardInterrupt``
+    and worker death propagate and are handled at collection time.
+    """
+    label = getattr(task, "label", repr(task))
+    started = perf_counter()
+    try:
+        value = task.run()
+    except Exception as exc:
+        return TaskOutcome(
+            index=index,
+            label=label,
+            ok=False,
+            error=TaskError(
+                label=label,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback_text=traceback.format_exc(),
+            ),
+            duration_s=perf_counter() - started,
+            worker_pid=os.getpid(),
+        )
+    return TaskOutcome(
+        index=index,
+        label=label,
+        ok=True,
+        value=value,
+        duration_s=perf_counter() - started,
+        worker_pid=os.getpid(),
+    )
+
+
+def _mp_context():
+    """The multiprocessing context for worker pools.
+
+    ``fork`` (where available) keeps worker start cheap and lets workers
+    inherit the parent's in-memory surrogate cache; ``spawn`` is the
+    fallback.  Override with ``REPRO_MP_START=spawn|fork|forkserver``.
+    """
+    import multiprocessing
+
+    requested = os.environ.get(MP_START_ENV, "")
+    methods = multiprocessing.get_all_start_methods()
+    if requested:
+        if requested not in methods:
+            raise ValueError(f"{MP_START_ENV}={requested!r} not in {methods}")
+        return multiprocessing.get_context(requested)
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def map_tasks(
+    tasks: Sequence[ExperimentTask],
+    n_jobs: int = 1,
+    progress: Callable[[TaskOutcome, int, int], None] | None = None,
+) -> list[TaskOutcome]:
+    """Run ``tasks`` across ``n_jobs`` processes; results in task order.
+
+    Parameters
+    ----------
+    tasks:
+        Picklable task objects (``run()`` + ``label``).
+    n_jobs:
+        ``1`` runs every task inline (serial fallback, no pickling);
+        ``> 1`` uses a :class:`ProcessPoolExecutor`.  Values above the
+        task count are clamped.
+    progress:
+        Optional callback ``(outcome, done, total)`` invoked in the
+        calling process as each result is collected (collection is in
+        submission order, so ``done`` counts monotonically).
+
+    Returns
+    -------
+    list[TaskOutcome]
+        One outcome per task, in submission order.  Failed tasks carry a
+        :class:`TaskError` instead of a value; a dead worker process
+        (e.g. OOM-killed) yields error records for the affected tasks
+        rather than an exception.
+    """
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    total = len(tasks)
+    outcomes: list[TaskOutcome] = []
+    if total == 0:
+        return outcomes
+    n_jobs = min(n_jobs, total)
+
+    if n_jobs == 1:
+        for index, task in enumerate(tasks):
+            outcome = _execute(index, task)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome, index + 1, total)
+        return outcomes
+
+    logger.info("mapping %d tasks over %d worker processes", total, n_jobs)
+    with ProcessPoolExecutor(max_workers=n_jobs, mp_context=_mp_context()) as pool:
+        futures = [pool.submit(_execute, index, task) for index, task in enumerate(tasks)]
+        for index, future in enumerate(futures):
+            try:
+                outcome = future.result()
+            except Exception as exc:
+                # The worker died before returning (BrokenProcessPool,
+                # unpicklable result, ...).  Record it and keep collecting:
+                # the remaining futures either completed before the break
+                # or resolve to the same structured record.
+                label = getattr(tasks[index], "label", repr(tasks[index]))
+                logger.error("task %s lost its worker: %s", label, exc)
+                outcome = TaskOutcome(
+                    index=index,
+                    label=label,
+                    ok=False,
+                    error=TaskError(
+                        label=label,
+                        error_type=type(exc).__name__,
+                        message=str(exc) or "worker process died before returning a result",
+                    ),
+                )
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome, index + 1, total)
+    return outcomes
+
+
+def collect_values(outcomes: Sequence[TaskOutcome]) -> list[Any]:
+    """Values of an all-successful outcome list; raises on any failure."""
+    errors = [o.error for o in outcomes if not o.ok]
+    if errors:
+        raise TaskFailedError(errors)
+    return [o.value for o in outcomes]

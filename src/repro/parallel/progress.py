@@ -1,0 +1,63 @@
+"""Per-task progress surfaced through the PR-1 observability layer.
+
+:class:`TaskProgressReporter` is a :func:`repro.parallel.map_tasks`
+``progress`` callback that fans each collected :class:`TaskOutcome` into
+
+- the logging system (one INFO line per task, ERROR for failures),
+- validated ``"task"`` run events on an optional
+  :class:`~repro.observability.events.RunLogger`,
+- the global metrics registry (``parallel_tasks_completed`` /
+  ``parallel_tasks_failed`` counters).
+
+It runs in the coordinating process only, so sinks need not be
+process-safe.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.observability.events import RunLogger
+from repro.observability.metrics import get_registry
+from repro.parallel.engine import TaskOutcome
+
+logger = logging.getLogger(__name__)
+
+_TASKS_COMPLETED = get_registry().counter(
+    "parallel_tasks_completed", "experiment tasks finished successfully by map_tasks"
+)
+_TASKS_FAILED = get_registry().counter(
+    "parallel_tasks_failed", "experiment tasks that returned a structured error record"
+)
+
+
+class TaskProgressReporter:
+    """Log + emit + count each task outcome as the engine collects it."""
+
+    def __init__(self, run_logger: RunLogger | None = None, log: logging.Logger | None = None):
+        self.run_logger = run_logger
+        self.log = log or logger
+
+    def __call__(self, outcome: TaskOutcome, done: int, total: int) -> None:
+        if outcome.ok:
+            _TASKS_COMPLETED.inc()
+            self.log.info(
+                "[%d/%d] %s done in %.1fs (pid %d)",
+                done, total, outcome.label, outcome.duration_s, outcome.worker_pid,
+            )
+        else:
+            _TASKS_FAILED.inc()
+            self.log.error("[%d/%d] %s FAILED: %s", done, total, outcome.label, outcome.error)
+        if self.run_logger is not None and self.run_logger.enabled:
+            fields = dict(
+                index=outcome.index,
+                label=outcome.label,
+                status="ok" if outcome.ok else "error",
+                duration_s=outcome.duration_s,
+                done=done,
+                total=total,
+                worker_pid=outcome.worker_pid,
+            )
+            if outcome.error is not None:
+                fields["error"] = str(outcome.error)
+            self.run_logger.emit("task", **fields)

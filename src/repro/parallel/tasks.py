@@ -1,0 +1,181 @@
+"""Picklable task specs for the experiment populations of §IV.
+
+Each task is a frozen dataclass holding only plain values (dataset name,
+:class:`~repro.pdk.params.ActivationKind`, seeds, config dataclasses) so it
+pickles cheaply into workers; ``run()`` lazily imports the heavy modules
+(``repro.evaluation`` / ``repro.training``) to keep this module free of
+import cycles and to let ``spawn``-started workers import on first use.
+
+Workers rebuild *everything* — dataset, split, network, surrogates — from
+the task fields with the same seeded constructors the serial code uses, so
+a task's result is bit-identical no matter which process runs it.
+Surrogates come from :func:`repro.power.surrogate.get_cached_surrogate`,
+whose on-disk cache is shared across workers (atomic write + lock, see
+that module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.pdk.params import ActivationKind
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.circuits.pnc import PrintedNeuralNetwork
+    from repro.datasets.splits import DataSplit
+    from repro.evaluation.experiments import BudgetRunRecord, ExperimentConfig
+    from repro.pdk.variation import VariationSpec
+    from repro.training.trainer import TrainerSettings, TrainResult
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Recipe for rebuilding a network + split inside a worker.
+
+    Replaces the unpicklable ``make_net(seed)`` closures: carries the
+    dataset name, activation kind, surrogate fit parameters and the split
+    seed — everything needed to reconstruct the same
+    :class:`PrintedNeuralNetwork` and :class:`DataSplit` in any process.
+    """
+
+    dataset: str
+    kind: ActivationKind
+    surrogate_n_q: int = 1500
+    surrogate_epochs: int = 120
+    split_seed: int = 0
+
+    def surrogates(self):
+        from repro.power.surrogate import get_cached_surrogate
+
+        af = get_cached_surrogate(self.kind, n_q=self.surrogate_n_q, epochs=self.surrogate_epochs)
+        neg = get_cached_surrogate(
+            "negation", n_q=self.surrogate_n_q // 2, epochs=self.surrogate_epochs
+        )
+        return af, neg
+
+    def build(self, seed: int) -> "PrintedNeuralNetwork":
+        from repro.circuits import PNCConfig, PrintedNeuralNetwork
+        from repro.datasets import load_dataset
+
+        dataset = load_dataset(self.dataset)
+        af, neg = self.surrogates()
+        return PrintedNeuralNetwork(
+            dataset.n_features,
+            dataset.n_classes,
+            PNCConfig(kind=self.kind),
+            np.random.default_rng(seed),
+            af,
+            neg,
+        )
+
+    def split(self) -> "DataSplit":
+        from repro.datasets import load_dataset, train_val_test_split
+
+        return train_val_test_split(load_dataset(self.dataset), seed=self.split_seed)
+
+
+@dataclass(frozen=True)
+class MaxPowerTask:
+    """Phase-1 grid cell: unconstrained training → maximum power anchor."""
+
+    dataset: str
+    kind: ActivationKind
+    config: "ExperimentConfig"
+
+    @property
+    def label(self) -> str:
+        return f"maxpower:{self.dataset}:{self.kind.value}"
+
+    def run(self) -> float:
+        from repro.evaluation.experiments import dataset_split, unconstrained_max_power
+
+        split = dataset_split(self.dataset, seed=self.config.seed)
+        max_power, _ = unconstrained_max_power(self.dataset, self.kind, self.config, split=split)
+        return max_power
+
+
+@dataclass(frozen=True)
+class BudgetTask:
+    """Phase-2 grid cell: one AL run at a fraction of the max power."""
+
+    dataset: str
+    kind: ActivationKind
+    budget_fraction: float
+    max_power_w: float
+    config: "ExperimentConfig"
+
+    @property
+    def label(self) -> str:
+        return f"budget:{self.dataset}:{self.kind.value}:{self.budget_fraction:g}"
+
+    def run(self) -> "BudgetRunRecord":
+        from repro.evaluation.experiments import dataset_split, run_budget_experiment
+
+        split = dataset_split(self.dataset, seed=self.config.seed)
+        return run_budget_experiment(
+            self.dataset,
+            self.kind,
+            self.budget_fraction,
+            self.config,
+            max_power_w=self.max_power_w,
+            split=split,
+        )
+
+
+@dataclass(frozen=True)
+class PenaltyTask:
+    """One penalty-baseline run (α, seed) of the Fig. 5 sweep."""
+
+    spec: NetworkSpec
+    alpha: float
+    seed: int
+    reference_power: float = 1.0e-3
+    settings: "TrainerSettings | None" = None
+
+    @property
+    def label(self) -> str:
+        return f"penalty:{self.spec.dataset}:a{self.alpha:.4f}:s{self.seed}"
+
+    def run(self) -> "TrainResult":
+        from repro.training.penalty import train_penalty
+
+        net = self.spec.build(self.seed)
+        split = self.spec.split()
+        return train_penalty(
+            net,
+            split,
+            alpha=float(self.alpha),
+            reference_power=self.reference_power,
+            settings=self.settings,
+        )
+
+
+@dataclass(frozen=True)
+class MonteCarloChunkTask:
+    """A contiguous chunk of Monte-Carlo instances of one trained net.
+
+    The network travels by pickle (prepared via
+    :func:`repro.evaluation.montecarlo.picklable_network`); each instance
+    gets its own pre-spawned :class:`numpy.random.SeedSequence`, so results
+    do not depend on how instances are chunked across workers.
+    """
+
+    net: Any  # PrintedNeuralNetwork (Any keeps the dataclass pickle-simple)
+    x: np.ndarray
+    y: np.ndarray
+    variation: "VariationSpec"
+    seed_seqs: tuple
+    start: int
+
+    @property
+    def label(self) -> str:
+        return f"montecarlo:{self.start}+{len(self.seed_seqs)}"
+
+    def run(self) -> tuple[np.ndarray, np.ndarray]:
+        from repro.evaluation.montecarlo import evaluate_instances
+
+        rngs = [np.random.default_rng(ss) for ss in self.seed_seqs]
+        return evaluate_instances(self.net, self.x, self.y, self.variation, rngs)

@@ -16,8 +16,10 @@ refitting.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import os
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -147,7 +149,47 @@ class SurrogatePowerModel:
         with span("surrogate.predict_tensor"):
             return self._predict_tensor(q_columns, v_in)
 
-    def _predict_tensor(self, q_columns: list[Tensor], v_in: Tensor) -> Tensor:
+    def predict_tensor_batched(self, groups: list[tuple[list[Tensor], Tensor]]) -> list[Tensor]:
+        """Differentiable prediction of several ``(q_columns, v_in)`` groups
+        through **one** stacked MLP evaluation.
+
+        The groups' feature rows are concatenated along axis 0, the network
+        runs once on the stack, and the output is sliced back per group —
+        numerically identical to calling :meth:`predict_tensor` per group
+        (row-wise ops throughout the MLP) but paying the Python/op overhead
+        of the ~10-layer network a single time.  All groups must target this
+        surrogate, i.e. share its design space.
+
+        Returns one ``(n_i, 1)`` power tensor per input group.
+        """
+        if len(groups) == 1:
+            return [self.predict_tensor(*groups[0])]
+        _SURROGATE_EVALS.inc()
+        with span("surrogate.predict_tensor"):
+            per_group: list[list[Tensor]] = []
+            sizes: list[int] = []
+            for q_columns, v_in in groups:
+                per_group.append(self._expand_columns(q_columns, v_in))
+                sizes.append(v_in.shape[0])
+            n_columns = len(per_group[0])
+            if any(len(cols) != n_columns for cols in per_group):
+                raise ValueError("batched groups disagree on feature count")
+            stacked = [
+                concatenate([cols[i] for cols in per_group], axis=0)
+                for i in range(n_columns)
+            ]
+            normalized = self.normalization.apply_tensor_columns(stacked)
+            features = concatenate(normalized, axis=1)
+            power = (self.network(features) * LN10).exp()
+            outputs: list[Tensor] = []
+            offset = 0
+            for size in sizes:
+                outputs.append(power[(slice(offset, offset + size), slice(None))])
+                offset += size
+            return outputs
+
+    def _expand_columns(self, q_columns: list[Tensor], v_in: Tensor) -> list[Tensor]:
+        """The ``(n, 1)`` feature columns (q..., v) of one prediction group."""
         n = v_in.shape[0]
         ones = Tensor(np.ones((n, 1)))
         expanded = []
@@ -157,6 +199,10 @@ class SurrogatePowerModel:
             else:
                 expanded.append(col.reshape(n, 1))
         expanded.append(v_in.reshape(n, 1))
+        return expanded
+
+    def _predict_tensor(self, q_columns: list[Tensor], v_in: Tensor) -> Tensor:
+        expanded = self._expand_columns(q_columns, v_in)
         normalized = self.normalization.apply_tensor_columns(expanded)
         features = concatenate(normalized, axis=1)
         log_power = self.network(features)
@@ -164,7 +210,13 @@ class SurrogatePowerModel:
 
     # ------------------------------------------------------------------
     def save(self, path: Path) -> None:
-        """Serialize the surrogate (weights + normalization) to ``.npz``."""
+        """Serialize the surrogate (weights + normalization) to ``.npz``.
+
+        The write is atomic: the payload goes to a temp file in the same
+        directory which is then ``os.replace``d onto ``path``, so a
+        concurrent reader sees either the old file, the new file, or no
+        file — never a partial one.
+        """
         payload: dict[str, np.ndarray] = {}
         for name, param in self.network.named_parameters():
             payload[f"param::{name}"] = param.data
@@ -182,8 +234,17 @@ class SurrogatePowerModel:
                     float(self.report.n_samples),
                 ]
             )
+        path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez(path, **payload)
+        # np.savez appends ".npz" to bare paths; writing through an open file
+        # handle keeps the temp name exactly as chosen.
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **payload)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     def _layer_sizes(self) -> list[int]:
         sizes = []
@@ -199,9 +260,21 @@ def _build_network(layer_sizes: list[int], rng: np.random.Generator) -> nn.Seque
     return nn.mlp(layer_sizes[0], layer_sizes[1:-1], layer_sizes[-1], rng=rng, activation=nn.TanhLayer)
 
 
+#: Keys every saved surrogate must contain; used to validate cache files.
+_REQUIRED_KEYS = ("meta::layers", "norm::log_mask", "norm::mean", "norm::std")
+
+
 def load_surrogate(path: Path, space: DesignSpace, label: str = "") -> SurrogatePowerModel:
-    """Load a surrogate previously written by :meth:`SurrogatePowerModel.save`."""
+    """Load a surrogate previously written by :meth:`SurrogatePowerModel.save`.
+
+    Raises ``ValueError`` when the file exists but lacks the expected
+    payload (e.g. a truncated write from a crashed process); I/O-level
+    corruption surfaces as the underlying ``OSError``/``zipfile`` error.
+    """
     with np.load(path) as payload:
+        missing = [key for key in _REQUIRED_KEYS if key not in payload.files]
+        if missing:
+            raise ValueError(f"surrogate file {path} is missing keys: {missing}")
         layer_sizes = [int(x) for x in payload["meta::layers"]]
         rng = np.random.default_rng(0)
         network = _build_network(layer_sizes, rng)
@@ -296,6 +369,44 @@ def fit_surrogate(
 
 _MEMORY_CACHE: dict[str, SurrogatePowerModel] = {}
 
+#: Errors that mean "this cache file is unusable, refit instead of crashing":
+#: truncated zip archives, missing keys, wrong shapes, half-written headers.
+_CACHE_READ_ERRORS = (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile)
+
+
+def _load_cached(path: Path, space: DesignSpace, label: str) -> SurrogatePowerModel | None:
+    """Load a cache file, or ``None`` when absent or unreadable."""
+    if not path.exists():
+        return None
+    try:
+        model = load_surrogate(path, space, label=label)
+    except _CACHE_READ_ERRORS as exc:
+        logger.warning("discarding unreadable surrogate cache %s (%s: %s)", path, type(exc).__name__, exc)
+        return None
+    logger.debug("surrogate cache hit on disk: %s", path)
+    return model
+
+
+@contextlib.contextmanager
+def _surrogate_lock(key: str):
+    """Advisory inter-process lock for fitting the surrogate ``key``.
+
+    Uses ``fcntl.flock`` on a sidecar ``.lock`` file so N workers that miss
+    the cache simultaneously fit once, not N times.  On platforms without
+    ``fcntl`` the lock degrades to a no-op — the atomic write in
+    :meth:`SurrogatePowerModel.save` keeps that safe (merely wasteful).
+    """
+    lock_path = _cache_dir() / f"surrogate-{key}.lock"
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(lock_path, "w") as fh:
+        try:
+            import fcntl
+
+            fcntl.flock(fh, fcntl.LOCK_EX)
+        except (ImportError, OSError):
+            pass
+        yield  # closing fh releases the flock
+
 
 def get_cached_surrogate(
     kind: ActivationKind | str,
@@ -304,9 +415,15 @@ def get_cached_surrogate(
     seed: int = 0,
     refresh: bool = False,
 ) -> SurrogatePowerModel:
-    """Fetch (memory → disk → fit) the surrogate for an activation kind.
+    """Fetch (memory → disk-with-lock → fit) the surrogate for a kind.
 
     Pass ``kind="negation"`` for the negation-circuit surrogate P^N.
+
+    Safe under concurrent callers across processes: a fit is guarded by an
+    advisory file lock (re-checking the disk cache after acquiring it, so
+    lock waiters load the winner's file instead of refitting), and the
+    cache file itself is written atomically, so readers never see a
+    partial ``.npz``.
     """
     if isinstance(kind, ActivationKind):
         key_name = kind.name.lower()
@@ -322,20 +439,27 @@ def get_cached_surrogate(
     else:
         space = design_space(ActivationKind.from_name(key_name) if not isinstance(kind, ActivationKind) else kind)
 
-    if not refresh and path.exists():
-        logger.debug("surrogate cache hit on disk: %s", path)
-        model = load_surrogate(path, space, label=key_name)
-        _MEMORY_CACHE[key] = model
-        return model
+    if not refresh:
+        model = _load_cached(path, space, key_name)
+        if model is not None:
+            _MEMORY_CACHE[key] = model
+            return model
 
-    logger.debug("surrogate cache miss for %s; fitting from scratch", key)
-
-    if key_name == "negation":
-        dataset = generate_negation_dataset(n_q=n_q, seed=seed)
-    else:
-        enum_kind = kind if isinstance(kind, ActivationKind) else ActivationKind.from_name(key_name)
-        dataset = generate_power_dataset(enum_kind, n_q=n_q, seed=seed)
-    model = fit_surrogate(dataset, epochs=epochs, seed=seed, label=key_name)
-    model.save(path)
+    with _surrogate_lock(key):
+        # Double-check under the lock: another process may have fitted and
+        # published the file while this one waited.
+        if not refresh:
+            model = _load_cached(path, space, key_name)
+            if model is not None:
+                _MEMORY_CACHE[key] = model
+                return model
+        logger.debug("surrogate cache miss for %s; fitting from scratch", key)
+        if key_name == "negation":
+            dataset = generate_negation_dataset(n_q=n_q, seed=seed)
+        else:
+            enum_kind = kind if isinstance(kind, ActivationKind) else ActivationKind.from_name(key_name)
+            dataset = generate_power_dataset(enum_kind, n_q=n_q, seed=seed)
+        model = fit_surrogate(dataset, epochs=epochs, seed=seed, label=key_name)
+        model.save(path)
     _MEMORY_CACHE[key] = model
     return model

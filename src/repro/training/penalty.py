@@ -92,6 +92,9 @@ class ParetoSweepResult:
     alphas: list[float]
     seeds: list[int]
     results: list[TrainResult] = field(default_factory=list)
+    #: structured records of runs that failed (parallel sweeps only; a
+    #: crashed (α, seed) point is isolated instead of killing the sweep)
+    errors: list = field(default_factory=list)
 
     def points(self) -> np.ndarray:
         """``(n, 2)`` array of (test_accuracy, power_W) per run."""
@@ -110,17 +113,53 @@ def penalty_pareto_sweep(
     alpha_range: tuple[float, float] = (0.0, 1.0),
     reference_power: float = 1.0e-3,
     settings: TrainerSettings | None = None,
+    n_jobs: int = 1,
+    net_spec=None,
+    progress=None,
 ) -> ParetoSweepResult:
     """The baseline's multi-run sweep: ``n_alphas × n_seeds`` trainings.
 
     ``make_net`` receives a seed and returns a freshly initialized network,
     mirroring the paper's "10 different seeds" protocol.  Paper scale is
     50 × 10 = 500 runs; callers shrink both for tractable benchmarks.
+
+    Sharding the sweep over processes needs a picklable substitute for the
+    ``make_net`` closure: pass a :class:`repro.parallel.NetworkSpec` as
+    ``net_spec`` (whose ``build``/``split`` must describe the same network
+    and split).  With ``net_spec`` set, every (α, seed) point runs as a
+    mapped task — the ``n_jobs=1`` case included, so serial and parallel
+    sweeps execute identical code paths.  A failed point lands in
+    ``result.errors`` instead of aborting the sweep.  ``progress`` is the
+    per-task callback of :func:`repro.parallel.map_tasks`.
     """
     alphas = list(np.linspace(alpha_range[0], alpha_range[1], n_alphas))
     seeds = list(range(n_seeds))
     sweep = ParetoSweepResult(alphas=alphas, seeds=seeds)
     logger.info("penalty Pareto sweep: %d α values × %d seeds = %d runs", n_alphas, n_seeds, n_alphas * n_seeds)
+
+    if net_spec is not None:
+        from repro.parallel import PenaltyTask, map_tasks
+
+        tasks = [
+            PenaltyTask(
+                spec=net_spec,
+                alpha=float(alpha),
+                seed=seed,
+                reference_power=reference_power,
+                settings=settings,
+            )
+            for alpha in alphas
+            for seed in seeds
+        ]
+        for outcome in map_tasks(tasks, n_jobs=n_jobs, progress=progress):
+            if outcome.ok:
+                sweep.results.append(outcome.value)
+            else:
+                sweep.errors.append(outcome.error)
+        return sweep
+
+    if n_jobs != 1:
+        raise ValueError("n_jobs > 1 requires net_spec (make_net closures cannot be pickled)")
     for alpha in alphas:
         for seed in seeds:
             logger.debug("penalty run α=%.4f seed=%d", alpha, seed)

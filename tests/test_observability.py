@@ -59,6 +59,10 @@ class TestEventSchema:
             "checkpoint": {"epoch": 7, "val_accuracy": 0.9, "power_w": 1e-4, "phase": "constrained"},
             "infeasible": {"epoch": 4, "power_w": 2e-4, "phase": "constrained"},
             "profile": {"spans": [{"path": "a/b", "count": 1, "total_s": 0.1}]},
+            "task": {
+                "index": 0, "label": "budget:iris:p-tanh:0.4", "status": "ok",
+                "duration_s": 2.5, "done": 1, "total": 4,
+            },
             "run_end": {"exit_code": 0, "duration_s": 1.5, "metrics": {"forward_calls": 3.0}},
         }
         return {"type": event_type, "ts": time.time(), **samples[event_type]}
