@@ -9,6 +9,8 @@ Exposes the main workflows as subcommands::
     python -m repro.cli circuits                      # AF transfer/power table
     python -m repro.cli montecarlo iris --af p-ReLU --samples 50
     python -m repro.cli report run.jsonl              # replay a recorded run
+    python -m repro.cli runs list                     # enumerate run directories
+    python -m repro.cli runs compare RUN_A RUN_B      # diff two recorded runs
 
 Every command prints plain text (tables / ASCII charts) and is deterministic
 given its ``--seed``.
@@ -16,6 +18,10 @@ given its ``--seed``.
 Observability flags (available on every subcommand)::
 
     --log-json PATH     write a structured JSONL event stream of the run
+    --run-dir BASE      record the run under BASE/<run_id>/ (manifest,
+                        merged event timeline, metrics, profile)
+    --health-abort      let critical training-health watchdogs abort the
+                        run (exit code 3 + diagnostic.json)
     --profile           enable span profiling; prints the breakdown at exit
     --metrics-out PATH  write a Prometheus textfile of the metrics registry
     -v / -q             raise / lower log verbosity (INFO / ERROR; -vv DEBUG)
@@ -27,6 +33,7 @@ pre-observability CLI and nothing extra is computed.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import subprocess
 import sys
@@ -42,6 +49,10 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("observability")
     group.add_argument("--log-json", metavar="PATH", default=None,
                        help="write a JSONL structured event log of this run")
+    group.add_argument("--run-dir", metavar="BASE", default=None,
+                       help="record this run under BASE/<run_id>/ (manifest, events, metrics)")
+    group.add_argument("--health-abort", action="store_true",
+                       help="abort on critical training-health alerts (exit 3 + diagnostic dump)")
     group.add_argument("--profile", action="store_true",
                        help="time instrumented spans; print the breakdown at exit")
     group.add_argument("--metrics-out", metavar="PATH", default=None,
@@ -111,7 +122,22 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="render the summary of a recorded run (JSONL)")
     report.add_argument("run_file", help="event log written by --log-json")
 
-    for subparser in (datasets, train, sweep, grid, circuits, mc, report):
+    runs = sub.add_parser("runs", help="inspect run directories recorded with --run-dir")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="one line per recorded run")
+    runs_show = runs_sub.add_parser("show", help="manifest header + event report of one run")
+    runs_show.add_argument("run", help="run directory, run id, or unique id prefix")
+    runs_compare = runs_sub.add_parser(
+        "compare", help="diff two runs: config, outcome, accuracy/power/λ trajectories"
+    )
+    runs_compare.add_argument("run_a", help="first run (directory, id, or unique prefix)")
+    runs_compare.add_argument("run_b", help="second run (directory, id, or unique prefix)")
+    for subparser in (runs_list, runs_show, runs_compare):
+        subparser.add_argument("--dir", default="runs", metavar="BASE",
+                               help="run registry base directory (default: runs)")
+
+    for subparser in (datasets, train, sweep, grid, circuits, mc, report,
+                      runs_list, runs_show, runs_compare):
         _add_obs_flags(subparser)
 
     return parser
@@ -133,17 +159,23 @@ def _git_sha() -> str:
 
 def _run_config(args) -> dict:
     """JSON-safe view of the parsed arguments (observability flags excluded)."""
-    skip = {"command", "log_json", "profile", "metrics_out", "verbose", "quiet"}
+    skip = {"command", "log_json", "run_dir", "health_abort", "profile",
+            "metrics_out", "verbose", "quiet"}
     return {k: v for k, v in vars(args).items() if k not in skip}
 
 
-def _train_callbacks(run_logger, phase: str) -> list:
-    """Stock callbacks for a CLI-driven training run."""
-    from repro.observability import EventLogCallback, ProgressReporter
+def _train_callbacks(run_logger, phase: str, health_abort: bool = False) -> list:
+    """Stock callbacks for a CLI-driven training run.
+
+    Always includes the :class:`HealthMonitor` watchdogs — they only
+    observe unless ``health_abort`` arms the critical-kind abort.
+    """
+    from repro.observability import EventLogCallback, HealthMonitor, ProgressReporter
 
     callbacks = [ProgressReporter(every=25, log=logger)]
     if run_logger is not None and run_logger.enabled:
         callbacks.append(EventLogCallback(run_logger, phase=phase))
+    callbacks.append(HealthMonitor(run_logger, abort=health_abort, phase=phase))
     return callbacks
 
 
@@ -192,7 +224,7 @@ def cmd_train(args, run_logger=None) -> int:
     else:
         reference = train_unconstrained(
             _make_net(data, kind, args.seed, af, neg), split, settings=settings,
-            callbacks=_train_callbacks(run_logger, phase="reference"),
+            callbacks=_train_callbacks(run_logger, phase="reference", health_abort=args.health_abort),
         )
         max_power = max(reference.power_trace)
         budget = args.budget_fraction * max_power
@@ -202,7 +234,7 @@ def cmd_train(args, run_logger=None) -> int:
     net = _make_net(data, kind, args.seed + 1, af, neg)
     result = train_power_constrained(
         net, split, power_budget=budget, mu=args.mu, settings=settings,
-        callbacks=_train_callbacks(run_logger, phase="constrained"),
+        callbacks=_train_callbacks(run_logger, phase="constrained", health_abort=args.health_abort),
     )
     print(f"result: acc {result.test_accuracy * 100:.2f}%  P {result.power * 1e3:.4f} mW  "
           f"feasible={result.feasible}  devices={result.device_count}")
@@ -280,13 +312,13 @@ def cmd_montecarlo(args, run_logger=None) -> int:
     kind, data, split, af, neg, settings = _prepare(args.dataset, args.af, args.seed, args.epochs)
     reference = train_unconstrained(
         _make_net(data, kind, args.seed, af, neg), split, settings=settings,
-        callbacks=_train_callbacks(run_logger, phase="reference"),
+        callbacks=_train_callbacks(run_logger, phase="reference", health_abort=args.health_abort),
     )
     budget = args.budget_fraction * max(reference.power_trace)
     net = _make_net(data, kind, args.seed + 1, af, neg)
     result = train_power_constrained(
         net, split, power_budget=budget, settings=settings,
-        callbacks=_train_callbacks(run_logger, phase="constrained"),
+        callbacks=_train_callbacks(run_logger, phase="constrained", health_abort=args.health_abort),
     )
     print(f"trained: acc {result.test_accuracy * 100:.1f}%  P {result.power * 1e3:.4f} mW  "
           f"feasible={result.feasible}")
@@ -315,6 +347,32 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_runs(args) -> int:
+    from repro.observability import (
+        render_run_compare,
+        render_run_show,
+        render_runs_table,
+        resolve_run,
+    )
+
+    try:
+        if args.runs_command == "list":
+            print(render_runs_table(args.dir))
+        elif args.runs_command == "show":
+            print(render_run_show(resolve_run(args.run, args.dir)))
+        else:
+            print(render_run_compare(
+                resolve_run(args.run_a, args.dir), resolve_run(args.run_b, args.dir)
+            ))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot read run data: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _dispatch(args, run_logger) -> int:
     if args.command == "datasets":
         return cmd_datasets()
@@ -330,6 +388,8 @@ def _dispatch(args, run_logger) -> int:
         return cmd_montecarlo(args, run_logger)
     if args.command == "report":
         return cmd_report(args)
+    if args.command == "runs":
+        return cmd_runs(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 
@@ -338,7 +398,10 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.observability import (
         JsonlSink,
+        RunContext,
         RunLogger,
+        TeeSink,
+        TrainingHealthError,
         configure_logging,
         enable_profiling,
         get_profiler,
@@ -346,7 +409,28 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     configure_logging(args.verbose - args.quiet)
-    run_logger = RunLogger(JsonlSink(args.log_json)) if args.log_json else RunLogger()
+
+    run_ctx: RunContext | None = None
+    if args.run_dir:
+        run_ctx = RunContext.create(
+            args.run_dir, args.command, _run_config(args),
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            git_sha=_git_sha(),
+        )
+        if args.log_json:
+            # Fan the single validated stream out to both destinations.
+            run_ctx.logger.close()
+            run_ctx.logger = RunLogger(
+                TeeSink(JsonlSink(run_ctx.events_path), JsonlSink(args.log_json))
+            )
+        run_logger = run_ctx.logger
+        # Pool workers of this run append worker-attributed event shards
+        # next to the parent timeline; finalize() merges them.
+        from repro.parallel.telemetry import WorkerTelemetry, set_default_telemetry
+
+        set_default_telemetry(WorkerTelemetry(run_dir=str(run_ctx.directory)))
+    else:
+        run_logger = RunLogger(JsonlSink(args.log_json)) if args.log_json else RunLogger()
     if args.profile:
         enable_profiling()
 
@@ -360,6 +444,16 @@ def main(argv: list[str] | None = None) -> int:
     code = 1
     try:
         code = _dispatch(args, run_logger)
+        return code
+    except TrainingHealthError as exc:
+        code = 3
+        print(f"aborted by health watchdog: {exc}", file=sys.stderr)
+        if run_ctx is not None:
+            path = run_ctx.write_diagnostic(exc.diagnostic)
+            print(f"diagnostic dump: {path}", file=sys.stderr)
+        else:
+            json.dump(exc.diagnostic, sys.stderr, indent=2)
+            print(file=sys.stderr)
         return code
     finally:
         profiler = get_profiler()
@@ -376,6 +470,9 @@ def main(argv: list[str] | None = None) -> int:
             metrics=get_registry().snapshot(),
         )
         run_logger.close()
+        if run_ctx is not None:
+            run_ctx.finalize(code, perf_counter() - started)
+            set_default_telemetry(None)
 
 
 if __name__ == "__main__":

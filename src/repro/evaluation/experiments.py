@@ -145,11 +145,19 @@ def unconstrained_max_power(
     kind: ActivationKind,
     config: ExperimentConfig,
     split: DataSplit | None = None,
+    callbacks=None,
 ) -> tuple[float, TrainResult]:
-    """Maximum power observed in unconstrained training (budget anchor)."""
+    """Maximum power observed in unconstrained training (budget anchor).
+
+    ``callbacks`` are forwarded to the training loop — inside a pool
+    worker this is where :func:`repro.parallel.worker_callbacks` attaches
+    the worker-attributed event stream and health watchdogs.
+    """
     split = split or dataset_split(dataset_name, seed=config.seed)
     net = make_network(dataset_name, kind, config.seed, config)
-    result = train_unconstrained(net, split, settings=config.trainer_settings())
+    result = train_unconstrained(
+        net, split, settings=config.trainer_settings(), callbacks=callbacks
+    )
     max_power = max(result.power_trace) if result.power_trace else result.power
     return max_power, result
 
@@ -161,15 +169,20 @@ def run_budget_experiment(
     config: ExperimentConfig,
     max_power_w: float | None = None,
     split: DataSplit | None = None,
+    callbacks=None,
 ) -> BudgetRunRecord:
     """One AL training run at ``budget_fraction`` of the max power.
 
     With ``config.n_restarts > 1`` the best feasible test accuracy across
     restarts is kept (the paper selects the top models per dataset).
+    ``callbacks`` ride into every contained training loop (AL restarts and
+    the fine-tuning pass alike).
     """
     split = split or dataset_split(dataset_name, seed=config.seed)
     if max_power_w is None:
-        max_power_w, _ = unconstrained_max_power(dataset_name, kind, config, split=split)
+        max_power_w, _ = unconstrained_max_power(
+            dataset_name, kind, config, split=split, callbacks=callbacks
+        )
     budget = budget_fraction * max_power_w
     logger.info(
         "budget experiment: %s / %s @ %.0f%% (%.4g W)",
@@ -188,6 +201,7 @@ def run_budget_experiment(
             warmup_epochs=config.warmup_epochs,
             anneal_epochs=config.anneal_epochs,
             settings=config.trainer_settings(),
+            callbacks=callbacks,
         )
         if config.finetune:
             tuned = run_finetune(
@@ -198,6 +212,7 @@ def run_budget_experiment(
                 settings=TrainerSettings(
                     epochs=config.finetune_epochs, lr=0.02, patience=max(30, config.patience // 2)
                 ),
+                callbacks=callbacks,
             )
             # Keep the fine-tuned circuit when it is at least as good (the
             # paper's protocol always fine-tunes; we guard against the rare

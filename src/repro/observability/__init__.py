@@ -24,10 +24,12 @@ metric increments are plain float adds.
 from repro.observability.events import (
     EVENT_SCHEMAS,
     EVENT_TYPES,
+    GLOBAL_OPTIONAL_FIELDS,
     JsonlSink,
     ListSink,
     NullSink,
     RunLogger,
+    TeeSink,
     read_events,
     validate_event,
 )
@@ -37,6 +39,7 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    snapshot_delta,
 )
 from repro.observability.profiling import (
     SpanProfiler,
@@ -53,16 +56,37 @@ from repro.observability.callbacks import (
     TraceRecorder,
     TrainerCallback,
 )
+from repro.observability.health import (
+    CRITICAL_KINDS,
+    HealthConfig,
+    HealthMonitor,
+    TrainingHealthError,
+)
 from repro.observability.logconf import configure_logging, verbosity_to_level
 from repro.observability.report import render_report, render_report_file, sparkline
+from repro.observability.runs import (
+    RunContext,
+    RunSummary,
+    list_runs,
+    load_manifest,
+    merge_worker_shards,
+    render_run_compare,
+    render_run_show,
+    render_runs_table,
+    resolve_run,
+    summarize_run,
+    validate_run_events,
+)
 
 __all__ = [
     "EVENT_SCHEMAS",
     "EVENT_TYPES",
+    "GLOBAL_OPTIONAL_FIELDS",
     "JsonlSink",
     "ListSink",
     "NullSink",
     "RunLogger",
+    "TeeSink",
     "read_events",
     "validate_event",
     "Counter",

@@ -118,6 +118,13 @@ class EventLogCallback(TrainerCallback):
         self._prev_multiplier: float | None = None
         self._prev_feasible = True
 
+    def on_train_start(self, net, objective, settings) -> None:
+        # A reused instance (AL restarts, fine-tuning) must not carry the
+        # previous loop's LR/λ/feasibility into the new one's transitions.
+        self._prev_lr = None
+        self._prev_multiplier = None
+        self._prev_feasible = True
+
     def on_epoch(self, event: EpochEvent) -> None:
         log = self.run_logger
         if not log.enabled:

@@ -71,6 +71,24 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[type, ...]]] = {
     },
     # Span-profiler breakdown (emitted once, when --profile is active).
     "profile": {"spans": (list,)},
+    # Emitted *inside* a worker process when one mapped task begins /
+    # finishes; lands in that worker's shard file and is merged into the
+    # parent timeline at run finalization (see repro.observability.runs).
+    "task_start": {"index": (int,), "label": (str,)},
+    "task_end": {
+        "index": (int,),
+        "label": (str,),
+        "status": (str,),
+        "duration_s": (float, int),
+    },
+    # A training-health watchdog fired (see repro.observability.health):
+    # NaN/inf loss, λ divergence, violation stall, budget overshoot.
+    "alert": {
+        "kind": (str,),
+        "epoch": (int,),
+        "message": (str,),
+        "phase": (str,),
+    },
     # One per process; carries the exit code and a metrics snapshot.
     "run_end": {"exit_code": (int,), "duration_s": (float, int)},
 }
@@ -79,7 +97,17 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[type, ...]]] = {
 OPTIONAL_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
     "epoch": {"multiplier": (float, int, type(None))},
     "task": {"error": (str,), "worker_pid": (int,)},
+    "task_end": {"error": (str,)},
+    "alert": {"value": (float, int)},
     "run_end": {"metrics": (dict,)},
+}
+
+#: Optional fields accepted on *every* event type.  Events produced inside
+#: a pool worker are tagged with the emitting process and the mapped task,
+#: so a merged multi-worker timeline stays attributable per event.
+GLOBAL_OPTIONAL_FIELDS: dict[str, tuple[type, ...]] = {
+    "worker_id": (int,),
+    "task_id": (str,),
 }
 
 EVENT_TYPES = tuple(EVENT_SCHEMAS)
@@ -114,12 +142,13 @@ def validate_event(event: dict) -> None:
     for field, value in event.items():
         if field in ("type", "ts") or field in schema:
             continue
-        if field not in optional:
+        allowed = optional.get(field) or GLOBAL_OPTIONAL_FIELDS.get(field)
+        if allowed is None:
             raise ValueError(f"{event_type}: unexpected field {field!r}")
-        if not _check_type(value, optional[field]):
+        if not _check_type(value, allowed):
             raise ValueError(
                 f"{event_type}.{field}: expected "
-                f"{'/'.join(t.__name__ for t in optional[field])}, got {type(value).__name__}"
+                f"{'/'.join(t.__name__ for t in allowed)}, got {type(value).__name__}"
             )
 
 
@@ -135,12 +164,16 @@ class NullSink:
 
 
 class JsonlSink:
-    """Append events to a JSONL file, one object per line, flushed per event."""
+    """Write events to a JSONL file, one object per line, flushed per event.
 
-    def __init__(self, path: str | Path):
+    ``append=True`` reopens an existing file without truncating — the mode
+    worker shard files use, since one worker process serves many tasks.
+    """
+
+    def __init__(self, path: str | Path, append: bool = False):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = open(self.path, "w", encoding="utf-8")
+        self._fh = open(self.path, "a" if append else "w", encoding="utf-8")
 
     def write(self, event: dict) -> None:
         json.dump(event, self._fh, separators=(",", ":"), sort_keys=False)
@@ -150,6 +183,21 @@ class JsonlSink:
     def close(self) -> None:
         if not self._fh.closed:
             self._fh.close()
+
+
+class TeeSink:
+    """Fan one event stream out to several sinks (e.g. --log-json + run dir)."""
+
+    def __init__(self, *sinks):
+        self.sinks = list(sinks)
+
+    def write(self, event: dict) -> None:
+        for sink in self.sinks:
+            sink.write(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
 
 
 class ListSink:
@@ -191,11 +239,17 @@ class RunLogger:
         self.sink.close()
 
 
-def read_events(path: str | Path) -> list[dict]:
+def read_events(path: str | Path, strict: bool = True) -> list[dict]:
     """Parse and validate a JSONL run file.
 
     Raises ``ValueError`` naming the first offending line, so a truncated
     or hand-edited file fails loudly instead of rendering garbage.
+
+    With ``strict=False``, events whose ``type`` is *unknown* are kept
+    unvalidated instead of rejected — the forward-compatibility mode the
+    report renderer uses, so a file written by a newer schema still
+    renders everything this version understands.  Known event types are
+    validated either way, and malformed JSON always fails.
     """
     events: list[dict] = []
     with open(path, "r", encoding="utf-8") as fh:
@@ -207,6 +261,10 @@ def read_events(path: str | Path) -> list[dict]:
                 event = json.loads(line)
             except json.JSONDecodeError as exc:
                 raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})") from exc
+            if not strict and isinstance(event, dict) and event.get("type") not in EVENT_SCHEMAS:
+                logger.debug("%s:%d: keeping unknown event type %r", path, lineno, event.get("type"))
+                events.append(event)
+                continue
             try:
                 validate_event(event)
             except ValueError as exc:

@@ -150,14 +150,56 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """JSON-serializable view of every metric's current value."""
+        """JSON-serializable view of every metric's current value.
+
+        Histograms carry their per-bound bucket counts so two snapshots of
+        the same registry can be subtracted (:func:`snapshot_delta`) and a
+        worker's delta merged exactly (:meth:`merge_snapshot`).
+        """
         out: dict[str, object] = {}
         for metric in self._metrics.values():
             if isinstance(metric, Histogram):
-                out[metric.name] = {"count": metric.count, "sum": metric.sum}
+                out[metric.name] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "buckets": list(metric.bucket_counts),
+                }
             else:
                 out[metric.name] = metric.value
         return out
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a worker's snapshot (usually a delta) into this registry.
+
+        Counters and histograms are *added* — the aggregation that makes a
+        16-way grid run report the same ``forward_calls`` /
+        ``surrogate_evals`` totals as its serial twin.  Gauges are
+        last-write-wins per process and have no meaningful cross-process
+        sum, so they are skipped.  Scalar values for names this process
+        never registered become counters (worker-only instrumentation);
+        unknown histogram-shaped values without a local histogram are
+        dropped (bucket bounds unknown).
+        """
+        for name, value in snapshot.items():
+            existing = self._metrics.get(name)
+            if isinstance(value, dict):
+                if not isinstance(existing, Histogram):
+                    logger.debug("merge_snapshot: dropping histogram %r (not registered)", name)
+                    continue
+                existing.count += int(value.get("count", 0))
+                existing.sum += float(value.get("sum", 0.0))
+                buckets = value.get("buckets")
+                if buckets is not None and len(buckets) == len(existing.bucket_counts):
+                    existing.bucket_counts = [
+                        a + int(b) for a, b in zip(existing.bucket_counts, buckets)
+                    ]
+                continue
+            if isinstance(existing, Gauge):
+                continue
+            if existing is None:
+                existing = self.counter(name)
+            if isinstance(existing, Counter) and value > 0:
+                existing.inc(float(value))
 
     def render_prometheus(self) -> str:
         """Prometheus textfile exposition of the whole registry."""
@@ -204,6 +246,34 @@ def _fmt(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
+
+
+def snapshot_delta(before: dict, after: dict) -> dict:
+    """What happened between two snapshots of the same registry.
+
+    Counters/gauges subtract; histograms subtract count/sum/buckets
+    element-wise.  Metrics absent from ``before`` (registered mid-task)
+    contribute their full ``after`` value.  Zero-valued entries are
+    omitted, so the delta of an idle task is ``{}``.
+    """
+    delta: dict[str, object] = {}
+    for name, after_value in after.items():
+        before_value = before.get(name)
+        if isinstance(after_value, dict):
+            prev = before_value if isinstance(before_value, dict) else {}
+            count = int(after_value.get("count", 0)) - int(prev.get("count", 0))
+            total = float(after_value.get("sum", 0.0)) - float(prev.get("sum", 0.0))
+            after_buckets = after_value.get("buckets") or []
+            prev_buckets = prev.get("buckets") or [0] * len(after_buckets)
+            buckets = [int(a) - int(b) for a, b in zip(after_buckets, prev_buckets)]
+            if count or total:
+                delta[name] = {"count": count, "sum": total, "buckets": buckets}
+            continue
+        base = float(before_value) if isinstance(before_value, (int, float)) else 0.0
+        diff = float(after_value) - base
+        if diff:
+            delta[name] = diff
+    return delta
 
 
 #: The process-wide registry used by all built-in instrumentation.

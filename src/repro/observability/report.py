@@ -1,11 +1,16 @@
 """Render an ASCII summary of a recorded run (``repro.cli report``).
 
-Consumes the JSONL event stream written by ``--log-json`` and rebuilds
-the run's story without re-running anything: configuration and revision
-from ``run_start``, the accuracy/power/λ trajectory from the ``epoch``
-events, the transition log (LR drops, checkpoints, feasibility losses),
-the span-profiler breakdown when ``--profile`` was active, and the final
-metrics snapshot from ``run_end``.
+Consumes the JSONL event stream written by ``--log-json`` (or the merged
+``events.jsonl`` of a run directory) and rebuilds the run's story without
+re-running anything: configuration and revision from ``run_start``, the
+accuracy/power/λ trajectory from the ``epoch`` events, the transition log
+(LR drops, checkpoints, feasibility losses), health-watchdog alerts,
+per-worker event attribution for parallel runs, the span-profiler
+breakdown when ``--profile`` was active, and the final metrics snapshot
+from ``run_end``.
+
+Files are read in forward-compatible mode: event types this version does
+not know are carried through untouched and counted, never fatal.
 """
 
 from __future__ import annotations
@@ -87,7 +92,7 @@ def render_report(events: list[dict], source: str = "") -> str:
     title = f"run report{f' — {source}' if source else ''}"
     sections.append(title + "\n" + "=" * len(title))
 
-    run_start = next((e for e in events if e["type"] == "run_start"), None)
+    run_start = next((e for e in events if e.get("type") == "run_start"), None)
     if run_start is not None:
         config = run_start["config"]
         config_line = "  ".join(f"{k}={v}" for k, v in sorted(config.items()))
@@ -100,7 +105,7 @@ def render_report(events: list[dict], source: str = "") -> str:
 
     epochs_by_phase: dict[str, list[dict]] = {}
     for e in events:
-        if e["type"] == "epoch":
+        if e.get("type") == "epoch":
             epochs_by_phase.setdefault(e["phase"], []).append(e)
     phase = _pick_trajectory_phase(epochs_by_phase)
     if phase is not None:
@@ -123,7 +128,7 @@ def render_report(events: list[dict], source: str = "") -> str:
         )
         sections.append("\n".join(lines))
 
-    tasks = [e for e in events if e["type"] == "task"]
+    tasks = [e for e in events if e.get("type") == "task"]
     if tasks:
         failed = [e for e in tasks if e["status"] != "ok"]
         total_s = sum(e["duration_s"] for e in tasks)
@@ -137,8 +142,37 @@ def render_report(events: list[dict], source: str = "") -> str:
             lines.append(f"  ... and {len(failed) - 5} more failures")
         sections.append("\n".join(lines))
 
+    alerts = [e for e in events if e.get("type") == "alert"]
+    if alerts:
+        lines = [f"health alerts: {len(alerts)}"]
+        for e in alerts:
+            value = f" (value {e['value']:g})" if "value" in e else ""
+            lines.append(
+                f"  [{e['kind']}] epoch {e['epoch']} phase '{e['phase']}': {e['message']}{value}"
+            )
+        sections.append("\n".join(lines))
+
+    worker_counts: dict[int, int] = {}
+    worker_tasks: dict[int, set] = {}
+    for e in events:
+        worker = e.get("worker_id")
+        if worker is None:
+            continue
+        worker_counts[worker] = worker_counts.get(worker, 0) + 1
+        if "task_id" in e:
+            worker_tasks.setdefault(worker, set()).add(e["task_id"])
+    if worker_counts:
+        lines = [f"workers: {len(worker_counts)} (merged timeline)"]
+        for worker in sorted(worker_counts):
+            n_tasks = len(worker_tasks.get(worker, ()))
+            lines.append(
+                f"  worker {worker}: {worker_counts[worker]} events, {n_tasks} task(s)"
+            )
+        sections.append("\n".join(lines))
+
     transitions = [
-        e for e in events if e["type"] in ("lr_drop", "multiplier_update", "checkpoint", "infeasible")
+        e for e in events
+        if e.get("type") in ("lr_drop", "multiplier_update", "checkpoint", "infeasible")
     ]
     if transitions:
         counts: dict[str, int] = {}
@@ -155,7 +189,7 @@ def render_report(events: list[dict], source: str = "") -> str:
             )
         sections.append("\n".join(lines))
 
-    profile = next((e for e in reversed(events) if e["type"] == "profile"), None)
+    profile = next((e for e in reversed(events) if e.get("type") == "profile"), None)
     if profile is not None and profile["spans"]:
         rows = []
         for item in profile["spans"]:
@@ -178,7 +212,7 @@ def render_report(events: list[dict], source: str = "") -> str:
             )
         sections.append("\n".join(lines))
 
-    run_end = next((e for e in reversed(events) if e["type"] == "run_end"), None)
+    run_end = next((e for e in reversed(events) if e.get("type") == "run_end"), None)
     if run_end is not None:
         lines = [
             f"finished: exit code {run_end['exit_code']}  duration {run_end['duration_s']:.2f} s"
@@ -193,12 +227,27 @@ def render_report(events: list[dict], source: str = "") -> str:
                     lines.append(f"  {name}: {value:g}")
         sections.append("\n".join(lines))
 
+    from repro.observability.events import EVENT_SCHEMAS
+
+    unknown: dict[str, int] = {}
+    for e in events:
+        name = e.get("type")
+        if name not in EVENT_SCHEMAS:
+            unknown[str(name)] = unknown.get(str(name), 0) + 1
+    if unknown:
+        summary = "  ".join(f"{name}×{n}" for name, n in sorted(unknown.items()))
+        sections.append(f"unknown event types (ignored): {summary}")
+
     if len(sections) == 1:
         sections.append("(no events)")
     return "\n\n".join(sections)
 
 
 def render_report_file(path: str | Path) -> str:
-    """Load, validate and render a JSONL run file."""
-    events = read_events(path)
+    """Load, validate and render a JSONL run file.
+
+    Unknown event types are tolerated (forward compatibility); known
+    types are still validated and malformed JSON still fails.
+    """
+    events = read_events(path, strict=False)
     return render_report(events, source=str(path))

@@ -1,0 +1,485 @@
+"""Run registry: self-describing per-run directories + cross-run comparison.
+
+The paper's headline claim — augmented-Lagrangian training hits a hard
+power budget in *one* run where the penalty baseline needs a sweep of
+hundreds — is a claim about **populations of runs**, so every run must
+leave a comparable artifact.  A run directory is that artifact::
+
+    runs/<run_id>/
+        manifest.json           resolved config, seeds, git SHA, argv,
+                                python/platform/env fingerprint, status
+        events.jsonl            merged, time-ordered, schema-valid timeline
+        events.worker-<k>.jsonl raw per-worker shards (kept for forensics)
+        metrics.prom            Prometheus textfile of the final registry
+        profile.json            span-profiler breakdown (when --profile)
+        diagnostic.json         health-watchdog dump (aborted runs only)
+
+:class:`RunContext` owns the directory lifecycle: :meth:`RunContext.create`
+writes the manifest and opens the event sink; :meth:`RunContext.finalize`
+merges the worker shards written by :mod:`repro.parallel.telemetry` into
+one timeline, snapshots metrics, and stamps the outcome back into the
+manifest.  The module-level functions (:func:`list_runs`,
+:func:`resolve_run`, :func:`summarize_run`, the ``render_*`` helpers) are
+the read side backing ``repro runs list|show|compare``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import platform
+import secrets
+import sys
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.observability.events import JsonlSink, RunLogger, read_events, validate_event
+from repro.observability.metrics import get_registry
+from repro.observability.profiling import get_profiler
+
+logger = logging.getLogger(__name__)
+
+MANIFEST_NAME = "manifest.json"
+EVENTS_NAME = "events.jsonl"
+METRICS_NAME = "metrics.prom"
+PROFILE_NAME = "profile.json"
+DIAGNOSTIC_NAME = "diagnostic.json"
+
+#: Manifest layout version (bump on incompatible changes).
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Environment variables worth fingerprinting (behaviour-changing knobs).
+_FINGERPRINT_ENV_PREFIXES = ("REPRO_",)
+_FINGERPRINT_ENV_NAMES = ("PYTHONHASHSEED", "OMP_NUM_THREADS")
+
+
+def environment_fingerprint() -> dict:
+    """Where and how this process runs — enough to explain a drifted rerun."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unknown"
+    env = {
+        name: value
+        for name, value in sorted(os.environ.items())
+        if name in _FINGERPRINT_ENV_NAMES
+        or any(name.startswith(p) for p in _FINGERPRINT_ENV_PREFIXES)
+    }
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": numpy_version,
+        "pid": os.getpid(),
+        "env": env,
+    }
+
+
+def new_run_id(command: str) -> str:
+    """Sortable, collision-safe id: UTC timestamp + command + random tail."""
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%d-%H%M%S")
+    return f"{stamp}-{command}-{secrets.token_hex(3)}"
+
+
+@dataclass
+class RunContext:
+    """One live run directory: manifest + event sink + finalization."""
+
+    directory: Path
+    manifest: dict
+    logger: RunLogger = field(default_factory=RunLogger)
+
+    @classmethod
+    def create(
+        cls,
+        base_dir: str | Path,
+        command: str,
+        config: dict,
+        argv: list[str] | None = None,
+        git_sha: str = "unknown",
+        run_id: str | None = None,
+    ) -> "RunContext":
+        """Make ``base_dir/<run_id>/``, write the manifest, open the sink."""
+        run_id = run_id or new_run_id(command)
+        directory = Path(base_dir) / run_id
+        directory.mkdir(parents=True, exist_ok=False)
+        manifest = {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "run_id": run_id,
+            "command": command,
+            "argv": list(argv) if argv is not None else list(sys.argv[1:]),
+            "config": dict(config),
+            "seed": config.get("seed"),
+            "git_sha": git_sha,
+            "created_ts": time.time(),
+            "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "status": "running",
+            "environment": environment_fingerprint(),
+        }
+        _write_json(directory / MANIFEST_NAME, manifest)
+        context = cls(directory=directory, manifest=manifest)
+        context.logger = RunLogger(JsonlSink(directory / EVENTS_NAME))
+        logger.info("run %s recording into %s", run_id, directory)
+        return context
+
+    @property
+    def run_id(self) -> str:
+        return self.manifest["run_id"]
+
+    @property
+    def events_path(self) -> Path:
+        return self.directory / EVENTS_NAME
+
+    def write_diagnostic(self, diagnostic: dict) -> Path:
+        """Persist a health-watchdog dump next to the timeline."""
+        path = self.directory / DIAGNOSTIC_NAME
+        _write_json(path, diagnostic)
+        return path
+
+    def finalize(self, exit_code: int, duration_s: float) -> None:
+        """Close out the run: merge shards, snapshot metrics, stamp outcome.
+
+        Call *after* the run's last event was emitted and the logger
+        closed — the shard merge rewrites ``events.jsonl`` in place.
+        """
+        self.logger.close()
+        merged = merge_worker_shards(self.directory)
+        (self.directory / METRICS_NAME).write_text(
+            get_registry().render_prometheus(), encoding="utf-8"
+        )
+        profiler = get_profiler()
+        if profiler.enabled and profiler.stats():
+            _write_json(self.directory / PROFILE_NAME, profiler.as_json())
+        self.manifest.update(
+            status="completed" if exit_code == 0 else "failed",
+            exit_code=exit_code,
+            duration_s=duration_s,
+            finished=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            worker_events_merged=merged,
+        )
+        _write_json(self.directory / MANIFEST_NAME, self.manifest)
+
+
+def _write_json(path: Path, payload) -> None:
+    tmp = path.with_suffix(path.suffix + f".tmp-{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# Worker-shard merging
+# ----------------------------------------------------------------------
+def merge_worker_shards(run_dir: str | Path) -> int:
+    """Fold ``events.worker-*.jsonl`` shards into one ordered timeline.
+
+    Every event (parent stream + shards) is schema-validated, the union is
+    stably sorted by timestamp (ties keep stream order), and
+    ``events.jsonl`` is rewritten atomically.  Shard files stay on disk —
+    they are the per-worker forensic record.  Returns the number of worker
+    events merged (0 when the run had no worker telemetry).
+    """
+    run_dir = Path(run_dir)
+    shards = sorted(run_dir.glob("events.worker-*.jsonl"))
+    if not shards:
+        return 0
+    events_path = run_dir / EVENTS_NAME
+    timeline = read_events(events_path, strict=False) if events_path.exists() else []
+    worker_events: list[dict] = []
+    for shard in shards:
+        worker_events.extend(read_events(shard, strict=False))
+    merged = sorted(timeline + worker_events, key=lambda e: e.get("ts", 0.0))
+    tmp = events_path.with_suffix(f".tmp-{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        for event in merged:
+            json.dump(event, fh, separators=(",", ":"))
+            fh.write("\n")
+    os.replace(tmp, events_path)
+    logger.info(
+        "merged %d worker events from %d shard(s) into %s",
+        len(worker_events), len(shards), events_path,
+    )
+    return len(worker_events)
+
+
+# ----------------------------------------------------------------------
+# Registry read side
+# ----------------------------------------------------------------------
+def is_run_dir(path: str | Path) -> bool:
+    return (Path(path) / MANIFEST_NAME).is_file()
+
+
+def load_manifest(run_dir: str | Path) -> dict:
+    with open(Path(run_dir) / MANIFEST_NAME, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def list_runs(base_dir: str | Path) -> list[Path]:
+    """Run directories under ``base_dir``, oldest first."""
+    base = Path(base_dir)
+    if not base.is_dir():
+        return []
+    runs = [p for p in base.iterdir() if p.is_dir() and is_run_dir(p)]
+
+    def created(path: Path) -> tuple:
+        try:
+            return (load_manifest(path).get("created_ts") or 0.0, path.name)
+        except (OSError, json.JSONDecodeError):
+            return (0.0, path.name)
+
+    return sorted(runs, key=created)
+
+
+def resolve_run(ref: str, base_dir: str | Path = "runs") -> Path:
+    """Turn a user-supplied run reference into a run directory.
+
+    Accepts a path to a run directory, a run id under ``base_dir``, or a
+    unique run-id prefix.  Raises ``ValueError`` with the candidates when
+    the reference is missing or ambiguous.
+    """
+    as_path = Path(ref)
+    if is_run_dir(as_path):
+        return as_path
+    base = Path(base_dir)
+    if is_run_dir(base / ref):
+        return base / ref
+    matches = [p for p in list_runs(base) if p.name.startswith(ref)]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise ValueError(f"no run {ref!r} under {base} (and {ref!r} is not a run directory)")
+    names = ", ".join(p.name for p in matches)
+    raise ValueError(f"run reference {ref!r} is ambiguous: {names}")
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Comparable digest of one recorded run."""
+
+    path: Path
+    run_id: str
+    command: str
+    status: str
+    created: str
+    exit_code: int | None
+    duration_s: float | None
+    config: dict
+    #: final epoch of the trajectory phase: val_accuracy / power_w / multiplier
+    final: dict
+    n_epochs: int
+    n_alerts: int
+    alert_kinds: tuple[str, ...]
+    worker_ids: tuple[int, ...]
+
+    @property
+    def final_accuracy(self) -> float | None:
+        return self.final.get("val_accuracy")
+
+    @property
+    def final_power_w(self) -> float | None:
+        return self.final.get("power_w")
+
+    @property
+    def final_multiplier(self) -> float | None:
+        return self.final.get("multiplier")
+
+
+def _trajectory(events: list[dict]) -> list[dict]:
+    """Epoch events of the λ-bearing (else longest) phase, epoch-ordered."""
+    from repro.observability.report import _pick_trajectory_phase
+
+    by_phase: dict[str, list[dict]] = {}
+    for e in events:
+        if e.get("type") == "epoch":
+            by_phase.setdefault(e.get("phase", ""), []).append(e)
+    phase = _pick_trajectory_phase(by_phase)
+    if phase is None:
+        return []
+    return sorted(by_phase[phase], key=lambda e: e["epoch"])
+
+
+def summarize_run(run_dir: str | Path) -> RunSummary:
+    """Manifest + event digest of one run (tolerant of unfinished runs)."""
+    run_dir = Path(run_dir)
+    manifest = load_manifest(run_dir)
+    events: list[dict] = []
+    events_path = run_dir / EVENTS_NAME
+    if events_path.exists():
+        try:
+            events = read_events(events_path, strict=False)
+        except ValueError as exc:
+            logger.warning("unreadable timeline in %s: %s", run_dir, exc)
+    trajectory = _trajectory(events)
+    final: dict = {}
+    if trajectory:
+        last = trajectory[-1]
+        final = {
+            "val_accuracy": last.get("val_accuracy"),
+            "power_w": last.get("power_w"),
+            "multiplier": last.get("multiplier"),
+            "feasible": last.get("feasible"),
+        }
+    alerts = [e for e in events if e.get("type") == "alert"]
+    worker_ids = sorted({e["worker_id"] for e in events if "worker_id" in e})
+    return RunSummary(
+        path=run_dir,
+        run_id=manifest.get("run_id", run_dir.name),
+        command=manifest.get("command", "?"),
+        status=manifest.get("status", "unknown"),
+        created=manifest.get("created", ""),
+        exit_code=manifest.get("exit_code"),
+        duration_s=manifest.get("duration_s"),
+        config=manifest.get("config", {}),
+        final=final,
+        n_epochs=len(trajectory),
+        n_alerts=len(alerts),
+        alert_kinds=tuple(sorted({a.get("kind", "?") for a in alerts})),
+        worker_ids=tuple(worker_ids),
+    )
+
+
+def validate_run_events(run_dir: str | Path) -> int:
+    """Strictly re-validate every line of a run's merged timeline.
+
+    The CI schema-drift gate: replays ``events.jsonl`` through
+    :func:`validate_event` and returns the event count (raises on the
+    first violation).
+    """
+    events = read_events(Path(run_dir) / EVENTS_NAME, strict=True)
+    for event in events:
+        validate_event(event)
+    return len(events)
+
+
+# ----------------------------------------------------------------------
+# Rendering (the `repro runs` CLI)
+# ----------------------------------------------------------------------
+def _fmt_opt(value, spec: str = "g") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return format(value, spec)
+
+
+def render_runs_table(base_dir: str | Path) -> str:
+    """One line per recorded run under ``base_dir``."""
+    runs = list_runs(base_dir)
+    if not runs:
+        return f"(no runs under {base_dir})"
+    rows = [("run_id", "command", "status", "epochs", "val_acc", "power_mW", "alerts", "workers")]
+    for path in runs:
+        s = summarize_run(path)
+        power = None if s.final_power_w is None else s.final_power_w * 1e3
+        rows.append(
+            (
+                s.run_id,
+                s.command,
+                s.status,
+                str(s.n_epochs),
+                _fmt_opt(s.final_accuracy, ".3f"),
+                _fmt_opt(power, ".4f"),
+                str(s.n_alerts),
+                str(len(s.worker_ids)),
+            )
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    return "\n".join(
+        "  ".join(f"{cell:<{w}}" for cell, w in zip(row, widths)).rstrip() for row in rows
+    )
+
+
+def render_run_show(run_dir: str | Path) -> str:
+    """Manifest header + the standard event report of one run."""
+    from repro.observability.report import render_report
+
+    run_dir = Path(run_dir)
+    manifest = load_manifest(run_dir)
+    env = manifest.get("environment", {})
+    lines = [
+        f"run      : {manifest.get('run_id', run_dir.name)}",
+        f"directory: {run_dir}",
+        f"status   : {manifest.get('status', 'unknown')}"
+        + (f" (exit {manifest['exit_code']})" if manifest.get("exit_code") is not None else ""),
+        f"created  : {manifest.get('created', '?')}",
+        f"git sha  : {manifest.get('git_sha', '?')}",
+        f"python   : {env.get('python', '?')} on {env.get('platform', '?')}",
+        f"argv     : {' '.join(manifest.get('argv', [])) or '(none)'}",
+    ]
+    diagnostic = run_dir / DIAGNOSTIC_NAME
+    if diagnostic.exists():
+        lines.append(f"diagnostic: {diagnostic} (run aborted by a health watchdog)")
+    events_path = run_dir / EVENTS_NAME
+    if events_path.exists():
+        events = read_events(events_path, strict=False)
+        return "\n".join(lines) + "\n\n" + render_report(events, source=str(events_path))
+    return "\n".join(lines) + "\n\n(no events recorded)"
+
+
+def _config_diff(a: dict, b: dict) -> list[str]:
+    lines = []
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key, "<unset>"), b.get(key, "<unset>")
+        if va != vb:
+            lines.append(f"  {key}: {va} -> {vb}")
+    return lines
+
+
+def render_run_compare(dir_a: str | Path, dir_b: str | Path) -> str:
+    """Side-by-side diff of two runs: config, outcome, trajectories."""
+    from repro.observability.report import sparkline
+
+    a, b = summarize_run(dir_a), summarize_run(dir_b)
+    title = f"run compare — {a.run_id} vs {b.run_id}"
+    sections = [title + "\n" + "=" * len(title)]
+
+    diff = _config_diff(a.config, b.config)
+    sections.append("config diff:\n" + ("\n".join(diff) if diff else "  (identical)"))
+
+    def row(name, va, vb, spec="g"):
+        return (name, _fmt_opt(va, spec), _fmt_opt(vb, spec))
+
+    power_a = None if a.final_power_w is None else a.final_power_w * 1e3
+    power_b = None if b.final_power_w is None else b.final_power_w * 1e3
+    rows = [
+        ("", a.run_id, b.run_id),
+        row("status", a.status, b.status, "s"),
+        row("epochs", a.n_epochs, b.n_epochs, "d"),
+        row("final val_acc", a.final_accuracy, b.final_accuracy, ".3f"),
+        row("final power_mW", power_a, power_b, ".4f"),
+        row("final λ", a.final_multiplier, b.final_multiplier, ".4f"),
+        row("feasible", a.final.get("feasible"), b.final.get("feasible")),
+        row("alerts", a.n_alerts, b.n_alerts, "d"),
+        row("workers", len(a.worker_ids), len(b.worker_ids), "d"),
+        row("duration_s", a.duration_s, b.duration_s, ".1f"),
+    ]
+    widths = [max(len(r[i]) for r in rows) for i in range(3)]
+    sections.append(
+        "\n".join(
+            f"{r[0]:<{widths[0]}}  {r[1]:>{widths[1]}}  {r[2]:>{widths[2]}}" for r in rows
+        )
+    )
+
+    spark_lines = []
+    for summary in (a, b):
+        events_path = summary.path / EVENTS_NAME
+        trajectory = (
+            _trajectory(read_events(events_path, strict=False)) if events_path.exists() else []
+        )
+        if not trajectory:
+            spark_lines.append(f"{summary.run_id}: (no epoch events)")
+            continue
+        accuracy = [e["val_accuracy"] for e in trajectory]
+        power = [e["power_w"] for e in trajectory]
+        multipliers = [e["multiplier"] for e in trajectory if e.get("multiplier") is not None]
+        spark_lines.append(f"{summary.run_id}:")
+        spark_lines.append(f"  val_acc  {sparkline(accuracy)}")
+        spark_lines.append(f"  power_W  {sparkline(power)}")
+        if multipliers:
+            spark_lines.append(f"  λ        {sparkline(multipliers)}")
+    sections.append("\n".join(spark_lines))
+    return "\n\n".join(sections)

@@ -5,6 +5,7 @@ Public surface::
     from repro.parallel import map_tasks, TaskOutcome, TaskError
     from repro.parallel import MaxPowerTask, BudgetTask, PenaltyTask, NetworkSpec
     from repro.parallel import TaskProgressReporter
+    from repro.parallel import WorkerTelemetry, set_default_telemetry, worker_callbacks
 """
 
 from repro.parallel.engine import (
@@ -16,6 +17,12 @@ from repro.parallel.engine import (
     map_tasks,
 )
 from repro.parallel.progress import TaskProgressReporter
+from repro.parallel.telemetry import (
+    WorkerTelemetry,
+    set_default_telemetry,
+    worker_callbacks,
+    worker_run_logger,
+)
 from repro.parallel.tasks import (
     BudgetTask,
     MaxPowerTask,
@@ -37,4 +44,8 @@ __all__ = [
     "MonteCarloChunkTask",
     "NetworkSpec",
     "PenaltyTask",
+    "WorkerTelemetry",
+    "set_default_telemetry",
+    "worker_callbacks",
+    "worker_run_logger",
 ]

@@ -31,6 +31,9 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Callable, Protocol, Sequence
 
+from repro.observability.metrics import get_registry, snapshot_delta
+from repro.parallel.telemetry import WorkerTelemetry, bind_task, default_telemetry, unbind_task
+
 logger = logging.getLogger(__name__)
 
 #: Environment variable overriding the multiprocessing start method.
@@ -72,6 +75,8 @@ class TaskOutcome:
     error: TaskError | None = None
     duration_s: float = 0.0
     worker_pid: int = 0
+    #: metrics-registry delta of this task's execution (telemetry runs only)
+    metrics: dict | None = None
 
 
 class TaskFailedError(RuntimeError):
@@ -84,38 +89,73 @@ class TaskFailedError(RuntimeError):
         super().__init__(f"{len(self.errors)} task(s) failed: {summary}{more}")
 
 
-def _execute(index: int, task: ExperimentTask) -> TaskOutcome:
+def _execute(
+    index: int, task: ExperimentTask, telemetry: WorkerTelemetry | None = None
+) -> TaskOutcome:
     """Run one task, capturing any exception as a :class:`TaskError`.
 
     Top-level so it is picklable; runs in the worker (or inline for the
     serial fallback).  Only ``Exception`` is caught — ``KeyboardInterrupt``
     and worker death propagate and are handled at collection time.
+
+    With ``telemetry`` set, the task runs under a bound
+    :class:`~repro.parallel.telemetry.WorkerRunLogger` (``task_start`` /
+    ``task_end`` shard events, worker-attributed training events via
+    :func:`~repro.parallel.telemetry.worker_callbacks`) and the outcome
+    carries the metrics-registry delta of the execution.
     """
     label = getattr(task, "label", repr(task))
     started = perf_counter()
+    worker_log = None
+    metrics_before: dict | None = None
+    if telemetry is not None:
+        try:
+            worker_log = bind_task(telemetry, task_id=label)
+            metrics_before = get_registry().snapshot()
+            worker_log.emit("task_start", index=index, label=label)
+        except Exception:
+            logger.exception("worker telemetry setup failed for %s; continuing without", label)
+            worker_log = None
+
+    error: TaskError | None = None
+    value: Any = None
     try:
         value = task.run()
     except Exception as exc:
-        return TaskOutcome(
-            index=index,
+        error = TaskError(
             label=label,
-            ok=False,
-            error=TaskError(
-                label=label,
-                error_type=type(exc).__name__,
-                message=str(exc),
-                traceback_text=traceback.format_exc(),
-            ),
-            duration_s=perf_counter() - started,
-            worker_pid=os.getpid(),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback_text=traceback.format_exc(),
         )
+    finally:
+        duration_s = perf_counter() - started
+        metrics = None
+        if worker_log is not None:
+            try:
+                fields = dict(
+                    index=index,
+                    label=label,
+                    status="ok" if error is None else "error",
+                    duration_s=duration_s,
+                )
+                if error is not None:
+                    fields["error"] = str(error)
+                worker_log.emit("task_end", **fields)
+                metrics = snapshot_delta(metrics_before, get_registry().snapshot())
+            except Exception:
+                logger.exception("worker telemetry teardown failed for %s", label)
+            unbind_task()
+
     return TaskOutcome(
         index=index,
         label=label,
-        ok=True,
+        ok=error is None,
         value=value,
-        duration_s=perf_counter() - started,
+        error=error,
+        duration_s=duration_s,
         worker_pid=os.getpid(),
+        metrics=metrics,
     )
 
 
@@ -141,6 +181,7 @@ def map_tasks(
     tasks: Sequence[ExperimentTask],
     n_jobs: int = 1,
     progress: Callable[[TaskOutcome, int, int], None] | None = None,
+    telemetry: WorkerTelemetry | None = None,
 ) -> list[TaskOutcome]:
     """Run ``tasks`` across ``n_jobs`` processes; results in task order.
 
@@ -156,6 +197,13 @@ def map_tasks(
         Optional callback ``(outcome, done, total)`` invoked in the
         calling process as each result is collected (collection is in
         submission order, so ``done`` counts monotonically).
+    telemetry:
+        Optional :class:`~repro.parallel.telemetry.WorkerTelemetry` spec.
+        When set (or when the CLI installed a process-wide default via
+        ``set_default_telemetry``), every task executes under a worker
+        shard logger and ships its metrics delta back with the outcome;
+        pool runs fold those deltas into the parent registry so aggregate
+        counters match the serial execution.
 
     Returns
     -------
@@ -167,6 +215,8 @@ def map_tasks(
     """
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
+    if telemetry is None:
+        telemetry = default_telemetry()
     total = len(tasks)
     outcomes: list[TaskOutcome] = []
     if total == 0:
@@ -174,16 +224,22 @@ def map_tasks(
     n_jobs = min(n_jobs, total)
 
     if n_jobs == 1:
+        # Inline execution mutates the parent registry directly — the
+        # outcome's metrics delta is informational, never merged (that
+        # would double-count).
         for index, task in enumerate(tasks):
-            outcome = _execute(index, task)
+            outcome = _execute(index, task, telemetry)
             outcomes.append(outcome)
             if progress is not None:
                 progress(outcome, index + 1, total)
         return outcomes
 
     logger.info("mapping %d tasks over %d worker processes", total, n_jobs)
+    registry = get_registry()
     with ProcessPoolExecutor(max_workers=n_jobs, mp_context=_mp_context()) as pool:
-        futures = [pool.submit(_execute, index, task) for index, task in enumerate(tasks)]
+        futures = [
+            pool.submit(_execute, index, task, telemetry) for index, task in enumerate(tasks)
+        ]
         for index, future in enumerate(futures):
             try:
                 outcome = future.result()
@@ -204,6 +260,8 @@ def map_tasks(
                         message=str(exc) or "worker process died before returning a result",
                     ),
                 )
+            if outcome.metrics:
+                registry.merge_snapshot(outcome.metrics)
             outcomes.append(outcome)
             if progress is not None:
                 progress(outcome, index + 1, total)

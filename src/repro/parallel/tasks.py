@@ -91,9 +91,13 @@ class MaxPowerTask:
 
     def run(self) -> float:
         from repro.evaluation.experiments import dataset_split, unconstrained_max_power
+        from repro.parallel.telemetry import worker_callbacks
 
         split = dataset_split(self.dataset, seed=self.config.seed)
-        max_power, _ = unconstrained_max_power(self.dataset, self.kind, self.config, split=split)
+        max_power, _ = unconstrained_max_power(
+            self.dataset, self.kind, self.config, split=split,
+            callbacks=worker_callbacks(phase="reference"),
+        )
         return max_power
 
 
@@ -113,6 +117,7 @@ class BudgetTask:
 
     def run(self) -> "BudgetRunRecord":
         from repro.evaluation.experiments import dataset_split, run_budget_experiment
+        from repro.parallel.telemetry import worker_callbacks
 
         split = dataset_split(self.dataset, seed=self.config.seed)
         return run_budget_experiment(
@@ -122,6 +127,7 @@ class BudgetTask:
             self.config,
             max_power_w=self.max_power_w,
             split=split,
+            callbacks=worker_callbacks(phase="constrained"),
         )
 
 
@@ -140,6 +146,7 @@ class PenaltyTask:
         return f"penalty:{self.spec.dataset}:a{self.alpha:.4f}:s{self.seed}"
 
     def run(self) -> "TrainResult":
+        from repro.parallel.telemetry import worker_callbacks
         from repro.training.penalty import train_penalty
 
         net = self.spec.build(self.seed)
@@ -150,6 +157,7 @@ class PenaltyTask:
             alpha=float(self.alpha),
             reference_power=self.reference_power,
             settings=self.settings,
+            callbacks=worker_callbacks(phase="penalty"),
         )
 
 

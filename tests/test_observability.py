@@ -21,6 +21,7 @@ from repro.observability import (
     MetricsRegistry,
     NullSink,
     RunLogger,
+    TeeSink,
     configure_logging,
     disable_profiling,
     enable_profiling,
@@ -29,6 +30,7 @@ from repro.observability import (
     read_events,
     render_report,
     render_report_file,
+    snapshot_delta,
     span,
     validate_event,
     verbosity_to_level,
@@ -62,6 +64,15 @@ class TestEventSchema:
             "task": {
                 "index": 0, "label": "budget:iris:p-tanh:0.4", "status": "ok",
                 "duration_s": 2.5, "done": 1, "total": 4,
+            },
+            "task_start": {"index": 0, "label": "budget:iris:p-tanh:0.4"},
+            "task_end": {
+                "index": 0, "label": "budget:iris:p-tanh:0.4", "status": "ok",
+                "duration_s": 2.5,
+            },
+            "alert": {
+                "kind": "non_finite", "epoch": 12, "message": "loss went NaN",
+                "phase": "constrained", "value": 1.5,
             },
             "run_end": {"exit_code": 0, "duration_s": 1.5, "metrics": {"forward_calls": 3.0}},
         }
@@ -127,6 +138,54 @@ class TestEventSchema:
         assert len(sink.events) == 1
         assert sink.events[0]["type"] == "run_start"
         assert sink.events[0]["ts"] > 0
+
+    def test_worker_attribution_accepted_on_every_type(self):
+        for event_type in EVENT_SCHEMAS:
+            event = self._sample(event_type)
+            event["worker_id"] = 4211
+            event["task_id"] = "budget:iris:p-tanh:0.4"
+            validate_event(event)
+
+    def test_worker_attribution_type_checked(self):
+        event = self._sample("epoch")
+        event["worker_id"] = "not-an-int"
+        with pytest.raises(ValueError, match="worker_id"):
+            validate_event(event)
+
+    def test_tee_sink_fans_out(self, tmp_path):
+        list_sink = ListSink()
+        path = tmp_path / "tee.jsonl"
+        logger = RunLogger(TeeSink(JsonlSink(path), list_sink))
+        assert logger.enabled
+        logger.emit("run_start", command="x", config={}, git_sha="dead")
+        logger.close()
+        assert len(list_sink.events) == 1
+        assert [e["type"] for e in read_events(path)] == ["run_start"]
+
+    def test_jsonl_append_mode_preserves_lines(self, tmp_path):
+        path = tmp_path / "shard.jsonl"
+        for _ in range(2):
+            sink = JsonlSink(path, append=True)
+            sink.write({"type": "task_start", "ts": 1.0, "index": 0, "label": "x"})
+            sink.close()
+        assert len(read_events(path)) == 2
+
+    def test_read_events_strict_false_keeps_unknown_types(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            '{"type": "run_end", "ts": 1.0, "exit_code": 0, "duration_s": 1.0}\n'
+            '{"type": "from_the_future", "ts": 2.0, "payload": 42}\n'
+        )
+        with pytest.raises(ValueError, match="unknown event type"):
+            read_events(path)
+        events = read_events(path, strict=False)
+        assert [e["type"] for e in events] == ["run_end", "from_the_future"]
+
+    def test_read_events_strict_false_still_validates_known_types(self, tmp_path):
+        path = tmp_path / "bad-known.jsonl"
+        path.write_text('{"type": "run_end", "ts": 1.0}\n')  # missing fields
+        with pytest.raises(ValueError, match="missing required field"):
+            read_events(path, strict=False)
 
 
 # ----------------------------------------------------------------------
@@ -194,6 +253,81 @@ class TestMetrics:
         names = {m.name for m in get_registry()}
         assert {"forward_calls", "surrogate_evals", "spice_iterations",
                 "power_violation", "epoch_time_s"} <= names
+
+    def test_prometheus_exposition_lint(self):
+        """The global registry's textfile passes exposition-format checks:
+        every family has HELP/TYPE lines, names are ``[a-z_]+`` with the
+        ``repro_`` prefix, and no family is emitted twice."""
+        import re
+
+        import repro.circuits.pnc  # noqa: F401 — register built-in metrics
+        import repro.training.trainer  # noqa: F401
+
+        text = get_registry().render_prometheus()
+        assert text.endswith("\n")
+        families: list[str] = []
+        typed: set[str] = set()
+        for line in text.splitlines():
+            assert line.strip() == line and line  # no padding, no blank lines
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ", 3)
+                assert kind in ("counter", "gauge", "histogram")
+                families.append(name)
+                typed.add(name)
+            elif line.startswith("# HELP "):
+                name = line.split(" ", 3)[2]
+                assert re.fullmatch(r"repro_[a-z_]+", name), name
+            else:
+                sample_name = re.match(r"[a-zA-Z_][a-zA-Z0-9_]*", line).group(0)
+                base = re.sub(r"_(bucket|sum|count)$", "", sample_name)
+                assert re.fullmatch(r"repro_[a-z_]+", base), line
+                assert sample_name in typed or base in typed, line
+        assert len(families) == len(set(families)), "duplicate metric family"
+        assert len(families) >= 5
+
+    def test_snapshot_carries_histogram_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        snap = reg.snapshot()
+        assert snap["lat"] == {"count": 2, "sum": pytest.approx(0.55), "buckets": [1, 2]}
+
+    def test_snapshot_delta_only_reports_change(self):
+        reg = MetricsRegistry()
+        c = reg.counter("calls")
+        h = reg.histogram("lat", buckets=(1.0,))
+        reg.counter("idle")
+        c.inc(2)
+        before = reg.snapshot()
+        c.inc(3)
+        h.observe(0.5)
+        delta = snapshot_delta(before, reg.snapshot())
+        assert delta == {
+            "calls": 3.0,
+            "lat": {"count": 1, "sum": 0.5, "buckets": [1]},
+        }
+        assert snapshot_delta(before, before) == {}
+
+    def test_merge_snapshot_adds_counters_and_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("calls").inc(10)
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        reg.gauge("level").set(1.0)
+        reg.merge_snapshot({
+            "calls": 5.0,
+            "lat": {"count": 2, "sum": 1.5, "buckets": [0, 2]},
+            "level": 99.0,                 # gauge: skipped
+            "worker_only": 7.0,            # becomes a counter
+            "mystery_hist": {"count": 1, "sum": 1.0, "buckets": [1]},  # dropped
+        })
+        assert reg.counter("calls").value == 15.0
+        assert h.count == 3 and h.sum == pytest.approx(1.55)
+        assert h.bucket_counts == [1, 3]
+        assert reg.gauge("level").value == 1.0
+        assert reg.counter("worker_only").value == 7.0
+        assert reg.get("mystery_hist") is None
 
     def test_snapshot_is_json_serializable(self):
         reg = MetricsRegistry()
@@ -337,6 +471,76 @@ class TestReport:
     def test_render_empty_events(self):
         text = render_report([], source="empty.jsonl")
         assert "empty" in text.lower() or "no events" in text.lower()
+
+    def test_render_empty_event_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        text = render_report_file(path)
+        assert "no events" in text
+
+    def test_single_epoch_sparkline(self):
+        """A one-epoch run renders a degenerate (flat) sparkline, no crash."""
+        events = [self._events()[1]]  # exactly one epoch event
+        text = render_report(events, source="one.jsonl")
+        assert "1 epochs" in text
+        assert "val_acc" in text
+
+    def test_unknown_event_types_are_tolerated_and_counted(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in self._events():
+                json.dump(event, fh)
+                fh.write("\n")
+            fh.write('{"type": "gpu_temp", "ts": 200.0, "celsius": 71}\n')
+        text = render_report_file(path)
+        assert "unknown event types" in text
+        assert "gpu_temp×1" in text
+        assert "constrained" in text  # the known content still renders
+
+    def test_alert_section(self):
+        events = self._events()
+        events.append({
+            "type": "alert", "ts": 103.8, "kind": "multiplier_divergence",
+            "epoch": 2, "message": "λ ran away", "phase": "constrained", "value": 2e6,
+        })
+        text = render_report(events)
+        assert "health alerts: 1" in text
+        assert "multiplier_divergence" in text and "λ ran away" in text
+
+    def test_worker_summary_section(self):
+        events = self._events()
+        for event in events:
+            if event["type"] == "epoch":
+                event["worker_id"] = 1234
+                event["task_id"] = "budget:iris:p-tanh:0.4"
+        text = render_report(events)
+        assert "workers: 1" in text
+        assert "worker 1234: 3 events, 1 task(s)" in text
+
+    def test_merged_multiworker_timeline_renders_ordered(self, tmp_path):
+        """A run dir with two worker shards merges into one ordered,
+        schema-valid timeline that the report renders."""
+        from repro.observability import merge_worker_shards, validate_run_events
+
+        parent = RunLogger(JsonlSink(tmp_path / "events.jsonl"))
+        parent.emit("run_start", command="grid", config={}, git_sha="abc")
+        parent.close()
+        for worker_id, offset in ((71, 0.0), (72, 0.5)):
+            sink = JsonlSink(tmp_path / f"events.worker-{worker_id}.jsonl", append=True)
+            for epoch in range(3):
+                sink.write({
+                    "type": "epoch", "ts": 200.0 + epoch + offset, "epoch": epoch,
+                    "loss": 0.5, "power_w": 1e-4, "val_accuracy": 0.7, "feasible": True,
+                    "lr": 0.1, "multiplier": 0.1, "phase": "constrained",
+                    "worker_id": worker_id, "task_id": f"cell-{worker_id}",
+                })
+            sink.close()
+        assert merge_worker_shards(tmp_path) == 6
+        assert validate_run_events(tmp_path) == 7
+        events = read_events(tmp_path / "events.jsonl")
+        assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+        text = render_report_file(tmp_path / "events.jsonl")
+        assert "workers: 2" in text
 
 
 # ----------------------------------------------------------------------

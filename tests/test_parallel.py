@@ -147,6 +147,147 @@ class TestTaskProgressReporter:
 
 
 # ----------------------------------------------------------------------
+# Worker telemetry: shard files, event attribution, metrics forwarding
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CountingTask:
+    """Increments a named counter in whichever process runs it."""
+
+    name: str
+    n: int
+
+    @property
+    def label(self) -> str:
+        return f"count:{self.n}"
+
+    def run(self) -> int:
+        get_registry().counter(self.name, "").inc(self.n)
+        return self.n
+
+
+class TestWorkerTelemetry:
+    def _read_shards(self, run_dir):
+        from repro.observability.events import read_events
+
+        events = []
+        for shard in sorted(run_dir.glob("events.worker-*.jsonl")):
+            events.extend(read_events(shard))  # strict: shards are schema-valid
+        return events
+
+    def test_pool_shards_are_attributed_and_metrics_aggregate(self, tmp_path):
+        from repro.parallel.telemetry import WorkerTelemetry
+
+        telemetry = WorkerTelemetry(run_dir=str(tmp_path))
+        counter = get_registry().counter("test_pool_increments", "")
+        before = counter.value
+        outcomes = map_tasks(
+            [CountingTask("test_pool_increments", n) for n in (1, 2, 3)],
+            n_jobs=2, telemetry=telemetry,
+        )
+        # parent registry aggregates the worker deltas: 1 + 2 + 3
+        assert counter.value - before == 6
+        assert all(o.ok for o in outcomes)
+        assert all(o.metrics is not None for o in outcomes)
+        assert all(o.metrics.get("test_pool_increments") == o.value for o in outcomes)
+
+        events = self._read_shards(tmp_path)
+        starts = [e for e in events if e["type"] == "task_start"]
+        ends = [e for e in events if e["type"] == "task_end"]
+        assert len(starts) == 3 and len(ends) == 3
+        assert all("worker_id" in e and "task_id" in e for e in events)
+        assert {e["task_id"] for e in ends} == {"count:1", "count:2", "count:3"}
+        assert all(e["status"] == "ok" for e in ends)
+        # the shard filename matches the worker_id stamped inside it
+        for shard in tmp_path.glob("events.worker-*.jsonl"):
+            pid = int(shard.stem.split("-")[-1])
+            from repro.observability.events import read_events
+
+            assert {e["worker_id"] for e in read_events(shard)} == {pid}
+
+    def test_serial_telemetry_writes_shard_without_double_count(self, tmp_path):
+        from repro.parallel.telemetry import WorkerTelemetry
+
+        telemetry = WorkerTelemetry(run_dir=str(tmp_path))
+        counter = get_registry().counter("test_serial_increments", "")
+        before = counter.value
+        outcomes = map_tasks(
+            [CountingTask("test_serial_increments", n) for n in (2, 5)],
+            n_jobs=1, telemetry=telemetry,
+        )
+        # inline runs mutate the registry directly; deltas are NOT re-merged
+        assert counter.value - before == 7
+        assert all(o.worker_pid == os.getpid() for o in outcomes)
+        events = self._read_shards(tmp_path)
+        assert {e["worker_id"] for e in events} == {os.getpid()}
+        assert len([e for e in events if e["type"] == "task_end"]) == 2
+
+    def test_failed_task_end_event_carries_error(self, tmp_path):
+        from repro.parallel.telemetry import WorkerTelemetry
+
+        outcomes = map_tasks(
+            [FailingTask()], n_jobs=1, telemetry=WorkerTelemetry(run_dir=str(tmp_path))
+        )
+        assert not outcomes[0].ok
+        ends = [e for e in self._read_shards(tmp_path) if e["type"] == "task_end"]
+        assert ends[0]["status"] == "error"
+        assert "intentional test failure" in ends[0]["error"]
+
+    def test_no_telemetry_means_no_shards_and_no_metrics(self, tmp_path):
+        outcomes = map_tasks([SquareTask(2)], n_jobs=1)
+        assert outcomes[0].metrics is None
+        assert list(tmp_path.glob("events.worker-*.jsonl")) == []
+
+    def test_worker_callbacks_inactive_by_default(self):
+        from repro.parallel.telemetry import worker_callbacks, worker_run_logger
+
+        assert worker_run_logger() is None
+        assert worker_callbacks() == []
+
+    def test_worker_callbacks_active_inside_bound_task(self, tmp_path):
+        from repro.observability.callbacks import EventLogCallback
+        from repro.observability.health import HealthMonitor
+        from repro.parallel.telemetry import (
+            WorkerTelemetry,
+            bind_task,
+            unbind_task,
+            worker_callbacks,
+        )
+
+        bind_task(WorkerTelemetry(run_dir=str(tmp_path)), task_id="cell-0")
+        try:
+            callbacks = worker_callbacks(phase="constrained")
+            assert [type(c) for c in callbacks] == [EventLogCallback, HealthMonitor]
+            assert callbacks[0].phase == "constrained"
+            callbacks[0].run_logger.emit(
+                "checkpoint", epoch=1, val_accuracy=0.9, power_w=1e-4, phase="constrained"
+            )
+        finally:
+            unbind_task()
+        events = self._read_shards(tmp_path)
+        checkpoint = next(e for e in events if e["type"] == "checkpoint")
+        assert checkpoint["worker_id"] == os.getpid()
+        assert checkpoint["task_id"] == "cell-0"
+
+    def test_default_telemetry_install_and_clear(self, tmp_path):
+        from repro.parallel.telemetry import (
+            WorkerTelemetry,
+            default_telemetry,
+            set_default_telemetry,
+        )
+
+        assert default_telemetry() is None
+        telemetry = WorkerTelemetry(run_dir=str(tmp_path))
+        set_default_telemetry(telemetry)
+        try:
+            assert default_telemetry() is telemetry
+            map_tasks([SquareTask(3)], n_jobs=1)  # picks up the default
+            assert list(tmp_path.glob("events.worker-*.jsonl"))
+        finally:
+            set_default_telemetry(None)
+        assert default_telemetry() is None
+
+
+# ----------------------------------------------------------------------
 # Serial-vs-parallel determinism of the wired experiment entry points
 # ----------------------------------------------------------------------
 def _tiny_config():

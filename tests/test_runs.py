@@ -1,0 +1,281 @@
+"""Tests for the run registry (repro.observability.runs) and its CLI.
+
+Covers the run-directory lifecycle (manifest, events, metrics, status),
+worker-shard merging into one time-ordered schema-valid timeline, run
+resolution (path / id / prefix), summaries, the render helpers, and the
+``repro runs list|show|compare`` subcommands end to end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability import (
+    JsonlSink,
+    RunContext,
+    RunLogger,
+    list_runs,
+    load_manifest,
+    merge_worker_shards,
+    read_events,
+    render_run_compare,
+    render_run_show,
+    render_runs_table,
+    resolve_run,
+    summarize_run,
+    validate_run_events,
+)
+from repro.observability.runs import environment_fingerprint, new_run_id
+
+
+def _write_epochs(run_logger: RunLogger, n: int, phase: str = "constrained") -> None:
+    for epoch in range(n):
+        run_logger.emit(
+            "epoch", epoch=epoch, loss=1.0 - 0.1 * epoch, power_w=2e-4 - 1e-5 * epoch,
+            val_accuracy=0.5 + 0.05 * epoch, feasible=epoch > 0, lr=0.1,
+            multiplier=0.02 * epoch, phase=phase,
+        )
+
+
+def _make_run(base, command="train", config=None, epochs=3, run_id=None) -> RunContext:
+    ctx = RunContext.create(
+        base, command, dict(config or {"dataset": "iris", "seed": 0}),
+        argv=[command, "iris"], git_sha="abc1234", run_id=run_id,
+    )
+    _write_epochs(ctx.logger, epochs)
+    ctx.finalize(exit_code=0, duration_s=1.5)
+    return ctx
+
+
+# ----------------------------------------------------------------------
+class TestRunContext:
+    def test_create_writes_manifest_and_events(self, tmp_path):
+        ctx = RunContext.create(
+            tmp_path, "train", {"dataset": "iris", "seed": 7},
+            argv=["train", "iris"], git_sha="abc1234",
+        )
+        manifest = load_manifest(ctx.directory)
+        assert manifest["command"] == "train"
+        assert manifest["config"] == {"dataset": "iris", "seed": 7}
+        assert manifest["seed"] == 7
+        assert manifest["git_sha"] == "abc1234"
+        assert manifest["argv"] == ["train", "iris"]
+        assert manifest["status"] == "running"
+        env = manifest["environment"]
+        assert {"python", "platform", "numpy", "pid", "env"} <= set(env)
+        ctx.logger.emit("run_start", command="train", config={}, git_sha="abc1234")
+        ctx.finalize(exit_code=0, duration_s=2.0)
+        manifest = load_manifest(ctx.directory)
+        assert manifest["status"] == "completed"
+        assert manifest["exit_code"] == 0
+        assert manifest["duration_s"] == pytest.approx(2.0)
+        assert (ctx.directory / "metrics.prom").read_text().startswith("# HELP")
+        assert validate_run_events(ctx.directory) == 1
+
+    def test_nonzero_exit_marks_failed(self, tmp_path):
+        ctx = RunContext.create(tmp_path, "grid", {})
+        ctx.finalize(exit_code=1, duration_s=0.1)
+        assert load_manifest(ctx.directory)["status"] == "failed"
+
+    def test_run_id_collision_rejected(self, tmp_path):
+        RunContext.create(tmp_path, "train", {}, run_id="fixed")
+        with pytest.raises(FileExistsError):
+            RunContext.create(tmp_path, "train", {}, run_id="fixed")
+
+    def test_new_run_id_embeds_command_and_is_unique(self):
+        a, b = new_run_id("grid"), new_run_id("grid")
+        assert "grid" in a and a != b
+
+    def test_write_diagnostic(self, tmp_path):
+        ctx = RunContext.create(tmp_path, "train", {})
+        path = ctx.write_diagnostic({"kind": "non_finite", "epoch": 3})
+        assert json.loads(path.read_text())["kind"] == "non_finite"
+
+    def test_fingerprint_captures_repro_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert environment_fingerprint()["env"]["REPRO_FULL"] == "1"
+
+
+# ----------------------------------------------------------------------
+class TestShardMerge:
+    def _shard(self, path, worker_id, specs):
+        """specs: list of (ts, epoch) for worker-attributed epoch events."""
+        sink = JsonlSink(path, append=True)
+        for ts, epoch in specs:
+            sink.write({
+                "type": "epoch", "ts": ts, "epoch": epoch, "loss": 0.5,
+                "power_w": 1e-4, "val_accuracy": 0.7, "feasible": True, "lr": 0.1,
+                "multiplier": 0.1, "phase": "constrained",
+                "worker_id": worker_id, "task_id": f"task-{worker_id}",
+            })
+        sink.close()
+
+    def test_merge_orders_and_stays_schema_valid(self, tmp_path):
+        parent = RunLogger(JsonlSink(tmp_path / "events.jsonl"))
+        parent.emit("run_start", command="grid", config={}, git_sha="abc")
+        parent.close()
+        self._shard(tmp_path / "events.worker-111.jsonl", 111, [(50.0, 0), (150.0, 1)])
+        self._shard(tmp_path / "events.worker-222.jsonl", 222, [(100.0, 0), (125.0, 1)])
+
+        merged_count = merge_worker_shards(tmp_path)
+        assert merged_count == 4
+        events = read_events(tmp_path / "events.jsonl")  # strict: all valid
+        timestamps = [e["ts"] for e in events]
+        assert timestamps == sorted(timestamps)
+        worker_events = [e for e in events if "worker_id" in e]
+        assert len(worker_events) == 4
+        assert all("task_id" in e for e in worker_events)
+        assert {e["worker_id"] for e in worker_events} == {111, 222}
+        # shards are kept for forensics
+        assert len(list(tmp_path.glob("events.worker-*.jsonl"))) == 2
+        assert validate_run_events(tmp_path) == 5
+
+    def test_merge_without_shards_is_noop(self, tmp_path):
+        parent = RunLogger(JsonlSink(tmp_path / "events.jsonl"))
+        parent.emit("run_start", command="x", config={}, git_sha="abc")
+        parent.close()
+        before = (tmp_path / "events.jsonl").read_text()
+        assert merge_worker_shards(tmp_path) == 0
+        assert (tmp_path / "events.jsonl").read_text() == before
+
+    def test_merge_is_stable_for_equal_timestamps(self, tmp_path):
+        self._shard(tmp_path / "events.worker-5.jsonl", 5, [(10.0, 0), (10.0, 1), (10.0, 2)])
+        merge_worker_shards(tmp_path)
+        events = read_events(tmp_path / "events.jsonl")
+        assert [e["epoch"] for e in events] == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------
+class TestRegistryReadSide:
+    def test_list_runs_sorted_by_creation(self, tmp_path):
+        _make_run(tmp_path, run_id="b-second")
+        _make_run(tmp_path, run_id="a-first")
+        (tmp_path / "not-a-run").mkdir()
+        names = [p.name for p in list_runs(tmp_path)]
+        assert set(names) == {"b-second", "a-first"}
+        created = [load_manifest(tmp_path / n)["created_ts"] for n in names]
+        assert created == sorted(created)
+
+    def test_resolve_by_path_id_and_prefix(self, tmp_path):
+        ctx = _make_run(tmp_path, run_id="20260101-000000-train-aaa111")
+        assert resolve_run(str(ctx.directory)) == ctx.directory
+        assert resolve_run("20260101-000000-train-aaa111", tmp_path) == ctx.directory
+        assert resolve_run("20260101", tmp_path) == ctx.directory
+
+    def test_resolve_rejects_missing_and_ambiguous(self, tmp_path):
+        _make_run(tmp_path, run_id="run-aa")
+        _make_run(tmp_path, run_id="run-ab")
+        with pytest.raises(ValueError, match="ambiguous"):
+            resolve_run("run-a", tmp_path)
+        with pytest.raises(ValueError, match="no run"):
+            resolve_run("zzz", tmp_path)
+
+    def test_summarize_run_final_metrics(self, tmp_path):
+        ctx = _make_run(tmp_path, epochs=4)
+        summary = summarize_run(ctx.directory)
+        assert summary.status == "completed"
+        assert summary.n_epochs == 4
+        assert summary.final_accuracy == pytest.approx(0.65)
+        assert summary.final_power_w == pytest.approx(1.7e-4)
+        assert summary.final_multiplier == pytest.approx(0.06)
+        assert summary.n_alerts == 0
+        assert summary.worker_ids == ()
+
+    def test_validate_run_events_rejects_corruption(self, tmp_path):
+        ctx = _make_run(tmp_path)
+        with open(ctx.events_path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "epoch", "ts": 1.0}\n')  # missing required fields
+        with pytest.raises(ValueError, match="missing required field"):
+            validate_run_events(ctx.directory)
+
+
+# ----------------------------------------------------------------------
+class TestRendering:
+    def test_table_lists_each_run(self, tmp_path):
+        _make_run(tmp_path, run_id="run-one", command="train")
+        _make_run(tmp_path, run_id="run-two", command="grid")
+        text = render_runs_table(tmp_path)
+        assert "run-one" in text and "run-two" in text
+        assert "val_acc" in text and "power_mW" in text
+
+    def test_table_empty_dir(self, tmp_path):
+        assert "no runs" in render_runs_table(tmp_path / "absent")
+
+    def test_show_contains_manifest_and_report(self, tmp_path):
+        ctx = _make_run(tmp_path)
+        text = render_run_show(ctx.directory)
+        assert ctx.run_id in text
+        assert "abc1234" in text
+        assert "run report" in text
+        assert "constrained" in text
+
+    def test_compare_diffs_config_and_trajectories(self, tmp_path):
+        a = _make_run(tmp_path, config={"dataset": "iris", "epochs": 5}, run_id="cmp-a")
+        b = _make_run(tmp_path, config={"dataset": "seeds", "epochs": 9}, run_id="cmp-b",
+                      epochs=5)
+        text = render_run_compare(a.directory, b.directory)
+        assert "cmp-a" in text and "cmp-b" in text
+        assert "dataset: iris -> seeds" in text
+        assert "epochs: 5 -> 9" in text
+        assert "final val_acc" in text and "final power_mW" in text and "final λ" in text
+        # both trajectories sparkline
+        assert text.count("val_acc  ") >= 2
+
+
+# ----------------------------------------------------------------------
+class TestRunsCli:
+    def _record_run(self, tmp_path, monkeypatch=None):
+        from repro.cli import main
+
+        assert main(["datasets", "--run-dir", str(tmp_path)]) == 0
+        return list_runs(tmp_path)[-1]
+
+    def test_run_dir_end_to_end(self, tmp_path, capsys):
+        run = self._record_run(tmp_path)
+        capsys.readouterr()
+        manifest = load_manifest(run)
+        assert manifest["command"] == "datasets"
+        assert manifest["status"] == "completed"
+        assert "datasets" in manifest["argv"]
+        assert (run / "metrics.prom").exists()
+        events = read_events(run / "events.jsonl")
+        assert [e["type"] for e in events][0] == "run_start"
+        assert events[-1]["type"] == "run_end"
+
+    def test_run_dir_tees_with_log_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        log = tmp_path / "copy.jsonl"
+        assert main(["datasets", "--run-dir", str(tmp_path / "runs"),
+                     "--log-json", str(log)]) == 0
+        capsys.readouterr()
+        run = list_runs(tmp_path / "runs")[-1]
+        assert [e["type"] for e in read_events(log)] == \
+            [e["type"] for e in read_events(run / "events.jsonl")]
+
+    def test_runs_list_show_compare(self, tmp_path, capsys):
+        from repro.cli import main
+
+        run_a = self._record_run(tmp_path)
+        run_b = self._record_run(tmp_path)
+        capsys.readouterr()
+
+        assert main(["runs", "list", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert run_a.name in out and run_b.name in out
+
+        assert main(["runs", "show", run_a.name, "--dir", str(tmp_path)]) == 0
+        assert run_a.name in capsys.readouterr().out
+
+        assert main(["runs", "compare", run_a.name, run_b.name,
+                     "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "config diff" in out
+
+    def test_runs_show_unknown_ref_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["runs", "show", "nope", "--dir", str(tmp_path)]) == 2
+        assert "error" in capsys.readouterr().err
