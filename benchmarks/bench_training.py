@@ -1,0 +1,207 @@
+"""Measure captured-graph replay vs eager training; write ``BENCH_training.json``.
+
+Runs the same 40-epoch augmented-Lagrangian iris training twice in one
+process — once with ``capture_graph=False`` (every epoch eager) and once
+with the default capture-and-replay engine — and compares:
+
+- **per-epoch step time** (the ``epoch_step_time_s`` histogram delta),
+  the number the PR's >=1.5x claim is about;
+- **per-epoch eval time** (``epoch_eval_time_s``);
+- **op counts** of the captured step/eval/val graphs (``graph_step_ops``
+  etc.) — the structural fingerprint of the execution engine;
+- **trace bit-identity**: loss / power / multiplier / validation-accuracy
+  traces must be *exactly* equal between the two modes.
+
+Modes:
+
+    PYTHONPATH=src python benchmarks/bench_training.py           # measure + write
+    PYTHONPATH=src python benchmarks/bench_training.py --check   # CI regression gate
+
+``--check`` re-measures on the current host and fails (exit 1) when
+
+- any captured-graph op count differs from the committed baseline (an op
+  crept into the hot loop — always a real regression, host-independent);
+- the measured step-time speedup falls below baseline/1.25 (a >25%
+  relative wall-time regression; comparing *ratios* keeps the gate
+  host-independent);
+- the eager and replay traces are not bit-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+OUT = REPO / "BENCH_training.json"
+DATASET = "iris"
+EPOCHS = 40
+BUDGET_FRACTION = 0.4
+WALL_TIME_TOLERANCE = 1.25
+
+#: op-count gauges that must match the committed baseline exactly
+OP_GAUGES = ("graph_step_ops", "graph_eval_ops", "graph_val_ops")
+
+
+def _setup():
+    from repro.datasets import load_dataset, train_val_test_split
+    from repro.pdk.params import ActivationKind
+    from repro.power.surrogate import get_cached_surrogate
+
+    data = load_dataset(DATASET)
+    split = train_val_test_split(data, seed=0)
+    af = get_cached_surrogate(ActivationKind.TANH, n_q=800, epochs=60)
+    neg = get_cached_surrogate("negation", n_q=500, epochs=60)
+    return data, split, af, neg
+
+
+def _make_net(data, af, neg, seed):
+    import numpy as np
+
+    from repro.circuits import PNCConfig, PrintedNeuralNetwork
+    from repro.pdk.params import ActivationKind
+
+    return PrintedNeuralNetwork(
+        data.n_features, data.n_classes, PNCConfig(kind=ActivationKind.TANH),
+        np.random.default_rng(seed), af, neg,
+    )
+
+
+def _hist_mean_ms(delta: dict, name: str) -> float | None:
+    hist = delta.get(name)
+    if not isinstance(hist, dict) or not hist.get("count"):
+        return None
+    return hist["sum"] / hist["count"] * 1e3
+
+
+def _train_once(capture: bool, data, split, af, neg, budget: float) -> dict:
+    from repro.observability.metrics import get_registry, snapshot_delta
+    from repro.training import TrainerSettings, train_power_constrained
+
+    settings = TrainerSettings(epochs=EPOCHS, patience=EPOCHS, capture_graph=capture)
+    net = _make_net(data, af, neg, seed=1)
+    registry = get_registry()
+    before = registry.snapshot()
+    t0 = time.perf_counter()
+    result = train_power_constrained(
+        net, split, power_budget=budget, mu=5.0, settings=settings
+    )
+    total_s = time.perf_counter() - t0
+    delta = snapshot_delta(before, registry.snapshot())
+    stats = {
+        "mode": "replay" if capture else "eager",
+        "total_s": total_s,
+        "step_time_mean_ms": _hist_mean_ms(delta, "epoch_step_time_s"),
+        "eval_time_mean_ms": _hist_mean_ms(delta, "epoch_eval_time_s"),
+        "replay_epochs": int(delta.get("graph_replay_epochs", 0)),
+        "recaptures": int(delta.get("graph_recapture_total", 0)),
+        "capture_fallbacks": int(delta.get("graph_capture_fallbacks", 0)),
+    }
+    if capture:
+        for gauge in OP_GAUGES:
+            stats[gauge] = int(registry.gauge(gauge).value)
+    traces = {
+        "loss": result.loss_trace,
+        "power": result.power_trace,
+        "multiplier": result.multiplier_trace,
+        "val_accuracy": result.val_accuracy_trace,
+    }
+    return {"stats": stats, "traces": traces,
+            "test_accuracy": result.test_accuracy, "power_w": result.power}
+
+
+def measure() -> dict:
+    from repro.training import TrainerSettings, train_unconstrained
+
+    data, split, af, neg = _setup()
+    reference = train_unconstrained(
+        _make_net(data, af, neg, seed=0), split,
+        settings=TrainerSettings(epochs=EPOCHS, patience=EPOCHS),
+    )
+    budget = BUDGET_FRACTION * max(reference.power_trace)
+
+    eager = _train_once(False, data, split, af, neg, budget)
+    replay = _train_once(True, data, split, af, neg, budget)
+
+    identical = eager["traces"] == replay["traces"]
+    eager_ms = eager["stats"]["step_time_mean_ms"]
+    replay_ms = replay["stats"]["step_time_mean_ms"]
+    return {
+        "benchmark": "training",
+        "command": f"python -m repro.cli train {DATASET} --epochs {EPOCHS} --profile",
+        "dataset": DATASET,
+        "epochs": EPOCHS,
+        "budget_fraction": BUDGET_FRACTION,
+        "host": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "eager": eager["stats"],
+        "replay": replay["stats"],
+        "step_time_speedup": eager_ms / replay_ms if replay_ms else None,
+        "eval_time_speedup": (
+            eager["stats"]["eval_time_mean_ms"] / replay["stats"]["eval_time_mean_ms"]
+            if replay["stats"]["eval_time_mean_ms"] else None
+        ),
+        "traces_bit_identical": identical,
+    }
+
+
+def check(fresh: dict) -> int:
+    """Gate a fresh measurement against the committed baseline; 0 = pass."""
+    if not OUT.exists():
+        print(f"FAIL: no baseline {OUT.name}; run without --check first", file=sys.stderr)
+        return 1
+    baseline = json.loads(OUT.read_text())
+    failures: list[str] = []
+
+    if not fresh["traces_bit_identical"]:
+        failures.append("eager and replay traces diverged (bit-identity broken)")
+
+    for gauge in OP_GAUGES:
+        was, now = baseline["replay"].get(gauge), fresh["replay"].get(gauge)
+        if was is not None and now != was:
+            failures.append(f"op-count regression: {gauge} {was} -> {now}")
+
+    base_speedup, now_speedup = baseline.get("step_time_speedup"), fresh.get("step_time_speedup")
+    if base_speedup and now_speedup:
+        floor = base_speedup / WALL_TIME_TOLERANCE
+        if now_speedup < floor:
+            failures.append(
+                f"wall-time regression: step speedup {now_speedup:.2f}x < "
+                f"{floor:.2f}x (baseline {base_speedup:.2f}x / {WALL_TIME_TOLERANCE})"
+            )
+        else:
+            print(f"step speedup {now_speedup:.2f}x (baseline {base_speedup:.2f}x, "
+                  f"floor {floor:.2f}x) — ok")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("benchmark gate passed")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="gate against the committed BENCH_training.json instead of rewriting it")
+    args = parser.parse_args()
+
+    payload = measure()
+    print(json.dumps(payload, indent=2, default=float))
+    if args.check:
+        return check(payload)
+    OUT.write_text(json.dumps(payload, indent=2, default=float) + "\n")
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,19 +19,32 @@ straight-through estimators for the non-differentiable device-count
 indicators.
 """
 
-from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled, tensor
+from repro.autograd.tensor import (
+    Tensor,
+    no_grad,
+    is_grad_enabled,
+    tensor,
+    graph_capture,
+    is_capturing,
+    constant_of,
+)
 from repro.autograd import functional
 from repro.autograd import nn
 from repro.autograd import optim
 from repro.autograd import init
+from repro.autograd import graph
 
 __all__ = [
     "Tensor",
     "tensor",
     "no_grad",
     "is_grad_enabled",
+    "graph_capture",
+    "is_capturing",
+    "constant_of",
     "functional",
     "nn",
     "optim",
     "init",
+    "graph",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, constant_of
 
 
 def sigmoid(x: Tensor) -> Tensor:
@@ -44,7 +44,7 @@ def softplus(x: Tensor, beta: float = 1.0) -> Tensor:
 
 def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
     """Log-softmax along ``axis`` with the max-subtraction trick."""
-    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    shifted = logits - constant_of(lambda a: a.max(axis=axis, keepdims=True), logits)
     log_norm = shifted.exp().sum(axis=axis, keepdims=True).log()
     return shifted - log_norm
 
@@ -70,10 +70,30 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
         raise ValueError("cross_entropy expects 2-D logits (batch, classes)")
     if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
         raise ValueError("targets must be 1-D and match the batch dimension")
-    log_probs = log_softmax(logits, axis=-1)
     batch = np.arange(targets.shape[0])
-    picked = log_probs[(batch, targets)]
-    return -(picked.mean())
+    inv_n = 1.0 / targets.shape[0]
+    source = logits.data
+
+    # Fused kernel: the max-shift/exp/sum/log/pick/mean chain runs as one
+    # numpy sequence (one graph node) instead of ~9 Tensor ops.  The forward
+    # replicates the composed op sequence exactly; the backward uses the
+    # closed form (softmax - onehot)/n.  The argmax shift and probabilities
+    # are recomputed from the *current* logits array inside both closures,
+    # which is what keeps the node valid under captured-graph replay.
+    def fwd(a: np.ndarray) -> np.ndarray:
+        shifted = a - a.max(axis=-1, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        picked = (shifted - log_norm)[batch, targets]
+        return -(picked.sum() * inv_n)
+
+    def backward(g: np.ndarray):
+        shifted = source - source.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=-1, keepdims=True)
+        probs[batch, targets] -= 1.0
+        return (probs * (g * inv_n),)
+
+    return Tensor._make(fwd(source), (logits,), backward, fwd=fwd)
 
 
 def mse_loss(prediction: Tensor, target: np.ndarray | Tensor) -> Tensor:
@@ -121,9 +141,12 @@ def straight_through_indicator(x: Tensor, threshold: float = 0.0, sharpness: flo
     paper, applied in straight-through form.
     """
     soft = soft_indicator(x - threshold, sharpness=sharpness)
-    hard = hard_indicator(x, threshold=threshold)
-    # hard = soft + (hard - soft).detach(): forward value is hard, gradient is soft's.
-    correction = Tensor(hard - soft.data)
+    # hard = soft + (hard - soft).detach(): forward value is hard, gradient is
+    # soft's.  The correction is data-dependent, so it is a replayable
+    # constant node rather than a frozen Tensor literal.
+    correction = constant_of(
+        lambda xv, sv: (xv > threshold).astype(np.float64) - sv, x, soft
+    )
     return soft + correction
 
 

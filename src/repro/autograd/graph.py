@@ -1,0 +1,198 @@
+"""Static-graph capture & replay for the autograd engine.
+
+Full-batch training (the paper's protocol, §IV-A) evaluates a structurally
+identical computational graph every epoch — only parameter *values* change.
+:class:`CapturedGraph` records one eager forward (op sequence, parent
+tensors, preallocated output buffers) plus the reverse topological order of
+one backward pass, then replays later epochs as a flat loop over numpy
+kernels:
+
+* **forward replay** walks the recorded schedule and recomputes each node's
+  forward thunk, writing the result *into the node's existing array* (numpy
+  ufuncs write via ``out=`` — buffer donation; everything else is
+  ``np.copyto``).  No ``Tensor`` boxes, no closures, no topo sort are
+  (re)created.
+* **backward replay** reuses the closures recorded during the capture epoch
+  (they reference the parent/output arrays by object, which the in-place
+  forward keeps fresh) and propagates along the cached topo order via the
+  same accumulation routine as eager — gradients are bit-identical.
+
+Validity is guarded by a cheap structural fingerprint: a process-wide
+*graph version* (bumped by mutations that change graph **structure**, e.g.
+``CrossbarLayer.set_masks``), the objective's epoch key (e.g. the AL warmup
+boundary), and the recorded leaf shapes.  Value-only changes — LR halving,
+λ/μ updates, budget annealing — never invalidate a capture.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, _run_backward, _topo_order
+from repro.observability.metrics import get_registry
+
+_REPLAY_EPOCHS = get_registry().counter(
+    "graph_replay_epochs", "training epochs executed by captured-graph replay"
+)
+_RECAPTURE_TOTAL = get_registry().counter(
+    "graph_recapture_total", "captured graphs invalidated and re-recorded mid-run"
+)
+_CAPTURE_FALLBACKS = get_registry().counter(
+    "graph_capture_fallbacks", "capture attempts abandoned (op without a forward thunk)"
+)
+
+#: Process-wide structural version; replay is valid only while unchanged.
+_GRAPH_VERSION = 0
+
+
+def graph_version() -> int:
+    """Current structural version of the process's tensor programs."""
+    return _GRAPH_VERSION
+
+
+def bump_graph_version() -> None:
+    """Invalidate every captured graph (call after structural mutations)."""
+    global _GRAPH_VERSION
+    _GRAPH_VERSION += 1
+
+
+class GraphCaptureError(RuntimeError):
+    """The traced program cannot be replayed (an op lacks a forward thunk)."""
+
+
+# Schedule entry modes.
+_MODE_COPY = 0   # recompute, then np.copyto into the node's buffer
+_MODE_UFUNC = 1  # numpy ufunc: write directly via out= (buffer donation)
+
+
+class CapturedGraph:
+    """One recorded tensor program, replayable into its original buffers.
+
+    Parameters
+    ----------
+    outputs:
+        The tensors whose values the caller reads after each replay.  The
+        forward schedule is the set of their ancestors (this prunes work:
+        e.g. during AL warmup the training loss does not depend on the
+        power assembly, so replay skips it entirely).
+    backward_root:
+        Optional scalar to also record a backward pass for; its topo order
+        is cached and reused by :meth:`replay_backward`.
+    epoch_key:
+        Opaque structural key (see ``Objective.graph_epoch_key``); replay is
+        valid only for epochs with an equal key.
+    """
+
+    def __init__(
+        self,
+        outputs: Sequence[Tensor],
+        backward_root: Tensor | None = None,
+        epoch_key: object = None,
+    ):
+        self.outputs = tuple(outputs)
+        self.epoch_key = epoch_key
+        self.version = graph_version()
+        self.backward_root = backward_root
+        self.backward_order: list[Tensor] | None = None
+        if backward_root is not None:
+            self.backward_order = _topo_order(backward_root)
+        self._schedule: list[tuple[int, Callable, tuple[Tensor, ...], np.ndarray]] = []
+        self.n_leaves = 0
+        self.n_view_nodes = 0
+        self._leaf_shapes: list[tuple[Tensor, tuple[int, ...]]] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_ops(self) -> int:
+        """Recomputed kernels per forward replay (views/aliases excluded)."""
+        return len(self._schedule)
+
+    def _build(self) -> None:
+        order = self._forward_order()
+        for node in order:
+            preds = node._parents + node._deps
+            if not preds:
+                self.n_leaves += 1
+                self._leaf_shapes.append((node, node.data.shape))
+                continue
+            fwd = node._fwd
+            if fwd is None:
+                _CAPTURE_FALLBACKS.inc()
+                raise GraphCaptureError(
+                    "captured graph contains an op without a forward thunk "
+                    "(was part of the program built outside graph_capture()?)"
+                )
+            # Aliasing outputs (reshape/transpose views, detach) track their
+            # source automatically once updates are in place — skip them.
+            if any(np.shares_memory(node.data, p.data) for p in preds):
+                self.n_view_nodes += 1
+                continue
+            mode = _MODE_COPY
+            if isinstance(fwd, np.ufunc) and fwd.nin == len(preds) and fwd.nout == 1:
+                try:
+                    fwd(*[p.data for p in preds], out=node.data)
+                    mode = _MODE_UFUNC
+                except (TypeError, ValueError):  # pragma: no cover - exotic shapes
+                    mode = _MODE_COPY
+            self._schedule.append((mode, fwd, preds, node.data))
+
+    def _forward_order(self) -> list[Tensor]:
+        """Topo order (ancestors first) over ``_parents`` + ``_deps``."""
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(t, False) for t in self.outputs]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for pred in node._parents + node._deps:
+                if id(pred) not in visited:
+                    stack.append((pred, False))
+        return order
+
+    # ------------------------------------------------------------------
+    def is_valid(self, epoch_key: object = None) -> bool:
+        """Cheap structural fingerprint check run before every replay."""
+        if self.version != graph_version():
+            return False
+        if epoch_key != self.epoch_key:
+            return False
+        for leaf, shape in self._leaf_shapes:
+            if leaf.data.shape != shape:
+                return False
+        return True
+
+    def replay_forward(self) -> None:
+        """Re-execute the recorded kernels into the captured buffers."""
+        for mode, fwd, srcs, out in self._schedule:
+            if mode == _MODE_UFUNC:
+                fwd(*[s.data for s in srcs], out=out)
+            else:
+                result = fwd(*[s.data for s in srcs])
+                if result is not out:
+                    np.copyto(out, result, casting="unsafe")
+
+    def replay_backward(self) -> None:
+        """Re-run the captured backward pass along the cached topo order."""
+        root = self.backward_root
+        if root is None or self.backward_order is None:
+            raise RuntimeError("graph was captured without a backward root")
+        _run_backward(root, self.backward_order, np.ones_like(root.data))
+
+
+def mark_replay_epoch() -> None:
+    """Count one epoch served by replay (shows up in ``repro report``)."""
+    _REPLAY_EPOCHS.inc()
+
+
+def mark_recapture() -> None:
+    """Count one mid-run invalidation that forced a re-record."""
+    _RECAPTURE_TOTAL.inc()

@@ -98,9 +98,16 @@ class Module:
         for name, value in state.items():
             param = params[name]
             value = np.asarray(value, dtype=np.float64)
-            if value.shape != param.data.shape:
-                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.data.shape}")
-            param.data = value.copy()
+            if value.shape != np.shape(param.data):
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {np.shape(param.data)}")
+            # In-place so captured-graph buffers / backward closures holding a
+            # reference to the parameter's array observe the restored values.
+            # (External code may have rebound .data to a numpy scalar — fall
+            # back to rebinding then, nothing can hold a buffer reference.)
+            if isinstance(param.data, np.ndarray):
+                np.copyto(param.data, value)
+            else:
+                param.data = value.copy()
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

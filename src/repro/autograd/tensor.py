@@ -15,6 +15,27 @@ Design notes
   the PyTorch inference idiom the paper's evaluation loops use.
 * Only float64 data participates in differentiation; integer tensors may be
   created for indexing but never require gradients.
+
+Capture & replay support
+------------------------
+Every op carries a *forward thunk* — a pure function from parent arrays to
+the output array (``_fwd``).  Under :func:`graph_capture` each produced node
+also retains its parents (even inside ``no_grad``), which lets
+:class:`repro.autograd.graph.CapturedGraph` record the op sequence of one
+eager epoch and replay later epochs as a flat loop over numpy kernels
+writing into the *same* preallocated output buffers.  Two invariants make
+replay bit-identical to eager:
+
+* backward closures reference the parent/output ``ndarray`` *objects*, and
+  replay updates those arrays in place, so the closures recorded during the
+  capture epoch stay valid (closures must never cache *derived* arrays —
+  see ``relu``/``clip``/``abs``/``max``, which recompute inside backward);
+* values that are data-dependent but non-differentiable (branch masks,
+  straight-through corrections, implicit-solve results) are wrapped in
+  :func:`constant_of` nodes whose recompute function reruns at replay.
+  Their inputs live in ``_deps`` — a replay-only edge list that
+  :meth:`Tensor.backward` never traverses, so gradient accumulation order
+  (and therefore every float) is identical with capture on or off.
 """
 
 from __future__ import annotations
@@ -42,6 +63,28 @@ def no_grad():
         yield
     finally:
         _GRAD_STATE.enabled = previous
+
+
+def is_capturing() -> bool:
+    """Whether ops currently retain replay structure (parents + thunks)."""
+    return getattr(_GRAD_STATE, "capturing", False)
+
+
+@contextlib.contextmanager
+def graph_capture():
+    """Record replay structure on every op created inside the block.
+
+    Orthogonal to :func:`no_grad`: an inference forward can be captured
+    (parents and forward thunks are retained) without any gradient
+    bookkeeping.  Values and gradients are unaffected — capture only keeps
+    extra references.
+    """
+    previous = is_capturing()
+    _GRAD_STATE.capturing = True
+    try:
+        yield
+    finally:
+        _GRAD_STATE.capturing = previous
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -75,6 +118,59 @@ def tensor(value, requires_grad: bool = False) -> "Tensor":
     return Tensor(value, requires_grad=requires_grad)
 
 
+# ----------------------------------------------------------------------
+# Module-level forward kernels (shared by eager compute and graph replay;
+# the numpy ufuncs among them additionally support buffer donation via
+# ``out=`` during replay).
+# ----------------------------------------------------------------------
+
+def _sigmoid_kernel(a: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(a, -500, 500)))
+
+
+def _relu_kernel(a: np.ndarray) -> np.ndarray:
+    return a * (a > 0)
+
+
+def _topo_order(root: "Tensor") -> list["Tensor"]:
+    """Reverse-topological DFS order over ``_parents`` (iterative)."""
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    return order
+
+
+def _run_backward(root: "Tensor", order: Sequence["Tensor"], grad: np.ndarray) -> None:
+    """Propagate ``grad`` from ``root`` along a precomputed topo ``order``.
+
+    Shared by :meth:`Tensor.backward` (fresh order per call) and
+    :class:`~repro.autograd.graph.CapturedGraph` (cached order), so replayed
+    backward passes accumulate in exactly the eager order.
+    """
+    grads: dict[int, np.ndarray] = {id(root): grad}
+    for node in reversed(order):
+        node_grad = grads.pop(id(node), None)
+        if node_grad is None:
+            continue
+        if node.requires_grad and node._backward is None:
+            # Leaf tensor: accumulate into .grad
+            node._accumulate(node_grad)
+        if node._backward is not None:
+            node._push_parent_grads(node_grad, grads)
+
+
 class Tensor:
     """A numpy-backed tensor participating in reverse-mode autodiff.
 
@@ -87,7 +183,7 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_deps", "_fwd", "name")
     __array_priority__ = 100.0  # ensure ndarray + Tensor dispatches to Tensor
 
     def __init__(self, data, requires_grad: bool = False, name: str = ""):
@@ -96,6 +192,8 @@ class Tensor:
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
+        self._deps: tuple[Tensor, ...] = ()
+        self._fwd: Callable[..., np.ndarray] | None = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -137,8 +235,17 @@ class Tensor:
         return self.data.copy()
 
     def detach(self) -> "Tensor":
-        """Return a new tensor sharing data but detached from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        """Return a new tensor sharing data but detached from the graph.
+
+        The result shares ``self``'s array, so under replay (which updates
+        arrays in place) a captured detached node tracks its source with no
+        recompute — it is skipped as an aliasing node by the scheduler.
+        """
+        out = Tensor(self.data, requires_grad=False)
+        if is_capturing():
+            out._deps = (self,)
+            out._fwd = _identity
+        return out
 
     # ------------------------------------------------------------------
     # Graph construction helpers
@@ -148,13 +255,23 @@ class Tensor:
         data: np.ndarray,
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
+        fwd: Callable[..., np.ndarray] | None = None,
     ) -> "Tensor":
-        """Create a graph node if gradients are enabled and needed."""
+        """Create a graph node if gradients are enabled and needed.
+
+        ``fwd`` is the pure forward thunk ``fwd(*parent_arrays) -> array``
+        used by graph replay; it must produce bit-identical values to the
+        eager computation that produced ``data``.
+        """
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)
             out._backward = backward
+        if is_capturing():
+            if not requires:
+                out._parents = tuple(parents)
+            out._fwd = fwd
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -184,35 +301,7 @@ class Tensor:
                 raise RuntimeError("backward() without gradient requires a scalar output")
             grad = np.ones_like(self.data)
         grad = np.asarray(grad, dtype=np.float64)
-
-        # Topological order via iterative DFS (avoids recursion limits).
-        order: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                order.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if id(parent) not in visited:
-                    stack.append((parent, False))
-
-        # Seed and propagate.
-        grads: dict[int, np.ndarray] = {id(self): grad}
-        for node in reversed(order):
-            node_grad = grads.pop(id(node), None)
-            if node_grad is None:
-                continue
-            if node.requires_grad and node._backward is None:
-                # Leaf tensor: accumulate into .grad
-                node._accumulate(node_grad)
-            if node._backward is not None:
-                node._push_parent_grads(node_grad, grads)
+        _run_backward(self, _topo_order(self), grad)
 
     def _push_parent_grads(self, node_grad: np.ndarray, grads: dict[int, np.ndarray]) -> None:
         """Invoke the local backward fn, routing parent grads via ``grads``."""
@@ -235,17 +324,17 @@ class Tensor:
     def __add__(self, other) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
         data = self.data + other_t.data
-        return Tensor._make(data, (self, other_t), lambda g: (g, g))
+        return Tensor._make(data, (self, other_t), lambda g: (g, g), fwd=np.add)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        return Tensor._make(-self.data, (self,), lambda g: (-g,))
+        return Tensor._make(-self.data, (self,), lambda g: (-g,), fwd=np.negative)
 
     def __sub__(self, other) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
         data = self.data - other_t.data
-        return Tensor._make(data, (self, other_t), lambda g: (g, -g))
+        return Tensor._make(data, (self, other_t), lambda g: (g, -g), fwd=np.subtract)
 
     def __rsub__(self, other) -> "Tensor":
         return Tensor(other) - self
@@ -254,7 +343,7 @@ class Tensor:
         other_t = other if isinstance(other, Tensor) else Tensor(other)
         data = self.data * other_t.data
         a, b = self.data, other_t.data
-        return Tensor._make(data, (self, other_t), lambda g: (g * b, g * a))
+        return Tensor._make(data, (self, other_t), lambda g: (g * b, g * a), fwd=np.multiply)
 
     __rmul__ = __mul__
 
@@ -262,7 +351,9 @@ class Tensor:
         other_t = other if isinstance(other, Tensor) else Tensor(other)
         a, b = self.data, other_t.data
         data = a / b
-        return Tensor._make(data, (self, other_t), lambda g: (g / b, -g * a / (b * b)))
+        return Tensor._make(
+            data, (self, other_t), lambda g: (g / b, -g * a / (b * b)), fwd=np.true_divide
+        )
 
     def __rtruediv__(self, other) -> "Tensor":
         return Tensor(other) / self
@@ -272,7 +363,12 @@ class Tensor:
             raise TypeError("tensor exponents are not supported; use exp/log")
         a = self.data
         data = a**exponent
-        return Tensor._make(data, (self,), lambda g: (g * exponent * a ** (exponent - 1),))
+        return Tensor._make(
+            data,
+            (self,),
+            lambda g: (g * exponent * a ** (exponent - 1),),
+            fwd=lambda x: x**exponent,
+        )
 
     def __matmul__(self, other) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
@@ -292,7 +388,7 @@ class Tensor:
             gb = np.swapaxes(a, -1, -2) @ g
             return (ga, gb)
 
-        return Tensor._make(data, (self, other_t), backward)
+        return Tensor._make(data, (self, other_t), backward, fwd=np.matmul)
 
     def __rmatmul__(self, other) -> "Tensor":
         return Tensor(other) @ self
@@ -317,8 +413,11 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         original = self.data.shape
-        data = self.data.reshape(shape)
-        return Tensor._make(data, (self,), lambda g: (g.reshape(original),))
+        target = shape
+        data = self.data.reshape(target)
+        return Tensor._make(
+            data, (self,), lambda g: (g.reshape(original),), fwd=lambda a: a.reshape(target)
+        )
 
     def transpose(self, axes: Iterable[int] | None = None) -> "Tensor":
         axes_t = tuple(axes) if axes is not None else None
@@ -331,7 +430,7 @@ class Tensor:
         def backward(g: np.ndarray):
             return (np.transpose(g, inverse),)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, fwd=lambda a: np.transpose(a, axes_t))
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
@@ -342,7 +441,7 @@ class Tensor:
             np.add.at(out, index, g)
             return (out,)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, fwd=lambda a: a[index])
 
     # ------------------------------------------------------------------
     # Reductions
@@ -357,7 +456,9 @@ class Tensor:
             g_expanded = g if keepdims else np.expand_dims(g, axis)
             return (np.broadcast_to(g_expanded, shape).copy(),)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(
+            data, (self,), backward, fwd=lambda a: a.sum(axis=axis, keepdims=keepdims)
+        )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -369,20 +470,26 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         data = self.data.max(axis=axis, keepdims=keepdims)
-        shape = self.data.shape
+        source = self.data
 
+        # The argmax mask is recomputed inside backward from the *current*
+        # input array, never cached — required for graph replay, where the
+        # same closure runs against in-place-updated buffers.
         def backward(g: np.ndarray):
+            current = source.max(axis=axis, keepdims=keepdims)
             if axis is None:
-                mask = (self.data == data).astype(np.float64)
+                mask = (source == current).astype(np.float64)
                 mask /= mask.sum()
                 return (mask * g,)
-            expanded = data if keepdims else np.expand_dims(data, axis)
-            mask = (self.data == expanded).astype(np.float64)
+            expanded = current if keepdims else np.expand_dims(current, axis)
+            mask = (source == expanded).astype(np.float64)
             mask /= mask.sum(axis=axis, keepdims=True)
             g_expanded = g if keepdims else np.expand_dims(g, axis)
-            return (mask * np.broadcast_to(g_expanded, shape),)
+            return (mask * np.broadcast_to(g_expanded, source.shape),)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(
+            data, (self,), backward, fwd=lambda a: a.max(axis=axis, keepdims=keepdims)
+        )
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -390,49 +497,117 @@ class Tensor:
     # ------------------------------------------------------------------
     # Elementwise math
     # ------------------------------------------------------------------
+    # NOTE on the ops below, whose backward closure references the *output*
+    # value: ``data`` must be normalized to a float64 ndarray before the
+    # closure captures it.  For 0-d inputs numpy arithmetic yields an
+    # immutable ``np.float64`` scalar; ``Tensor.__init__``'s asarray would
+    # then allocate a fresh 0-d array for ``node.data``, and graph replay
+    # (which writes into ``node.data`` in place) could never reach the
+    # frozen scalar inside the closure.  Normalizing first makes the closure
+    # cell *be* ``node.data``.
     def exp(self) -> "Tensor":
-        data = np.exp(self.data)
-        return Tensor._make(data, (self,), lambda g: (g * data,))
+        data = np.asarray(np.exp(self.data), dtype=np.float64)
+        return Tensor._make(data, (self,), lambda g: (g * data,), fwd=np.exp)
 
     def log(self) -> "Tensor":
         a = self.data
-        return Tensor._make(np.log(a), (self,), lambda g: (g / a,))
+        return Tensor._make(np.log(a), (self,), lambda g: (g / a,), fwd=np.log)
 
     def sqrt(self) -> "Tensor":
-        data = np.sqrt(self.data)
-        return Tensor._make(data, (self,), lambda g: (g * 0.5 / data,))
+        data = np.asarray(np.sqrt(self.data), dtype=np.float64)
+        return Tensor._make(data, (self,), lambda g: (g * 0.5 / data,), fwd=np.sqrt)
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
-        return Tensor._make(np.abs(self.data), (self,), lambda g: (g * sign,))
+        a = self.data
+        return Tensor._make(
+            np.abs(self.data), (self,), lambda g: (g * np.sign(a),), fwd=np.absolute
+        )
 
     def tanh(self) -> "Tensor":
-        data = np.tanh(self.data)
-        return Tensor._make(data, (self,), lambda g: (g * (1.0 - data * data),))
+        data = np.asarray(np.tanh(self.data), dtype=np.float64)
+        return Tensor._make(data, (self,), lambda g: (g * (1.0 - data * data),), fwd=np.tanh)
 
     def sigmoid(self) -> "Tensor":
-        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500)))
-        return Tensor._make(data, (self,), lambda g: (g * data * (1.0 - data),))
+        data = np.asarray(_sigmoid_kernel(self.data), dtype=np.float64)
+        return Tensor._make(
+            data, (self,), lambda g: (g * data * (1.0 - data),), fwd=_sigmoid_kernel
+        )
 
     def relu(self) -> "Tensor":
-        mask = (self.data > 0).astype(np.float64)
-        return Tensor._make(self.data * mask, (self,), lambda g: (g * mask,))
+        a = self.data
+        return Tensor._make(
+            _relu_kernel(a), (self,), lambda g: (g * (a > 0),), fwd=_relu_kernel
+        )
 
     def clip(self, low: float, high: float) -> "Tensor":
-        data = np.clip(self.data, low, high)
-        mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
-        return Tensor._make(data, (self,), lambda g: (g * mask,))
+        a = self.data
+        data = np.clip(a, low, high)
+        return Tensor._make(
+            data,
+            (self,),
+            lambda g: (g * ((a >= low) & (a <= high)),),
+            fwd=lambda x: np.clip(x, low, high),
+        )
 
-    def where(self, condition: np.ndarray, other: "Tensor") -> "Tensor":
-        """Select ``self`` where ``condition`` else ``other`` (cond is data)."""
+    def where(self, condition: "np.ndarray | Tensor", other: "Tensor") -> "Tensor":
+        """Select ``self`` where ``condition`` else ``other``.
+
+        ``condition`` carries no gradient.  A plain ndarray condition is
+        baked into the node (static mask); a :class:`Tensor` condition is
+        recorded as a replay dependency, so data-dependent masks (e.g. a
+        sign test on a trained parameter) are re-evaluated on every replay.
+        """
         other_t = other if isinstance(other, Tensor) else Tensor(other)
+        if isinstance(condition, Tensor):
+            cond_node = condition
+            data = np.where(cond_node.data != 0.0, self.data, other_t.data)
+
+            def backward_dyn(g: np.ndarray):
+                cond = cond_node.data != 0.0
+                return (np.where(cond, g, 0.0), np.where(cond, 0.0, g))
+
+            out = Tensor._make(
+                data,
+                (self, other_t),
+                backward_dyn,
+                fwd=lambda a, b, c: np.where(c != 0.0, a, b),
+            )
+            if is_capturing():
+                out._deps = out._deps + (cond_node,)
+            return out
+
         cond = np.asarray(condition, dtype=bool)
         data = np.where(cond, self.data, other_t.data)
 
         def backward(g: np.ndarray):
             return (np.where(cond, g, 0.0), np.where(cond, 0.0, g))
 
-        return Tensor._make(data, (self, other_t), backward)
+        return Tensor._make(
+            data, (self, other_t), backward, fwd=lambda a, b: np.where(cond, a, b)
+        )
+
+
+def _identity(a: np.ndarray) -> np.ndarray:
+    return a
+
+
+def constant_of(fn: Callable[..., np.ndarray], *inputs: Tensor) -> Tensor:
+    """A gradient-free node recomputed from ``inputs`` on graph replay.
+
+    Replaces the ``Tensor(derived_numpy_value)`` idiom (straight-through
+    corrections, branch masks, implicit-function solutions) wherever the
+    derived value depends on tensors that change between epochs.  Outside
+    capture this is exactly ``Tensor(fn(*[t.data for t in inputs]))``; under
+    capture the inputs are recorded as replay-only dependencies (``_deps``),
+    which the backward DFS never walks — eager gradient accumulation order
+    is untouched by capture mode.
+    """
+    value = fn(*[t.data for t in inputs])
+    out = Tensor(np.asarray(value, dtype=np.float64))
+    if is_capturing():
+        out._deps = tuple(inputs)
+        out._fwd = fn
+    return out
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -450,7 +625,9 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             slices.append(g[tuple(idx)])
         return tuple(slices)
 
-    return Tensor._make(data, tuple(tensors), backward)
+    return Tensor._make(
+        data, tuple(tensors), backward, fwd=lambda *parts: np.concatenate(parts, axis=axis)
+    )
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -460,4 +637,6 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     def backward(g: np.ndarray):
         return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
 
-    return Tensor._make(data, tuple(tensors), backward)
+    return Tensor._make(
+        data, tuple(tensors), backward, fwd=lambda *parts: np.stack(parts, axis=axis)
+    )

@@ -133,7 +133,7 @@ class PrintedActivation(Module):
         unit = np.clip(unit, 1e-6, 1.0 - 1e-6)
         u0 = np.log(unit / (1.0 - unit))
         for i in range(self._dim):
-            getattr(self, f"u_{i}").data = np.array(u0[i])
+            np.copyto(getattr(self, f"u_{i}").data, u0[i])
 
     # ------------------------------------------------------------------
     def _q_tensor(self, i: int) -> Tensor:
@@ -164,7 +164,7 @@ class PrintedActivation(Module):
             else:
                 unit = (value - low) / (high - low)
             unit = np.clip(unit, 1e-6, 1.0 - 1e-6)
-            getattr(self, f"u_{i}").data = np.array(np.log(unit / (1.0 - unit)))
+            np.copyto(getattr(self, f"u_{i}").data, np.log(unit / (1.0 - unit)))
 
     # ------------------------------------------------------------------
     #: Backward-only linear leak: the forward value is exactly the circuit
@@ -226,4 +226,4 @@ class PrintedActivation(Module):
         """
         for i in range(self._dim):
             u = getattr(self, f"u_{i}")
-            u.data = np.clip(u.data, -10.0, 10.0)
+            np.clip(u.data, -10.0, 10.0, out=u.data)

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.autograd.nn import Module, Parameter
+from repro.autograd.graph import bump_graph_version
 from repro.autograd import init as pinit
 from repro.observability.metrics import get_registry
 from repro.pdk.params import PDK, DEFAULT_PDK
@@ -90,6 +91,9 @@ class CrossbarLayer(Module):
                 raise ValueError(f"{name} mask shape mismatch")
         self._keep_mask = None if keep is None else keep.astype(bool)
         self._positive_mask = None if force_positive is None else force_positive.astype(bool)
+        # Masks are baked into the effective-θ graph structure, so any
+        # captured replay program over this layer is now stale.
+        bump_graph_version()
 
     def effective_theta(self) -> Tensor:
         """θ after masks: pruned entries → 0, sign-forced entries → |θ|.
@@ -161,8 +165,10 @@ class CrossbarLayer(Module):
         magnitude = np.abs(data)
         sign = np.where(data >= 0, 1.0, -1.0)
         clipped = np.minimum(magnitude, self.pdk.conductance_max_us)
-        self.theta.data = sign * clipped
-        self.theta.data[-1, :] = np.abs(self.theta.data[-1, :])
+        # Write through the existing array: captured-graph replay (and the
+        # backward closures recorded during capture) hold references to it.
+        np.multiply(sign, clipped, out=data)
+        np.abs(data[-1, :], out=data[-1, :])
 
     # ------------------------------------------------------------------
     def printed_resistor_count(self, threshold: float | None = None, theta: Tensor | None = None) -> int:

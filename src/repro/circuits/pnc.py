@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, constant_of
 from repro.autograd.nn import Module
 from repro.circuits.activations import PrintedActivation
 from repro.circuits.crossbar import CrossbarLayer
@@ -330,8 +330,10 @@ class PrintedNeuralNetwork(Module):
 
         threshold = self.config.pdk.prune_threshold_us
         resistor_soft = ((theta.abs() - threshold) * DEFAULT_SHARPNESS).sigmoid().sum()
-        resistor_hard = float((np.abs(theta.data) > threshold).sum())
-        resistors = resistor_soft + Tensor(resistor_hard - float(resistor_soft.data))
+        correction = constant_of(
+            lambda th, sv: float((np.abs(th) > threshold).sum()) - sv, theta, resistor_soft
+        )
+        resistors = resistor_soft + correction
         negations = straight_through_negation_count(theta, threshold=threshold)
         activations_count = straight_through_activation_count(theta, threshold=threshold)
         return (

@@ -71,6 +71,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="p-tanh",
         help="activation circuit: p-ReLU | p-Clipped_ReLU | p-sigmoid | p-tanh",
     )
+    parser.add_argument("--no-capture", action="store_true",
+                        help="disable captured-graph replay; run every epoch eagerly")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,6 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--epochs", type=int, default=300)
     grid.add_argument("--jobs", type=int, default=1, metavar="N",
                       help="worker processes for the grid cells (results identical to --jobs 1)")
+    grid.add_argument("--no-capture", action="store_true",
+                      help="disable captured-graph replay; run every epoch eagerly")
 
     circuits = sub.add_parser("circuits", help="print the printed-AF circuit summary table")
 
@@ -132,12 +136,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     runs_compare.add_argument("run_a", help="first run (directory, id, or unique prefix)")
     runs_compare.add_argument("run_b", help="second run (directory, id, or unique prefix)")
-    for subparser in (runs_list, runs_show, runs_compare):
+    runs_prune = runs_sub.add_parser(
+        "prune", help="retention GC over the run registry (dry-run by default)"
+    )
+    runs_prune.add_argument("--keep-last", type=int, default=None, metavar="N",
+                            help="keep the N most recent runs, prune the rest")
+    runs_prune.add_argument("--older-than", default=None, metavar="AGE",
+                            help="prune runs older than AGE (e.g. 30d, 12h, 45m, 90s)")
+    runs_prune.add_argument("--status", default=None,
+                            help="only prune runs with this manifest status (e.g. failed)")
+    runs_prune.add_argument("--yes", action="store_true",
+                            help="actually delete; without it the selection is only printed")
+    for subparser in (runs_list, runs_show, runs_compare, runs_prune):
         subparser.add_argument("--dir", default="runs", metavar="BASE",
                                help="run registry base directory (default: runs)")
 
     for subparser in (datasets, train, sweep, grid, circuits, mc, report,
-                      runs_list, runs_show, runs_compare):
+                      runs_list, runs_show, runs_compare, runs_prune):
         _add_obs_flags(subparser)
 
     return parser
@@ -190,7 +205,7 @@ def cmd_datasets() -> int:
     return 0
 
 
-def _prepare(dataset_name: str, af_name: str, seed: int, epochs: int):
+def _prepare(dataset_name: str, af_name: str, seed: int, epochs: int, capture: bool = True):
     from repro.datasets import load_dataset, train_val_test_split
     from repro.pdk.params import ActivationKind
     from repro.power.surrogate import get_cached_surrogate
@@ -201,7 +216,9 @@ def _prepare(dataset_name: str, af_name: str, seed: int, epochs: int):
     split = train_val_test_split(data, seed=seed)
     af = get_cached_surrogate(kind, n_q=800, epochs=60)
     neg = get_cached_surrogate("negation", n_q=500, epochs=60)
-    settings = TrainerSettings(epochs=epochs, patience=max(40, epochs // 4))
+    settings = TrainerSettings(
+        epochs=epochs, patience=max(40, epochs // 4), capture_graph=capture
+    )
     return kind, data, split, af, neg, settings
 
 
@@ -217,7 +234,9 @@ def _make_net(data, kind, seed, af, neg):
 def cmd_train(args, run_logger=None) -> int:
     from repro.training import train_power_constrained, train_unconstrained
 
-    kind, data, split, af, neg, settings = _prepare(args.dataset, args.af, args.seed, args.epochs)
+    kind, data, split, af, neg, settings = _prepare(
+        args.dataset, args.af, args.seed, args.epochs, capture=not args.no_capture
+    )
     if args.budget_mw is not None:
         budget = args.budget_mw * 1e-3
         print(f"hard budget: {args.budget_mw:.4f} mW (absolute)")
@@ -255,7 +274,8 @@ def cmd_sweep(args, run_logger=None) -> int:
     from repro.pdk.params import ActivationKind
 
     config = ExperimentConfig(epochs=args.epochs, patience=max(40, args.epochs // 4),
-                              seed=args.seed, surrogate_n_q=800, surrogate_epochs=60)
+                              seed=args.seed, surrogate_n_q=800, surrogate_epochs=60,
+                              capture_graph=not args.no_capture)
     comparison = run_pareto_comparison(
         args.dataset, kind=ActivationKind.from_name(args.af),
         n_alphas=args.n_alphas, n_seeds=args.n_seeds, config=config,
@@ -272,7 +292,8 @@ def cmd_grid(args, run_logger=None) -> int:
     from repro.evaluation.reporting import render_table1, render_fig4_rows
 
     config = ExperimentConfig(epochs=args.epochs, patience=max(40, args.epochs // 4),
-                              seed=args.seed, surrogate_n_q=800, surrogate_epochs=60)
+                              seed=args.seed, surrogate_n_q=800, surrogate_epochs=60,
+                              capture_graph=not args.no_capture)
     records = run_dataset_grid(args.datasets, budget_fractions=tuple(args.budgets), config=config,
                                n_jobs=args.jobs, progress=_task_progress(run_logger))
     print(render_table1(records))
@@ -309,7 +330,9 @@ def cmd_montecarlo(args, run_logger=None) -> int:
     from repro.pdk.variation import VariationSpec
     from repro.training import train_power_constrained, train_unconstrained
 
-    kind, data, split, af, neg, settings = _prepare(args.dataset, args.af, args.seed, args.epochs)
+    kind, data, split, af, neg, settings = _prepare(
+        args.dataset, args.af, args.seed, args.epochs, capture=not args.no_capture
+    )
     reference = train_unconstrained(
         _make_net(data, kind, args.seed, af, neg), split, settings=settings,
         callbacks=_train_callbacks(run_logger, phase="reference", health_abort=args.health_abort),
@@ -349,6 +372,9 @@ def cmd_report(args) -> int:
 
 def cmd_runs(args) -> int:
     from repro.observability import (
+        parse_age,
+        prune_runs,
+        render_prune_report,
         render_run_compare,
         render_run_show,
         render_runs_table,
@@ -360,6 +386,16 @@ def cmd_runs(args) -> int:
             print(render_runs_table(args.dir))
         elif args.runs_command == "show":
             print(render_run_show(resolve_run(args.run, args.dir)))
+        elif args.runs_command == "prune":
+            older_than_s = parse_age(args.older_than) if args.older_than else None
+            decisions = prune_runs(
+                args.dir,
+                keep_last=args.keep_last,
+                older_than_s=older_than_s,
+                status=args.status,
+                dry_run=not args.yes,
+            )
+            print(render_prune_report(decisions, dry_run=not args.yes))
         else:
             print(render_run_compare(
                 resolve_run(args.run_a, args.dir), resolve_run(args.run_b, args.dir)

@@ -79,9 +79,13 @@ class ExperimentConfig:
     #: run the paper's §IV-A1 fine-tuning (prune masks + constrained retrain)
     finetune: bool = True
     finetune_epochs: int = 150
+    #: execute epochs by captured-graph replay (CLI --no-capture disables)
+    capture_graph: bool = True
 
     def trainer_settings(self) -> TrainerSettings:
-        return TrainerSettings(epochs=self.epochs, patience=self.patience)
+        return TrainerSettings(
+            epochs=self.epochs, patience=self.patience, capture_graph=self.capture_graph
+        )
 
 
 @dataclass

@@ -65,11 +65,15 @@ from repro.observability.health import (
 from repro.observability.logconf import configure_logging, verbosity_to_level
 from repro.observability.report import render_report, render_report_file, sparkline
 from repro.observability.runs import (
+    PruneDecision,
     RunContext,
     RunSummary,
     list_runs,
     load_manifest,
     merge_worker_shards,
+    parse_age,
+    prune_runs,
+    render_prune_report,
     render_run_compare,
     render_run_show,
     render_runs_table,

@@ -55,6 +55,13 @@ class EpochEvent:
         True when this epoch became the new best feasible checkpoint.
     epoch_time_s:
         Wall time of the epoch (step + evaluations).
+    epoch_step_time_s:
+        Wall time of the gradient-step portion (forward + backward +
+        optimizer step + projection) — the part captured-graph replay
+        accelerates.
+    epoch_eval_time_s:
+        Wall time of the post-step evaluation portion (power forward,
+        dual update, validation accuracy).
     """
 
     epoch: int
@@ -66,6 +73,8 @@ class EpochEvent:
     multiplier: float | None
     is_best: bool
     epoch_time_s: float
+    epoch_step_time_s: float = 0.0
+    epoch_eval_time_s: float = 0.0
 
 
 class TrainerCallback:
@@ -139,6 +148,8 @@ class EventLogCallback(TrainerCallback):
             lr=event.lr,
             multiplier=event.multiplier,
             phase=self.phase,
+            step_time_s=event.epoch_step_time_s,
+            eval_time_s=event.epoch_eval_time_s,
         )
         if self._prev_lr is not None and event.lr < self._prev_lr:
             log.emit(

@@ -95,7 +95,11 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[type, ...]]] = {
 
 #: Optional payload fields per event type.
 OPTIONAL_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
-    "epoch": {"multiplier": (float, int, type(None))},
+    "epoch": {
+        "multiplier": (float, int, type(None)),
+        "step_time_s": (float, int),
+        "eval_time_s": (float, int),
+    },
     "task": {"error": (str,), "worker_pid": (int,)},
     "task_end": {"error": (str,)},
     "alert": {"value": (float, int)},

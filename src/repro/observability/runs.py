@@ -342,6 +342,142 @@ def summarize_run(run_dir: str | Path) -> RunSummary:
     )
 
 
+# ----------------------------------------------------------------------
+# Retention GC (the `repro runs prune` CLI)
+# ----------------------------------------------------------------------
+_AGE_UNITS = {"d": 86400.0, "h": 3600.0, "m": 60.0, "s": 1.0}
+
+
+def parse_age(text: str) -> float:
+    """Parse a retention age like ``30d``, ``12h``, ``45m``, ``90s`` to seconds.
+
+    A bare number is taken as seconds.  Raises ``ValueError`` on anything
+    else so a typo never silently selects the wrong runs.
+    """
+    text = text.strip()
+    unit = 1.0
+    number = text
+    if text and text[-1].lower() in _AGE_UNITS:
+        unit = _AGE_UNITS[text[-1].lower()]
+        number = text[:-1]
+    try:
+        value = float(number)
+    except ValueError:
+        raise ValueError(f"invalid age {text!r} (expected e.g. 30d, 12h, 45m, 90s)") from None
+    if value < 0:
+        raise ValueError(f"age must be non-negative, got {text!r}")
+    return value * unit
+
+
+@dataclass(frozen=True)
+class PruneDecision:
+    """One run's fate under a :func:`prune_runs` policy."""
+
+    path: Path
+    run_id: str
+    status: str
+    age_s: float
+    prune: bool
+    reason: str
+
+
+def prune_runs(
+    base_dir: str | Path,
+    keep_last: int | None = None,
+    older_than_s: float | None = None,
+    status: str | None = None,
+    dry_run: bool = True,
+    now: float | None = None,
+) -> list[PruneDecision]:
+    """Retention GC over the run registry; returns one decision per run.
+
+    Selection: a run is pruned when it matches *every* given criterion —
+    older than ``older_than_s`` seconds, manifest status equal to
+    ``status``, and not among the ``keep_last`` most recent runs.  Two
+    safety rails apply regardless: at least one criterion must be given
+    (pruning *everything* must be spelled out as ``keep_last=0``), and
+    in-flight runs (status ``running``) are only ever pruned when
+    ``status="running"`` is explicit.  With ``dry_run`` (the default)
+    nothing is deleted — callers render the decisions and re-invoke with
+    ``dry_run=False`` after confirmation.
+    """
+    if keep_last is None and older_than_s is None and status is None:
+        raise ValueError(
+            "refusing to prune without a criterion: pass keep_last, older_than_s, or status"
+        )
+    if keep_last is not None and keep_last < 0:
+        raise ValueError("keep_last must be >= 0")
+    now = time.time() if now is None else now
+    runs = list_runs(base_dir)  # oldest first
+    protected_recent = set()
+    if keep_last is not None and keep_last > 0:
+        protected_recent = {p.name for p in runs[-keep_last:]}
+    decisions: list[PruneDecision] = []
+    for path in runs:
+        manifest = {}
+        try:
+            manifest = load_manifest(path)
+        except (OSError, json.JSONDecodeError):
+            pass
+        run_status = manifest.get("status", "unknown")
+        age_s = max(0.0, now - float(manifest.get("created_ts") or 0.0))
+        prune, reason = True, "matched criteria"
+        if path.name in protected_recent:
+            prune, reason = False, f"among {keep_last} most recent"
+        elif older_than_s is not None and age_s < older_than_s:
+            prune, reason = False, "newer than --older-than"
+        elif status is not None and run_status != status:
+            prune, reason = False, f"status {run_status!r} != {status!r}"
+        elif run_status == "running" and status != "running":
+            prune, reason = False, "in flight (status 'running')"
+        decisions.append(
+            PruneDecision(
+                path=path,
+                run_id=manifest.get("run_id", path.name),
+                status=run_status,
+                age_s=age_s,
+                prune=prune,
+                reason=reason,
+            )
+        )
+    if not dry_run:
+        import shutil
+
+        for decision in decisions:
+            if decision.prune:
+                shutil.rmtree(decision.path)
+                logger.info("pruned run %s (%s)", decision.run_id, decision.reason)
+    return decisions
+
+
+def _fmt_age(age_s: float) -> str:
+    for suffix, seconds in (("d", 86400.0), ("h", 3600.0), ("m", 60.0)):
+        if age_s >= seconds:
+            return f"{age_s / seconds:.1f}{suffix}"
+    return f"{age_s:.0f}s"
+
+
+def render_prune_report(decisions: list[PruneDecision], dry_run: bool) -> str:
+    """Human-readable table of a prune pass (what went / what stayed)."""
+    if not decisions:
+        return "(no runs)"
+    verb = "would prune" if dry_run else "pruned"
+    rows = [("action", "run_id", "status", "age", "reason")]
+    for d in decisions:
+        rows.append(
+            (verb if d.prune else "keep", d.run_id, d.status, _fmt_age(d.age_s), d.reason)
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    table = "\n".join(
+        "  ".join(f"{cell:<{w}}" for cell, w in zip(row, widths)).rstrip() for row in rows
+    )
+    n_pruned = sum(1 for d in decisions if d.prune)
+    summary = f"{verb}: {n_pruned} of {len(decisions)} run(s)"
+    if dry_run and n_pruned:
+        summary += "  (dry run; pass --yes to delete)"
+    return table + "\n" + summary
+
+
 def validate_run_events(run_dir: str | Path) -> int:
     """Strictly re-validate every line of a run's merged timeline.
 

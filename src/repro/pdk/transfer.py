@@ -32,7 +32,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, constant_of
 from repro.pdk.params import PDK, DEFAULT_PDK, ActivationKind
 from repro.spice.egt import EGTModel, DEFAULT_NEGT
 
@@ -130,19 +130,44 @@ def _newton_solve_np(
     return v
 
 
-def _implicit_attach(
-    v_star: np.ndarray,
-    g_tensor: Tensor,
-    g_prime: np.ndarray,
-) -> Tensor:
+def _implicit_solve(
+    g_np: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]],
+    v0: np.ndarray,
+    iterations: int,
+    inputs: tuple[Tensor, ...],
+) -> tuple[Tensor, Tensor]:
+    """Newton-solve the node equation as replayable constant nodes.
+
+    Returns ``(v_star, inv_gprime)``: the detached solution and the detached
+    ``1/g'(V*)`` factor.  Both are :func:`constant_of` nodes over ``inputs``
+    — the tensors whose ``.data`` the ``g_np`` closure reads — so a captured
+    graph reruns the Newton iteration against the *current* input and
+    parameter values on every replay instead of freezing the solution from
+    the capture epoch.
+    """
+
+    def solve(*_: np.ndarray) -> np.ndarray:
+        return _newton_solve_np(g_np, v0, iterations=iterations)
+
+    v_star = constant_of(solve, *inputs)
+
+    def inv_gprime(v: np.ndarray, *_: np.ndarray) -> np.ndarray:
+        _, g_prime = g_np(v)
+        safe = np.where(np.abs(g_prime) < 1e-30, 1e-30, g_prime)
+        return 1.0 / safe
+
+    return v_star, constant_of(inv_gprime, v_star, *inputs)
+
+
+def _implicit_attach(v_star: Tensor, g_tensor: Tensor, inv_gprime: Tensor) -> Tensor:
     """Re-attach gradients to a detached Newton solution.
 
     ``g_tensor`` must be the residual evaluated *at the detached* ``v_star``
-    as an autograd expression in the upstream tensors; ``g_prime`` is the
-    numeric ∂g/∂V at ``v_star``.
+    as an autograd expression in the upstream tensors; ``inv_gprime`` is the
+    detached ``1/∂g/∂V`` at ``v_star``.  The forward value is unchanged
+    (``g(V*) ≈ 0``) while backprop yields exactly the implicit derivative.
     """
-    safe = np.where(np.abs(g_prime) < 1e-30, 1e-30, g_prime)
-    return _const(v_star) - g_tensor * _const(1.0 / safe)
+    return v_star - g_tensor * inv_gprime
 
 
 # ----------------------------------------------------------------------
@@ -195,12 +220,11 @@ class TransferModel:
             return i1 - v / rs_np, di_dvs - 1.0 / rs_np
 
         v0 = np.full(np.broadcast_shapes(vin_np.shape, np.shape(rs_np)), 0.05)
-        v_star = _newton_solve_np(g_np, v0, iterations=self.newton_iterations)
-
-        v_star_t = _const(v_star)
+        v_star_t, inv_gp = _implicit_solve(
+            g_np, v0, self.newton_iterations, (v_in, r_s, w_1, l_1)
+        )
         g_t = ids_t(v_in, _const(vdd), v_star_t, w_1, l_1, model) - v_star_t / r_s
-        _, g_prime = g_np(v_star)
-        v_out = _implicit_attach(v_star, g_t, g_prime)
+        v_out = _implicit_attach(v_star_t, g_t, inv_gp)
 
         # Analytic power with gradients: M1 drop + load.
         i1_out = ids_t(v_in, _const(vdd), v_out, w_1, l_1, model)
@@ -236,15 +260,14 @@ class TransferModel:
         v0 = np.full(
             np.broadcast_shapes(vin_np.shape, np.shape(rs_np), np.shape(rd_np)), 0.05
         )
-        v_star = _newton_solve_np(g_np, v0, iterations=self.newton_iterations)
-
-        v_star_t = _const(v_star)
+        v_star_t, inv_gp = _implicit_solve(
+            g_np, v0, self.newton_iterations, (v_in, r_d, r_s, w_1, l_1, w_c, l_c)
+        )
         ic_t = ids_t(v_star_t, v_star_t, _const(0.0), w_c, l_c, model)
         i_total_t = v_star_t / r_s + ic_t
         v_drain_t = _const(vdd) - r_d * i_total_t
         g_t = ids_t(v_in, v_drain_t, v_star_t, w_1, l_1, model) - i_total_t
-        _, g_prime = g_np(v_star)
-        v_out = _implicit_attach(v_star, g_t, g_prime)
+        v_out = _implicit_attach(v_star_t, g_t, inv_gp)
 
         # Power with gradients, recomputed at the attached output.
         ic_out = ids_t(v_out, v_out, _const(0.0), w_c, l_c, model)
@@ -290,15 +313,15 @@ class TransferModel:
             return g, gp
 
         v0 = np.full(np.broadcast_shapes(vg_np.shape, np.shape(r_np)), 0.5 * (vdd + vss))
-        v_star = _newton_solve_np(g_np, v0, iterations=self.newton_iterations)
-
-        v_star_t = _const(v_star)
+        inputs = (v_gate, r_load, width, length)
+        if r_shunt is not None:
+            inputs = inputs + (r_shunt,)
+        v_star_t, inv_gp = _implicit_solve(g_np, v0, self.newton_iterations, inputs)
         i_t = ids_t(v_gate, v_star_t, _const(vss), width, length, model)
         g_t = (_const(vdd) - v_star_t) / r_load - i_t
         if r_shunt is not None:
             g_t = g_t - (v_star_t - vss) / r_shunt
-        _, g_prime = g_np(v_star)
-        v_out = _implicit_attach(v_star, g_t, g_prime)
+        v_out = _implicit_attach(v_star_t, g_t, inv_gp)
 
         i_out = ids_t(v_gate, v_out, _const(vss), width, length, model)
         drop = _const(vdd) - v_out

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, constant_of
 
 #: Sharpness of the sigmoid relaxation (in 1/µS of surrogate conductance).
 DEFAULT_SHARPNESS = 8.0
@@ -86,7 +86,7 @@ def soft_negation_count(
     magnitudes pass through the same sigmoid relaxation.  Rows without any
     negative entry contribute ≈ σ(-kτ) ≈ 0.
     """
-    negative_mask = theta.data < 0.0
+    negative_mask = constant_of(lambda th: th < 0.0, theta)
     magnitude = theta.abs()
     soft = ((magnitude - threshold) * sharpness).sigmoid()
     suppressed = soft.where(negative_mask, Tensor(np.zeros_like(theta.data)))
@@ -119,8 +119,12 @@ def straight_through_column_activity(
     a conductance in a dead column would wake its activation circuit.
     """
     soft = soft_column_activity(theta, threshold=threshold, sharpness=sharpness)
-    hard = (_magnitude(theta) > threshold).any(axis=0).astype(np.float64)
-    return soft + Tensor(hard - soft.data)
+    correction = constant_of(
+        lambda th, sv: (np.abs(th) > threshold).any(axis=0).astype(np.float64) - sv,
+        theta,
+        soft,
+    )
+    return soft + correction
 
 
 def soft_row_negativity(
@@ -129,7 +133,7 @@ def soft_row_negativity(
     sharpness: float = DEFAULT_SHARPNESS,
 ) -> Tensor:
     """``(M+2,)`` soft need-a-negation-circuit score per input row."""
-    negative_mask = theta.data < 0.0
+    negative_mask = constant_of(lambda th: th < 0.0, theta)
     soft = ((theta.abs() - threshold) * sharpness).sigmoid()
     suppressed = soft.where(negative_mask, Tensor(np.zeros_like(theta.data)))
     return suppressed.max(axis=1)
@@ -142,9 +146,12 @@ def straight_through_row_negativity(
 ) -> Tensor:
     """``(M+2,)`` per-row negation activity: hard forward, soft backward."""
     soft = soft_row_negativity(theta, threshold=threshold, sharpness=sharpness)
-    data = theta.data
-    hard = (data < -threshold).any(axis=1).astype(np.float64)
-    return soft + Tensor(hard - soft.data)
+    correction = constant_of(
+        lambda th, sv: (th < -threshold).any(axis=1).astype(np.float64) - sv,
+        theta,
+        soft,
+    )
+    return soft + correction
 
 
 # ----------------------------------------------------------------------
@@ -158,8 +165,12 @@ def straight_through_activation_count(
 ) -> Tensor:
     """``N^AF`` exact in the forward pass, soft in the backward pass."""
     soft = soft_activation_count(theta, threshold=threshold, sharpness=sharpness)
-    hard = float(hard_activation_count(theta, threshold=threshold))
-    return soft + Tensor(hard - float(soft.data))
+    correction = constant_of(
+        lambda th, sv: float((np.abs(th) > threshold).any(axis=0).sum()) - sv,
+        theta,
+        soft,
+    )
+    return soft + correction
 
 
 def straight_through_negation_count(
@@ -169,5 +180,9 @@ def straight_through_negation_count(
 ) -> Tensor:
     """``N^N`` exact in the forward pass, soft in the backward pass."""
     soft = soft_negation_count(theta, threshold=threshold, sharpness=sharpness)
-    hard = float(hard_negation_count(theta, threshold=threshold))
-    return soft + Tensor(hard - float(soft.data))
+    correction = constant_of(
+        lambda th, sv: float((th < -threshold).any(axis=1).sum()) - sv,
+        theta,
+        soft,
+    )
+    return soft + correction

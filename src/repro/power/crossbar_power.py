@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, constant_of
 
 MICRO_SIEMENS = 1.0e-6
 
@@ -83,12 +83,15 @@ def crossbar_power_matrix_signed(
     The sign mask is evaluated on data (no gradient through the routing,
     matching the indicator's zero a.e. derivative).
     """
-    positive_mask = (theta.data >= 0.0)
     batch, rows = v_in_extended.shape
     cols = theta.shape[1]
     v_pos = v_in_extended.reshape(batch, rows, 1)
     v_neg = v_in_negated.reshape(batch, rows, 1)
-    mask = np.broadcast_to(positive_mask, (batch, rows, cols))
+    # The sign mask depends on the trained θ, so it is a replayable constant
+    # node (re-evaluated each captured-graph replay), not a baked-in array.
+    mask = constant_of(
+        lambda th: np.broadcast_to(th >= 0.0, (batch, rows, cols)), theta
+    )
     driven = v_pos.where(mask, v_neg)
     drop = driven - v_out.reshape(batch, 1, cols)
     conductance = theta.abs() * MICRO_SIEMENS

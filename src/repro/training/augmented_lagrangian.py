@@ -44,7 +44,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, constant_of
 from repro.circuits.pnc import PrintedNeuralNetwork
 from repro.datasets.splits import DataSplit
 from repro.observability.callbacks import TrainerCallback
@@ -111,6 +111,13 @@ class AugmentedLagrangianObjective:
     feasibility_rtol: float = 1e-3
     multiplier: float = 0.0
 
+    #: The post-warmup PHR term is expressed branch-free over persistent leaf
+    #: tensors (λ, μ/2, budget, inactive value), so λ/μ updates and budget
+    #: annealing only change leaf *values* — a captured training graph stays
+    #: structurally valid across them.  Only the warmup boundary changes the
+    #: program (see :meth:`graph_epoch_key`).
+    supports_graph_capture = True
+
     def __post_init__(self):
         if self.power_budget <= 0:
             raise ValueError("power budget must be positive")
@@ -118,6 +125,13 @@ class AugmentedLagrangianObjective:
             raise ValueError("mu must be positive")
         if self.mu_growth < 1.0:
             raise ValueError("mu_growth must be >= 1")
+        # Persistent PHR leaves, refreshed in place by prepare_epoch().
+        self._lam_t = Tensor(0.0)
+        self._half_mu_t = Tensor(0.0)
+        self._budget_t = Tensor(1.0)
+        self._inv_budget_t = Tensor(1.0)
+        self._inactive_t = Tensor(0.0)
+        self.prepare_epoch(0)
 
     # ------------------------------------------------------------------
     def effective_budget(self, epoch: int) -> float:
@@ -134,12 +148,43 @@ class AugmentedLagrangianObjective:
         budget = self.power_budget if epoch is None else self.effective_budget(epoch)
         return (power - budget) * (1.0 / budget)
 
+    def graph_epoch_key(self, epoch: int) -> int:
+        """Structural key: warmup (bare loss) vs the constrained program."""
+        return 0 if epoch < self.warmup_epochs else 1
+
+    def prepare_epoch(self, epoch: int) -> None:
+        """Refresh the leaf tensors the PHR term reads (in place).
+
+        Called by the trainer before every epoch — eager or replayed — so
+        value-only schedule changes (λ, μ, annealed budget) reach a captured
+        graph without re-recording it.
+        """
+        budget = self.effective_budget(epoch)
+        self._lam_t.data[...] = self.multiplier
+        self._half_mu_t.data[...] = 0.5 * self.mu
+        self._budget_t.data[...] = budget
+        self._inv_budget_t.data[...] = 1.0 / budget
+        self._inactive_t.data[...] = -(self.multiplier**2) / (2.0 * self.mu)
+
     def training_loss(self, loss: Tensor, power: Tensor, epoch: int) -> Tensor:
         if epoch < self.warmup_epochs:
             return loss
-        return loss + augmented_lagrangian_term(
-            self.constraint(power, epoch), self.multiplier, self.mu
+        self.prepare_epoch(epoch)
+        # Branch-free PHR: both branches are computed and a replayable
+        # constant node selects between them, so the active/inactive flip is
+        # a value change, not a structural one.  Bitwise this matches
+        # augmented_lagrangian_term(): the selected branch's value is
+        # identical, and the deselected branch contributes an exact-zero
+        # gradient.
+        c = (power - self._budget_t) * self._inv_budget_t
+        active = constant_of(
+            lambda cd, lam, hm: np.float64((lam + 2.0 * hm * cd) >= 0.0),
+            c,
+            self._lam_t,
+            self._half_mu_t,
         )
+        branch = c * self._lam_t + (c * c) * self._half_mu_t
+        return loss + branch.where(active, self._inactive_t)
 
     def on_epoch_end(self, power_value: float, epoch: int) -> None:
         if epoch < self.warmup_epochs:

@@ -59,6 +59,11 @@ class PowerAreaObjective:
     multiplier_power: float = 0.0
     multiplier_area: float = 0.0
 
+    #: training_loss reads ``self.net.soft_device_count`` — state the trainer
+    #: does not rebuild under replay — and branches in Python per epoch, so
+    #: this objective always runs eagerly.
+    supports_graph_capture = False
+
     def __post_init__(self):
         if self.power_budget <= 0 or self.device_budget <= 0:
             raise ValueError("budgets must be positive")

@@ -38,6 +38,13 @@ class PenaltyObjective:
     alpha: float
     reference_power: float = 1.0e-3
 
+    #: The objective is structurally constant across epochs (one fixed
+    #: penalty scale), so captured-graph replay is always valid.
+    supports_graph_capture = True
+
+    def graph_epoch_key(self, epoch: int) -> int:
+        return 0
+
     def __post_init__(self):
         if self.alpha < 0:
             raise ValueError("alpha must be non-negative")

@@ -35,9 +35,15 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor, no_grad
+from repro.autograd.tensor import Tensor, graph_capture, no_grad
 from repro.autograd import functional as F
 from repro.autograd import optim
+from repro.autograd.graph import (
+    CapturedGraph,
+    GraphCaptureError,
+    mark_recapture,
+    mark_replay_epoch,
+)
 from repro.circuits.pnc import PrintedNeuralNetwork
 from repro.datasets.splits import DataSplit
 from repro.observability.callbacks import EpochEvent, TraceRecorder, TrainerCallback
@@ -49,13 +55,35 @@ logger = logging.getLogger(__name__)
 _EPOCH_TIME = get_registry().histogram(
     "epoch_time_s", "wall time per training epoch (step + evaluations)"
 )
+_EPOCH_STEP_TIME = get_registry().histogram(
+    "epoch_step_time_s", "wall time of the gradient-step portion of each epoch"
+)
+_EPOCH_EVAL_TIME = get_registry().histogram(
+    "epoch_eval_time_s", "wall time of the post-step evaluation portion of each epoch"
+)
 _POWER_VIOLATION = get_registry().gauge(
     "power_violation", "normalized constraint violation max(0, (P - budget)/budget) of the last epoch"
+)
+_GRAPH_STEP_OPS = get_registry().gauge(
+    "graph_step_ops", "kernels per replayed training step (captured graph)"
+)
+_GRAPH_EVAL_OPS = get_registry().gauge(
+    "graph_eval_ops", "kernels per replayed post-step evaluation forward"
+)
+_GRAPH_VAL_OPS = get_registry().gauge(
+    "graph_val_ops", "kernels per replayed validation forward"
 )
 
 
 class Objective(Protocol):
-    """Strategy turning task loss + power into the training scalar."""
+    """Strategy turning task loss + power into the training scalar.
+
+    Objectives that additionally set ``supports_graph_capture = True`` opt
+    into the captured-graph execution engine; they must then keep their
+    epoch-to-epoch changes value-only (updating persistent leaf tensors in
+    ``prepare_epoch``) and report structural boundaries (e.g. a warmup
+    ending) through ``graph_epoch_key``.
+    """
 
     def training_loss(self, loss: Tensor, power: Tensor, epoch: int) -> Tensor:
         """Scalar to minimize this epoch."""
@@ -83,6 +111,9 @@ class TrainerSettings:
     trace_every: int = 1
     #: stop once the LR bottomed out and the last epochs brought no change
     early_stop_stale: int = 250
+    #: execute epochs by captured-graph replay when the objective supports
+    #: it (bit-identical to eager; ``--no-capture`` on the CLI disables)
+    capture_graph: bool = True
 
 
 @dataclass
@@ -127,6 +158,147 @@ def _accuracy_only(net: PrintedNeuralNetwork, x: np.ndarray, y: np.ndarray) -> f
     return F.accuracy(logits, y)
 
 
+class _GraphEngine:
+    """Capture-and-replay driver for one training run.
+
+    Owns up to three captured programs: the training **step** (forward +
+    loss; its backward closures and topo order are cached alongside), the
+    post-step **eval** forward (logits + power under ``no_grad``), and the
+    **val** forward (only when the validation set is distinct from the
+    training set).  Each epoch either replays the recorded kernels into
+    their original buffers or — on the first epoch, after a structural
+    invalidation, or with capture disabled — runs the ordinary eager path.
+    Replay and eager share the same forward kernels and the same backward
+    closures/accumulation order, so every produced float is bit-identical;
+    if any recorded op lacks a forward thunk the engine permanently falls
+    back to eager for the rest of the run.
+    """
+
+    def __init__(
+        self,
+        net: PrintedNeuralNetwork,
+        objective: Objective,
+        split: DataSplit,
+        settings: TrainerSettings,
+    ):
+        self.net = net
+        self.objective = objective
+        self.split = split
+        self.signal_weight = net.config.signal_health_weight
+        self.enabled = settings.capture_graph and bool(
+            getattr(objective, "supports_graph_capture", False)
+        )
+        self.x_train = Tensor(split.x_train)
+        self.x_val = None if split.x_val is split.x_train else Tensor(split.x_val)
+        self._step: CapturedGraph | None = None
+        self._eval: CapturedGraph | None = None
+        self._val: CapturedGraph | None = None
+        self._step_outputs: tuple[Tensor, Tensor] | None = None
+        self._eval_outputs: tuple[Tensor, Tensor] | None = None
+        self._val_logits: Tensor | None = None
+
+    # ------------------------------------------------------------------
+    def _forward_step(self, epoch: int) -> tuple[Tensor, Tensor]:
+        logits, breakdown = self.net.forward_with_power(self.x_train)
+        task_loss = F.cross_entropy(logits, self.split.y_train)
+        total = self.objective.training_loss(task_loss, breakdown.total, epoch)
+        if self.signal_weight > 0.0:
+            total = total + self.net.signal_health * self.signal_weight
+        return task_loss, total
+
+    def _abandon_capture(self) -> None:
+        logger.debug("graph capture unavailable; running eagerly", exc_info=True)
+        self.enabled = False
+        self._step = self._eval = self._val = None
+
+    def run_step(self, epoch: int) -> tuple[Tensor, Tensor]:
+        """One epoch's forward + backward; returns ``(task_loss, total)``.
+
+        The caller is responsible for ``zero_grad`` before and
+        ``optimizer.step()`` / ``project_()`` after.
+        """
+        if not self.enabled:
+            task_loss, total = self._forward_step(epoch)
+            with span("trainer.backward"):
+                total.backward()
+            return task_loss, total
+
+        prepare = getattr(self.objective, "prepare_epoch", None)
+        if prepare is not None:
+            prepare(epoch)
+        key = self.objective.graph_epoch_key(epoch)
+        if self._step is not None and self._step.is_valid(key):
+            with span("trainer.step.replay"):
+                self._step.replay_forward()
+                self._step.replay_backward()
+            mark_replay_epoch()
+            return self._step_outputs
+        if self._step is not None:
+            mark_recapture()
+        with span("trainer.capture"):
+            with graph_capture():
+                task_loss, total = self._forward_step(epoch)
+            try:
+                self._step = CapturedGraph(
+                    (task_loss, total), backward_root=total, epoch_key=key
+                )
+            except GraphCaptureError:
+                self._abandon_capture()
+        self._step_outputs = (task_loss, total)
+        with span("trainer.backward"):
+            if self._step is not None:
+                _GRAPH_STEP_OPS.set(self._step.n_ops)
+                self._step.replay_backward()
+            else:
+                total.backward()
+        return task_loss, total
+
+    # ------------------------------------------------------------------
+    def run_eval(self) -> tuple[Tensor, float]:
+        """Post-step training-set forward; returns ``(logits, power_W)``."""
+        if self.enabled and self._eval is not None and self._eval.is_valid():
+            self._eval.replay_forward()
+            logits, power = self._eval_outputs
+            return logits, float(power.data)
+        if not self.enabled:
+            with no_grad():
+                logits, breakdown = self.net.forward_with_power(self.x_train)
+            return logits, float(breakdown.total.data)
+        if self._eval is not None:
+            mark_recapture()
+        with no_grad(), graph_capture():
+            logits, breakdown = self.net.forward_with_power(self.x_train)
+            power = breakdown.total
+        try:
+            self._eval = CapturedGraph((logits, power))
+            _GRAPH_EVAL_OPS.set(self._eval.n_ops)
+        except GraphCaptureError:
+            self._abandon_capture()
+        self._eval_outputs = (logits, power)
+        return logits, float(power.data)
+
+    def val_accuracy(self, post_logits: Tensor) -> float:
+        """Validation accuracy, reusing ``post_logits`` when val is train."""
+        if self.x_val is None:
+            return F.accuracy(post_logits, self.split.y_val)
+        if self.enabled and self._val is not None and self._val.is_valid():
+            self._val.replay_forward()
+            return F.accuracy(self._val_logits, self.split.y_val)
+        if not self.enabled:
+            return _accuracy_only(self.net, self.split.x_val, self.split.y_val)
+        if self._val is not None:
+            mark_recapture()
+        with no_grad(), graph_capture():
+            logits = self.net.forward(self.x_val)
+        try:
+            self._val = CapturedGraph((logits,))
+            _GRAPH_VAL_OPS.set(self._val.n_ops)
+        except GraphCaptureError:
+            self._abandon_capture()
+        self._val_logits = logits
+        return F.accuracy(logits, self.split.y_val)
+
+
 def train_model(
     net: PrintedNeuralNetwork,
     split: DataSplit,
@@ -160,8 +332,7 @@ def train_model(
     for callback in all_callbacks:
         callback.on_train_start(net, objective, settings)
 
-    x_train = Tensor(split.x_train)
-    y_train = split.y_train
+    engine = _GraphEngine(net, objective, split, settings)
     budget = getattr(objective, "power_budget", None)
 
     best_val = -1.0
@@ -176,15 +347,11 @@ def train_model(
         with span("trainer.epoch"):
             epoch_start = perf_counter()
             optimizer.zero_grad()
-            logits, breakdown = net.forward_with_power(x_train)
-            task_loss = F.cross_entropy(logits, y_train)
-            total = objective.training_loss(task_loss, breakdown.total, epoch)
-            if net.config.signal_health_weight > 0.0:
-                total = total + net.signal_health * net.config.signal_health_weight
-            with span("trainer.backward"):
-                total.backward()
-            optimizer.step()
-            net.project_()
+            with span("trainer.step"):
+                task_loss, _ = engine.run_step(epoch)
+                optimizer.step()
+                net.project_()
+            step_time = perf_counter() - epoch_start
 
             # Power of the *post-step* parameters — the state a checkpoint
             # would actually save.  (The pre-step forward's power describes
@@ -193,18 +360,15 @@ def train_model(
             # deployment input distribution; val power differs only by
             # sampling.
             with span("trainer.eval"):
-                with no_grad():
-                    post_logits, post_breakdown = net.forward_with_power(x_train)
-                power_value = float(post_breakdown.total.data)
+                eval_start = perf_counter()
+                post_logits, power_value = engine.run_eval()
                 objective.on_epoch_end(power_value, epoch)
 
                 # Validation accuracy through the power-free forward; when
                 # the val set aliases the train set the post-step logits are
                 # reused outright (same array → same shapes → same logits).
-                if split.x_val is split.x_train:
-                    val_accuracy = F.accuracy(post_logits, split.y_val)
-                else:
-                    val_accuracy = _accuracy_only(net, split.x_val, split.y_val)
+                val_accuracy = engine.val_accuracy(post_logits)
+                eval_time = perf_counter() - eval_start
 
             feasible_now = objective.is_feasible(power_value)
             if budget:
@@ -234,8 +398,12 @@ def train_model(
                 multiplier=_objective_multiplier(objective),
                 is_best=is_best,
                 epoch_time_s=perf_counter() - epoch_start,
+                epoch_step_time_s=step_time,
+                epoch_eval_time_s=eval_time,
             )
             _EPOCH_TIME.observe(event.epoch_time_s)
+            _EPOCH_STEP_TIME.observe(step_time)
+            _EPOCH_EVAL_TIME.observe(eval_time)
             for callback in all_callbacks:
                 callback.on_epoch(event)
 

@@ -279,3 +279,126 @@ class TestRunsCli:
 
         assert main(["runs", "show", "nope", "--dir", str(tmp_path)]) == 2
         assert "error" in capsys.readouterr().err
+
+
+def _synthetic_run(base, run_id: str, age_s: float, status: str, now: float = 1_000_000.0):
+    run_dir = base / run_id
+    run_dir.mkdir(parents=True)
+    (run_dir / "manifest.json").write_text(json.dumps(
+        {"run_id": run_id, "created_ts": now - age_s, "status": status}
+    ))
+    return run_dir
+
+
+class TestParseAge:
+    def test_suffixes(self):
+        from repro.observability import parse_age
+
+        assert parse_age("30d") == 30 * 86400
+        assert parse_age("12h") == 12 * 3600
+        assert parse_age("45m") == 45 * 60
+        assert parse_age("90s") == 90
+        assert parse_age("90") == 90  # bare number = seconds
+
+    def test_rejects_garbage(self):
+        from repro.observability import parse_age
+
+        for bad in ("", "soon", "3w", "-5d"):
+            with pytest.raises(ValueError):
+                parse_age(bad)
+
+
+class TestPruneRuns:
+    NOW = 1_000_000.0
+
+    def _populate(self, base):
+        """Five runs, oldest to newest: completed/failed/completed/running/completed."""
+        ages_statuses = [
+            ("r0", 40 * 86400, "completed"),
+            ("r1", 20 * 86400, "failed"),
+            ("r2", 10 * 86400, "completed"),
+            ("r3", 5 * 86400, "running"),
+            ("r4", 1 * 86400, "completed"),
+        ]
+        for run_id, age, status in ages_statuses:
+            _synthetic_run(base, run_id, age, status, now=self.NOW)
+
+    def test_requires_a_criterion(self, tmp_path):
+        from repro.observability import prune_runs
+
+        with pytest.raises(ValueError):
+            prune_runs(tmp_path)
+
+    def test_dry_run_selects_but_deletes_nothing(self, tmp_path):
+        from repro.observability import prune_runs
+
+        self._populate(tmp_path)
+        decisions = prune_runs(tmp_path, older_than_s=15 * 86400, now=self.NOW)
+        assert [d.run_id for d in decisions if d.prune] == ["r0", "r1"]
+        assert len(list_runs(tmp_path)) == 5  # nothing deleted
+
+    def test_keep_last_protects_newest(self, tmp_path):
+        from repro.observability import prune_runs
+
+        self._populate(tmp_path)
+        decisions = prune_runs(tmp_path, keep_last=2, dry_run=False, now=self.NOW)
+        # r3 is among the 2 most recent; r0..r2 go
+        assert [d.run_id for d in decisions if d.prune] == ["r0", "r1", "r2"]
+        assert sorted(p.name for p in list_runs(tmp_path)) == ["r3", "r4"]
+
+    def test_running_runs_are_protected(self, tmp_path):
+        from repro.observability import prune_runs
+
+        self._populate(tmp_path)
+        decisions = prune_runs(tmp_path, older_than_s=0, keep_last=1, now=self.NOW)
+        fates = {d.run_id: d.prune for d in decisions}
+        assert fates == {"r0": True, "r1": True, "r2": True, "r3": False, "r4": False}
+
+    def test_status_filter(self, tmp_path):
+        from repro.observability import prune_runs
+
+        self._populate(tmp_path)
+        decisions = prune_runs(tmp_path, status="failed", dry_run=False, now=self.NOW)
+        assert [d.run_id for d in decisions if d.prune] == ["r1"]
+        assert sorted(p.name for p in list_runs(tmp_path)) == ["r0", "r2", "r3", "r4"]
+
+    def test_explicit_running_status_overrides_protection(self, tmp_path):
+        from repro.observability import prune_runs
+
+        self._populate(tmp_path)
+        decisions = prune_runs(tmp_path, status="running", dry_run=False, now=self.NOW)
+        assert [d.run_id for d in decisions if d.prune] == ["r3"]
+
+    def test_render_report(self, tmp_path):
+        from repro.observability import prune_runs, render_prune_report
+
+        self._populate(tmp_path)
+        decisions = prune_runs(tmp_path, older_than_s=15 * 86400, now=self.NOW)
+        text = render_prune_report(decisions, dry_run=True)
+        assert "would prune" in text and "--yes" in text
+        assert "r0" in text and "r4" in text
+
+
+class TestPruneCli:
+    def test_dry_run_then_delete(self, tmp_path, capsys):
+        from repro.cli import main
+
+        for i, status in enumerate(["completed", "completed", "completed"]):
+            _synthetic_run(tmp_path, f"run-{i}", age_s=(3 - i) * 3600, status=status)
+        base = str(tmp_path)
+
+        assert main(["runs", "prune", "--dir", base, "--keep-last", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "would prune: 2 of 3" in out
+        assert len(list_runs(tmp_path)) == 3
+
+        assert main(["runs", "prune", "--dir", base, "--keep-last", "1", "--yes"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned: 2 of 3" in out
+        assert [p.name for p in list_runs(tmp_path)] == ["run-2"]
+
+    def test_no_criterion_is_an_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["runs", "prune", "--dir", str(tmp_path)]) == 2
+        assert "refusing to prune" in capsys.readouterr().err
