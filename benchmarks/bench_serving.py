@@ -1,0 +1,194 @@
+"""Measure batched vs single-row inference throughput; write ``BENCH_serving.json``.
+
+Exports an analytic-mode network to a ``.pnz`` artifact, loads it back, and
+drives the fixed-shape :class:`repro.serving.engine.InferenceEngine` two ways
+in one process:
+
+- **single-row**: one ``predict`` call per row — the worst case a serving
+  process sees when requests never coalesce (every call pads a 1-row chunk
+  to the captured micro-batch shape and replays the full graph for it);
+- **batched**: 64-row ``predict`` calls — what the
+  :class:`~repro.serving.batching.MicroBatcher` turns concurrent requests
+  into.
+
+Reported numbers:
+
+- rows/s for both modes and their ratio (``batched_vs_single``) — the
+  number the PR's >=3x batching claim is about;
+- the captured graph's op count (``engine_n_ops``) — the structural
+  fingerprint of the inference hot loop;
+- **bit-identity**: the batched logits must equal the row-at-a-time logits
+  exactly (the engine's grouping-invariance contract).
+
+Modes:
+
+    PYTHONPATH=src python benchmarks/bench_serving.py           # measure + write
+    PYTHONPATH=src python benchmarks/bench_serving.py --check   # CI regression gate
+
+``--check`` re-measures on the current host and fails (exit 1) when
+
+- the captured op count differs from the committed baseline (an op crept
+  into the inference loop — host-independent, always a real regression);
+- ``batched_vs_single`` falls below the absolute 3.0x floor, or below
+  baseline/1.25 (a >25% relative regression; ratios keep the gate
+  host-independent);
+- batched and single-row logits are not bit-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+OUT = REPO / "BENCH_serving.json"
+
+IN_FEATURES = 8
+N_CLASSES = 4
+SEED = 7
+BATCH_ROWS = 64
+MICRO_BATCH = 64
+SINGLE_CALLS = 200
+BATCH_CALLS = 50
+MIN_BATCHED_SPEEDUP = 3.0
+WALL_TIME_TOLERANCE = 1.25
+
+
+def _make_model(tmp_dir: str):
+    import numpy as np
+
+    from repro.circuits import PNCConfig, PrintedNeuralNetwork
+    from repro.serving import export_artifact, load_artifact
+    from repro.serving.engine import InferenceEngine
+
+    net = PrintedNeuralNetwork(
+        IN_FEATURES, N_CLASSES,
+        PNCConfig(power_mode="analytic"),
+        np.random.default_rng(SEED),
+    )
+    net.eval()
+    model = load_artifact(export_artifact(net, Path(tmp_dir) / "bench.pnz"))
+    # Fix the engine's captured shape explicitly so the op count is stable.
+    model._engine = InferenceEngine(model.net, micro_batch=MICRO_BATCH)
+    return model
+
+
+def measure() -> dict:
+    import numpy as np
+
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        model = _make_model(tmp_dir)
+        rng = np.random.default_rng(0)
+        batch = rng.normal(size=(BATCH_ROWS, IN_FEATURES))
+
+        # Warm up: trigger graph capture outside the timed region.
+        model.predict(batch)
+
+        # Single-row path: one engine run per row, cycling through the batch.
+        t0 = time.perf_counter()
+        for i in range(SINGLE_CALLS):
+            model.predict(batch[i % BATCH_ROWS : i % BATCH_ROWS + 1])
+        single_s = time.perf_counter() - t0
+        single_rows_per_s = SINGLE_CALLS / single_s
+
+        t0 = time.perf_counter()
+        for _ in range(BATCH_CALLS):
+            batched = model.predict(batch)
+        batched_s = time.perf_counter() - t0
+        batched_rows_per_s = BATCH_CALLS * BATCH_ROWS / batched_s
+
+        # Grouping invariance: batched logits == row-at-a-time logits, bitwise.
+        per_row = np.concatenate(
+            [model.predict(batch[i : i + 1]) for i in range(BATCH_ROWS)]
+        )
+        identical = bool(np.array_equal(batched, per_row))
+
+        return {
+            "benchmark": "serving",
+            "command": "python -m repro.cli serve <artifact>",
+            "net": {"in_features": IN_FEATURES, "n_classes": N_CLASSES, "seed": SEED},
+            "micro_batch": MICRO_BATCH,
+            "host": {
+                "cpu_count": os.cpu_count() or 1,
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            "single": {
+                "calls": SINGLE_CALLS,
+                "total_s": single_s,
+                "rows_per_s": single_rows_per_s,
+            },
+            "batched": {
+                "calls": BATCH_CALLS,
+                "rows_per_call": BATCH_ROWS,
+                "total_s": batched_s,
+                "rows_per_s": batched_rows_per_s,
+            },
+            "batched_vs_single": batched_rows_per_s / single_rows_per_s,
+            "engine_n_ops": model.engine.n_ops,
+            "engine_captured": model.engine.is_captured,
+            "logits_bit_identical": identical,
+        }
+
+
+def check(fresh: dict) -> int:
+    """Gate a fresh measurement against the committed baseline; 0 = pass."""
+    if not OUT.exists():
+        print(f"FAIL: no baseline {OUT.name}; run without --check first", file=sys.stderr)
+        return 1
+    baseline = json.loads(OUT.read_text())
+    failures: list[str] = []
+
+    if not fresh["logits_bit_identical"]:
+        failures.append("batched and single-row logits diverged (bit-identity broken)")
+    if not fresh["engine_captured"]:
+        failures.append("engine fell back to eager execution (capture failed)")
+
+    was, now = baseline.get("engine_n_ops"), fresh.get("engine_n_ops")
+    if was is not None and now != was:
+        failures.append(f"op-count regression: engine_n_ops {was} -> {now}")
+
+    ratio = fresh["batched_vs_single"]
+    base_ratio = baseline.get("batched_vs_single")
+    floor = MIN_BATCHED_SPEEDUP
+    if base_ratio:
+        floor = max(floor, base_ratio / WALL_TIME_TOLERANCE)
+    if ratio < floor:
+        failures.append(
+            f"throughput regression: batched_vs_single {ratio:.2f}x < {floor:.2f}x "
+            f"(baseline {base_ratio and f'{base_ratio:.2f}x'}, "
+            f"absolute floor {MIN_BATCHED_SPEEDUP}x)"
+        )
+    else:
+        print(f"batched_vs_single {ratio:.2f}x (floor {floor:.2f}x) — ok")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("benchmark gate passed")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="gate against the committed BENCH_serving.json instead of rewriting it")
+    args = parser.parse_args()
+
+    payload = measure()
+    print(json.dumps(payload, indent=2, default=float))
+    if args.check:
+        return check(payload)
+    OUT.write_text(json.dumps(payload, indent=2, default=float) + "\n")
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -188,6 +188,26 @@ class CapturedGraph:
         _run_backward(root, self.backward_order, np.ones_like(root.data))
 
 
+def capture_forward(fn: Callable[..., "Tensor | Sequence[Tensor]"], *leaves: Tensor) -> CapturedGraph:
+    """Record a forward-only program over fixed input buffers.
+
+    Runs ``fn(*leaves)`` once under ``no_grad() + graph_capture()`` — replay
+    structure (parents + forward thunks) is retained without any gradient
+    bookkeeping — and wraps the outputs in a :class:`CapturedGraph`.  Later
+    calls overwrite the leaves' arrays in place (``np.copyto``) and invoke
+    :meth:`CapturedGraph.replay_forward`; the output buffers then hold the
+    fresh values.  This is the inference entry point used by
+    :mod:`repro.serving.engine`.
+    """
+    from repro.autograd.tensor import graph_capture, no_grad
+
+    with no_grad(), graph_capture():
+        outputs = fn(*leaves)
+    if isinstance(outputs, Tensor):
+        outputs = (outputs,)
+    return CapturedGraph(tuple(outputs))
+
+
 def mark_replay_epoch() -> None:
     """Count one epoch served by replay (shows up in ``repro report``)."""
     _REPLAY_EPOCHS.inc()

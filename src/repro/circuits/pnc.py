@@ -114,6 +114,12 @@ class PrintedNeuralNetwork(Module):
         Seeded generator for all parameter initialization.
     af_surrogate, neg_surrogate:
         Fitted surrogate power models (required in surrogate power mode).
+    calibrate:
+        Run the construction-time activation/logit-scale calibration
+        (default).  ``False`` builds the raw topology only — the
+        inference-rebuild path of :mod:`repro.serving.artifact`, which
+        restores every calibrated quantity from the frozen artifact
+        instead of re-randomizing it.
     """
 
     def __init__(
@@ -124,6 +130,7 @@ class PrintedNeuralNetwork(Module):
         rng: np.random.Generator,
         af_surrogate: SurrogatePowerModel | None = None,
         neg_surrogate: SurrogatePowerModel | None = None,
+        calibrate: bool = True,
     ):
         super().__init__()
         if config.count_mode not in ("straight_through", "soft"):
@@ -157,7 +164,8 @@ class PrintedNeuralNetwork(Module):
             )
             setattr(self, f"crossbar_{index}", crossbar)
             setattr(self, f"activation_{index}", activation)
-        self._calibrate_activations(rng)
+        if calibrate:
+            self._calibrate_activations(rng)
 
     def _calibrate_activations(self, rng: np.random.Generator, probe_batch: int = 64) -> None:
         """Re-screen each activation's random q against realistic signals.

@@ -10,7 +10,10 @@ Exposes the main workflows as subcommands::
     python -m repro.cli montecarlo iris --af p-ReLU --samples 50
     python -m repro.cli report run.jsonl              # replay a recorded run
     python -m repro.cli runs list                     # enumerate run directories
-    python -m repro.cli runs compare RUN_A RUN_B      # diff two recorded runs
+    python -m repro.cli runs compare latest RUN_B     # diff two recorded runs
+    python -m repro.cli export --run latest -o m.pnz  # freeze a trained model
+    python -m repro.cli serve m.pnz --port 8080       # batched HTTP inference
+    python -m repro.cli predict m.pnz --input x.csv   # offline per-row predict
 
 Every command prints plain text (tables / ASCII charts) and is deterministic
 given its ``--seed``.
@@ -63,6 +66,14 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                        help="less logging (errors only)")
 
 
+def _add_abort_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--on-task-error", choices=("continue", "cancel"), default="continue",
+        help="parallel abort policy: keep going past failed tasks (default) or "
+             "cancel all not-yet-started tasks after the first failure",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
     parser.add_argument("--epochs", type=int, default=300, help="training epochs")
@@ -99,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--n-seeds", type=int, default=2)
     sweep.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for the sweep runs (results identical to --jobs 1)")
+    _add_abort_flag(sweep)
     _add_common(sweep)
 
     grid = sub.add_parser("grid", help="Table I / Fig. 4 grid over datasets")
@@ -110,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes for the grid cells (results identical to --jobs 1)")
     grid.add_argument("--no-capture", action="store_true",
                       help="disable captured-graph replay; run every epoch eagerly")
+    _add_abort_flag(grid)
 
     circuits = sub.add_parser("circuits", help="print the printed-AF circuit summary table")
 
@@ -121,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--budget-fraction", type=float, default=0.6)
     mc.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="worker processes for the Monte-Carlo instances (results identical to --jobs 1)")
+    _add_abort_flag(mc)
     _add_common(mc)
 
     report = sub.add_parser("report", help="render the summary of a recorded run (JSONL)")
@@ -151,8 +165,38 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument("--dir", default="runs", metavar="BASE",
                                help="run registry base directory (default: runs)")
 
+    export = sub.add_parser(
+        "export", help="copy a recorded run's frozen model artifact (verified) out of the registry"
+    )
+    export.add_argument("--run", required=True,
+                        help="run directory, run id, unique id prefix, or 'latest'")
+    export.add_argument("--dir", default="runs", metavar="BASE",
+                        help="run registry base directory (default: runs)")
+    export.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="destination file (default: <run_id>.pnz in the current directory)")
+
+    serve = sub.add_parser("serve", help="serve a frozen artifact over HTTP with request batching")
+    serve.add_argument("artifact", help="a .pnz bundle written by 'repro export' or a train run")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 picks an ephemeral port, printed at startup)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="flush a coalesced batch at this many pending rows")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="flush a coalesced batch at this age even if small")
+    serve.add_argument("--max-requests", type=int, default=None, metavar="N",
+                       help="shut down cleanly after N requests (smoke tests)")
+
+    predict = sub.add_parser("predict", help="offline per-row prediction from a frozen artifact")
+    predict.add_argument("artifact", help="a .pnz bundle written by 'repro export' or a train run")
+    predict.add_argument("--input", default="-", metavar="PATH",
+                         help="feature rows as CSV or JSON ('-' reads stdin; default)")
+    predict.add_argument("--format", choices=("auto", "csv", "json"), default="auto",
+                         help="input format (auto sniffs JSON by a leading '[' or '{')")
+
     for subparser in (datasets, train, sweep, grid, circuits, mc, report,
-                      runs_list, runs_show, runs_compare, runs_prune):
+                      runs_list, runs_show, runs_compare, runs_prune,
+                      export, serve, predict):
         _add_obs_flags(subparser)
 
     return parser
@@ -231,7 +275,7 @@ def _make_net(data, kind, seed, af, neg):
     )
 
 
-def cmd_train(args, run_logger=None) -> int:
+def cmd_train(args, run_logger=None, run_ctx=None) -> int:
     from repro.training import train_power_constrained, train_unconstrained
 
     kind, data, split, af, neg, settings = _prepare(
@@ -257,6 +301,24 @@ def cmd_train(args, run_logger=None) -> int:
     )
     print(f"result: acc {result.test_accuracy * 100:.2f}%  P {result.power * 1e3:.4f} mW  "
           f"feasible={result.feasible}  devices={result.device_count}")
+    if run_ctx is not None:
+        # Freeze the trained circuit next to its run record; 'repro export
+        # --run <id>' verifies and copies it out later.
+        from repro.serving.artifact import RUN_ARTIFACT_NAME, export_artifact
+
+        artifact = export_artifact(
+            net,
+            run_ctx.directory / RUN_ARTIFACT_NAME,
+            run_dir=run_ctx.directory,
+            power_summary={
+                "power_w": result.power,
+                "budget_w": budget,
+                "test_accuracy": result.test_accuracy,
+                "feasible": result.feasible,
+                "device_count": result.device_count,
+            },
+        )
+        print(f"artifact: {artifact}")
     return 0 if result.feasible else 1
 
 
@@ -280,6 +342,7 @@ def cmd_sweep(args, run_logger=None) -> int:
         args.dataset, kind=ActivationKind.from_name(args.af),
         n_alphas=args.n_alphas, n_seeds=args.n_seeds, config=config,
         n_jobs=args.jobs, progress=_task_progress(run_logger),
+        on_error=args.on_task_error,
     )
     print(render_fig5_rows(comparison))
     budgets_mw = [r.budget_w * 1e3 for r in comparison.al_records]
@@ -295,7 +358,8 @@ def cmd_grid(args, run_logger=None) -> int:
                               seed=args.seed, surrogate_n_q=800, surrogate_epochs=60,
                               capture_graph=not args.no_capture)
     records = run_dataset_grid(args.datasets, budget_fractions=tuple(args.budgets), config=config,
-                               n_jobs=args.jobs, progress=_task_progress(run_logger))
+                               n_jobs=args.jobs, progress=_task_progress(run_logger),
+                               on_error=args.on_task_error)
     print(render_table1(records))
     print(render_fig4_rows(records))
     return 0
@@ -351,6 +415,7 @@ def cmd_montecarlo(args, run_logger=None) -> int:
         net, split.x_test, split.y_test, spec, n_samples=args.samples,
         seed=args.seed, power_budget=budget, accuracy_floor=0.5,
         n_jobs=args.jobs, progress=_task_progress(run_logger),
+        on_error=args.on_task_error,
     )
     print(report.summary())
     return 0
@@ -409,11 +474,145 @@ def cmd_runs(args) -> int:
     return 0
 
 
-def _dispatch(args, run_logger) -> int:
+def cmd_export(args) -> int:
+    import shutil
+
+    from repro.observability import resolve_run
+    from repro.serving.artifact import ArtifactError, RUN_ARTIFACT_NAME, load_artifact
+
+    try:
+        run_dir = resolve_run(args.run, args.dir)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    source = run_dir / RUN_ARTIFACT_NAME
+    if not source.is_file():
+        print(f"error: {run_dir.name} has no {RUN_ARTIFACT_NAME} "
+              "(only 'train --run-dir' runs freeze a model)", file=sys.stderr)
+        return 2
+    try:
+        model = load_artifact(source)  # full verification before copying
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    destination = Path(args.output) if args.output else Path(f"{run_dir.name}.pnz")
+    shutil.copyfile(source, destination)
+    meta = model.meta["model"]
+    print(f"exported {destination} ({meta['in_features']}→{meta['out_features']} "
+          f"{meta['kind']}, run {run_dir.name})")
+    return 0
+
+
+def _read_feature_rows(path: str, fmt: str) -> np.ndarray:
+    """Feature rows from CSV or JSON text ('-' = stdin); shape (n, features)."""
+    text = sys.stdin.read() if path == "-" else Path(path).read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError("empty input")
+    if fmt == "auto":
+        fmt = "json" if stripped[0] in "[{" else "csv"
+    if fmt == "json":
+        payload = json.loads(text)
+        if isinstance(payload, dict):
+            payload = payload["rows"]
+        rows = np.asarray(payload, dtype=np.float64)
+    else:
+        parsed: list[list[float]] = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                parsed.append([float(cell) for cell in line.split(",")])
+            except ValueError:
+                if lineno == 1 and not parsed:
+                    continue  # header row
+                raise ValueError(f"line {lineno}: not a numeric CSV row: {line!r}")
+        rows = np.asarray(parsed, dtype=np.float64)
+    if rows.ndim == 1:
+        rows = rows.reshape(1, -1)
+    return rows
+
+
+def cmd_predict(args, run_logger=None) -> int:
+    from repro.serving.artifact import ArtifactError, load_artifact
+
+    started = perf_counter()
+    try:
+        model = load_artifact(args.artifact)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        rows = _read_feature_rows(args.input, args.format)
+        labels, confidence = model.predict_labels(rows)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if run_logger is not None:
+            run_logger.emit("serve", endpoint="predict-cli", status=400, rows=0,
+                            duration_s=perf_counter() - started, error=str(exc))
+        return 2
+    print(f"{'row':>4s} {'label':>5s} {'confidence':>10s}")
+    for index, (label, conf) in enumerate(zip(labels, confidence)):
+        print(f"{index:4d} {int(label):5d} {conf:10.4f}")
+    if run_logger is not None:
+        run_logger.emit("serve", endpoint="predict-cli", status=200, rows=len(rows),
+                        duration_s=perf_counter() - started)
+    return 0
+
+
+def cmd_serve(args, run_logger=None) -> int:
+    import signal
+
+    from repro.serving.artifact import ArtifactError, load_artifact
+    from repro.serving.server import ServingServer
+
+    try:
+        model = load_artifact(args.artifact)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = ServingServer(
+        model,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1000.0,
+        run_logger=run_logger,
+        max_requests=args.max_requests,
+    )
+    print(f"serving {args.artifact} on {server.url} "
+          f"(max_batch={args.max_batch}, max_delay={args.max_delay_ms:g}ms)", flush=True)
+
+    def _stop(signum, frame):
+        logger.info("signal %d: shutting down", signum)
+        import threading
+
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _stop)
+        except ValueError:
+            # Not the main thread (e.g. a test driving main() from a worker
+            # thread); --max-requests remains the only shutdown path there.
+            break
+    try:
+        server.serve_forever()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.close()
+    print("server stopped")
+    return 0
+
+
+def _dispatch(args, run_logger, run_ctx=None) -> int:
     if args.command == "datasets":
         return cmd_datasets()
     if args.command == "train":
-        return cmd_train(args, run_logger)
+        return cmd_train(args, run_logger, run_ctx)
     if args.command == "sweep":
         return cmd_sweep(args, run_logger)
     if args.command == "grid":
@@ -426,6 +625,12 @@ def _dispatch(args, run_logger) -> int:
         return cmd_report(args)
     if args.command == "runs":
         return cmd_runs(args)
+    if args.command == "export":
+        return cmd_export(args)
+    if args.command == "serve":
+        return cmd_serve(args, run_logger)
+    if args.command == "predict":
+        return cmd_predict(args, run_logger)
     raise AssertionError(f"unhandled command {args.command}")
 
 
@@ -479,7 +684,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     code = 1
     try:
-        code = _dispatch(args, run_logger)
+        code = _dispatch(args, run_logger, run_ctx)
         return code
     except TrainingHealthError as exc:
         code = 3

@@ -252,6 +252,7 @@ def run_dataset_grid(
     config: ExperimentConfig | None = None,
     n_jobs: int = 1,
     progress=None,
+    on_error: str = "continue",
 ) -> list[BudgetRunRecord]:
     """The full Table I / Fig. 4 grid over the given datasets.
 
@@ -264,14 +265,17 @@ def run_dataset_grid(
 
     ``progress`` is an optional ``(outcome, done, total)`` callback — see
     :class:`repro.parallel.TaskProgressReporter`.  If any task fails, the
-    remaining tasks still run, then a
+    remaining tasks still run (or, with ``on_error="cancel"``, queued
+    tasks are cancelled), then a
     :class:`repro.parallel.TaskFailedError` naming every failed cell is
     raised.
     """
     config = config or ExperimentConfig()
     cells = [(dataset_name, kind) for dataset_name in dataset_names for kind in kinds]
     max_tasks = [MaxPowerTask(dataset_name, kind, config) for dataset_name, kind in cells]
-    max_powers = collect_values(map_tasks(max_tasks, n_jobs=n_jobs, progress=progress))
+    max_powers = collect_values(
+        map_tasks(max_tasks, n_jobs=n_jobs, progress=progress, on_error=on_error)
+    )
     anchor = dict(zip(cells, max_powers))
 
     budget_tasks = [
@@ -279,7 +283,9 @@ def run_dataset_grid(
         for dataset_name, kind in cells
         for fraction in budget_fractions
     ]
-    return collect_values(map_tasks(budget_tasks, n_jobs=n_jobs, progress=progress))
+    return collect_values(
+        map_tasks(budget_tasks, n_jobs=n_jobs, progress=progress, on_error=on_error)
+    )
 
 
 @dataclass
@@ -315,6 +321,7 @@ def run_pareto_comparison(
     config: ExperimentConfig | None = None,
     n_jobs: int = 1,
     progress=None,
+    on_error: str = "continue",
 ) -> ParetoComparison:
     """Fig. 5: penalty sweep Pareto front vs single-run AL optima.
 
@@ -335,6 +342,7 @@ def run_pareto_comparison(
         n_jobs=n_jobs,
         net_spec=spec,
         progress=progress,
+        on_error=on_error,
     )
     front = pareto_front(sweep.points())
 
@@ -343,5 +351,7 @@ def run_pareto_comparison(
         BudgetTask(dataset_name, kind, fraction, max_power, config)
         for fraction in budget_fractions
     ]
-    al_records = collect_values(map_tasks(al_tasks, n_jobs=n_jobs, progress=progress))
+    al_records = collect_values(
+        map_tasks(al_tasks, n_jobs=n_jobs, progress=progress, on_error=on_error)
+    )
     return ParetoComparison(dataset_name, sweep, front, al_records)

@@ -155,6 +155,7 @@ def run_monte_carlo(
     accuracy_floor: float = 0.0,
     n_jobs: int = 1,
     progress=None,
+    on_error: str = "continue",
 ) -> MonteCarloReport:
     """Sample ``n_samples`` printed instances of ``net`` and evaluate each.
 
@@ -195,7 +196,9 @@ def run_monte_carlo(
             )
             for start in range(0, n_samples, chunk)
         ]
-        chunks = collect_values(map_tasks(tasks, n_jobs=n_jobs, progress=progress))
+        chunks = collect_values(
+            map_tasks(tasks, n_jobs=n_jobs, progress=progress, on_error=on_error)
+        )
         accuracies = np.concatenate([acc for acc, _ in chunks])
         powers = np.concatenate([pow_ for _, pow_ in chunks])
 

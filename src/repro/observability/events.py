@@ -89,6 +89,16 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[type, ...]]] = {
         "message": (str,),
         "phase": (str,),
     },
+    # One HTTP request handled by the serving layer (repro.serving.server):
+    # endpoint path, response status, number of feature rows processed and
+    # wall time.  Offline `repro predict` emits the same shape with
+    # endpoint "predict-cli".
+    "serve": {
+        "endpoint": (str,),
+        "status": (int,),
+        "rows": (int,),
+        "duration_s": (float, int),
+    },
     # One per process; carries the exit code and a metrics snapshot.
     "run_end": {"exit_code": (int,), "duration_s": (float, int)},
 }
@@ -102,6 +112,7 @@ OPTIONAL_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
     },
     "task": {"error": (str,), "worker_pid": (int,)},
     "task_end": {"error": (str,)},
+    "serve": {"error": (str,), "batch_rows": (int,)},
     "alert": {"value": (float, int)},
     "run_end": {"metrics": (dict,)},
 }

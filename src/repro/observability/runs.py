@@ -237,9 +237,10 @@ def list_runs(base_dir: str | Path) -> list[Path]:
 def resolve_run(ref: str, base_dir: str | Path = "runs") -> Path:
     """Turn a user-supplied run reference into a run directory.
 
-    Accepts a path to a run directory, a run id under ``base_dir``, or a
-    unique run-id prefix.  Raises ``ValueError`` with the candidates when
-    the reference is missing or ambiguous.
+    Accepts a path to a run directory, a run id under ``base_dir``, a
+    unique run-id prefix, or the alias ``latest`` (the most recent run by
+    manifest ``created_ts``).  Raises ``ValueError`` with the candidates
+    when the reference is missing or ambiguous.
     """
     as_path = Path(ref)
     if is_run_dir(as_path):
@@ -247,6 +248,11 @@ def resolve_run(ref: str, base_dir: str | Path = "runs") -> Path:
     base = Path(base_dir)
     if is_run_dir(base / ref):
         return base / ref
+    if ref == "latest":
+        runs = list_runs(base)
+        if not runs:
+            raise ValueError(f"no runs under {base} to resolve 'latest'")
+        return runs[-1]
     matches = [p for p in list_runs(base) if p.name.startswith(ref)]
     if len(matches) == 1:
         return matches[0]

@@ -15,7 +15,9 @@ processes with three guarantees:
 - **Crash isolation** — a task that raises (or whose worker dies)
   produces a structured :class:`TaskError` record in its slot; the
   remaining tasks still run and the pool is never left dead from the
-  caller's perspective.
+  caller's perspective.  ``on_error="cancel"`` flips this into the
+  fail-fast policy: the first failure cancels every not-yet-started
+  task, which surface as ``TaskError(kind="cancelled")`` records.
 
 ``n_jobs=1`` is a true serial fallback: the same task objects run inline
 in the calling process, with no executor and no pickling.
@@ -53,15 +55,30 @@ class ExperimentTask(Protocol):
 
 @dataclass(frozen=True)
 class TaskError:
-    """Structured record of one failed task (picklable, JSON-friendly)."""
+    """Structured record of one failed task (picklable, JSON-friendly).
+
+    ``kind`` distinguishes a task that *ran and raised* (``"error"``) from
+    one that never ran because the engine's fail-fast policy cancelled the
+    remaining queue after an earlier failure (``"cancelled"``).
+    """
 
     label: str
     error_type: str
     message: str
     traceback_text: str = ""
+    kind: str = "error"
 
     def __str__(self) -> str:
         return f"{self.label}: {self.error_type}: {self.message}"
+
+
+def _cancelled_error(label: str, cause: str) -> TaskError:
+    return TaskError(
+        label=label,
+        error_type="Cancelled",
+        message=f"cancelled by on_error='cancel' after failure of {cause}",
+        kind="cancelled",
+    )
 
 
 @dataclass(frozen=True)
@@ -182,6 +199,7 @@ def map_tasks(
     n_jobs: int = 1,
     progress: Callable[[TaskOutcome, int, int], None] | None = None,
     telemetry: WorkerTelemetry | None = None,
+    on_error: str = "continue",
 ) -> list[TaskOutcome]:
     """Run ``tasks`` across ``n_jobs`` processes; results in task order.
 
@@ -204,6 +222,14 @@ def map_tasks(
         shard logger and ships its metrics delta back with the outcome;
         pool runs fold those deltas into the parent registry so aggregate
         counters match the serial execution.
+    on_error:
+        ``"continue"`` (default) drains the whole queue regardless of
+        failures — every task gets its real outcome.  ``"cancel"`` is the
+        fail-fast policy: after the first failed outcome is collected,
+        not-yet-started tasks are cancelled and surface as structured
+        ``TaskError(kind="cancelled")`` records (pool tasks already
+        running when the failure is collected finish normally — worker
+        processes are never killed mid-task).
 
     Returns
     -------
@@ -215,6 +241,8 @@ def map_tasks(
     """
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
+    if on_error not in ("continue", "cancel"):
+        raise ValueError("on_error must be 'continue' or 'cancel'")
     if telemetry is None:
         telemetry = default_telemetry()
     total = len(tasks)
@@ -222,6 +250,9 @@ def map_tasks(
     if total == 0:
         return outcomes
     n_jobs = min(n_jobs, total)
+
+    def _label(index: int) -> str:
+        return getattr(tasks[index], "label", repr(tasks[index]))
 
     if n_jobs == 1:
         # Inline execution mutates the parent registry directly — the
@@ -232,36 +263,71 @@ def map_tasks(
             outcomes.append(outcome)
             if progress is not None:
                 progress(outcome, index + 1, total)
+            if on_error == "cancel" and not outcome.ok:
+                for rest in range(index + 1, total):
+                    cancelled = TaskOutcome(
+                        index=rest,
+                        label=_label(rest),
+                        ok=False,
+                        error=_cancelled_error(_label(rest), outcome.label),
+                    )
+                    outcomes.append(cancelled)
+                    if progress is not None:
+                        progress(cancelled, rest + 1, total)
+                break
         return outcomes
 
     logger.info("mapping %d tasks over %d worker processes", total, n_jobs)
     registry = get_registry()
+    first_failure: str | None = None
     with ProcessPoolExecutor(max_workers=n_jobs, mp_context=_mp_context()) as pool:
         futures = [
             pool.submit(_execute, index, task, telemetry) for index, task in enumerate(tasks)
         ]
         for index, future in enumerate(futures):
-            try:
-                outcome = future.result()
-            except Exception as exc:
-                # The worker died before returning (BrokenProcessPool,
-                # unpicklable result, ...).  Record it and keep collecting:
-                # the remaining futures either completed before the break
-                # or resolve to the same structured record.
-                label = getattr(tasks[index], "label", repr(tasks[index]))
-                logger.error("task %s lost its worker: %s", label, exc)
+            if future.cancelled():
                 outcome = TaskOutcome(
                     index=index,
-                    label=label,
+                    label=_label(index),
                     ok=False,
-                    error=TaskError(
-                        label=label,
-                        error_type=type(exc).__name__,
-                        message=str(exc) or "worker process died before returning a result",
-                    ),
+                    error=_cancelled_error(_label(index), first_failure or "?"),
                 )
+            else:
+                try:
+                    outcome = future.result()
+                except Exception as exc:
+                    # The worker died before returning (BrokenProcessPool,
+                    # unpicklable result, ...).  Record it and keep collecting:
+                    # the remaining futures either completed before the break
+                    # or resolve to the same structured record.
+                    label = _label(index)
+                    logger.error("task %s lost its worker: %s", label, exc)
+                    outcome = TaskOutcome(
+                        index=index,
+                        label=label,
+                        ok=False,
+                        error=TaskError(
+                            label=label,
+                            error_type=type(exc).__name__,
+                            message=str(exc) or "worker process died before returning a result",
+                        ),
+                    )
             if outcome.metrics:
                 registry.merge_snapshot(outcome.metrics)
+            if (
+                on_error == "cancel"
+                and not outcome.ok
+                and first_failure is None
+                and outcome.error is not None
+                and outcome.error.kind != "cancelled"
+            ):
+                first_failure = outcome.label
+                cancelled_count = sum(f.cancel() for f in futures[index + 1:])
+                if cancelled_count:
+                    logger.warning(
+                        "cancelled %d queued task(s) after failure of %s",
+                        cancelled_count, first_failure,
+                    )
             outcomes.append(outcome)
             if progress is not None:
                 progress(outcome, index + 1, total)

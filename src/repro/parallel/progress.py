@@ -29,6 +29,9 @@ _TASKS_COMPLETED = get_registry().counter(
 _TASKS_FAILED = get_registry().counter(
     "parallel_tasks_failed", "experiment tasks that returned a structured error record"
 )
+_TASKS_CANCELLED = get_registry().counter(
+    "parallel_tasks_cancelled", "experiment tasks cancelled by the fail-fast abort policy"
+)
 
 
 class TaskProgressReporter:
@@ -39,12 +42,16 @@ class TaskProgressReporter:
         self.log = log or logger
 
     def __call__(self, outcome: TaskOutcome, done: int, total: int) -> None:
+        cancelled = outcome.error is not None and outcome.error.kind == "cancelled"
         if outcome.ok:
             _TASKS_COMPLETED.inc()
             self.log.info(
                 "[%d/%d] %s done in %.1fs (pid %d)",
                 done, total, outcome.label, outcome.duration_s, outcome.worker_pid,
             )
+        elif cancelled:
+            _TASKS_CANCELLED.inc()
+            self.log.warning("[%d/%d] %s cancelled: %s", done, total, outcome.label, outcome.error)
         else:
             _TASKS_FAILED.inc()
             self.log.error("[%d/%d] %s FAILED: %s", done, total, outcome.label, outcome.error)
@@ -52,7 +59,7 @@ class TaskProgressReporter:
             fields = dict(
                 index=outcome.index,
                 label=outcome.label,
-                status="ok" if outcome.ok else "error",
+                status="ok" if outcome.ok else ("cancelled" if cancelled else "error"),
                 duration_s=outcome.duration_s,
                 done=done,
                 total=total,

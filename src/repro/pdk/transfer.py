@@ -118,15 +118,28 @@ def _newton_solve_np(
     step_limit: float = 0.4,
     tol: float = 1e-12,
 ) -> np.ndarray:
-    """Vectorized damped Newton on the scalar node equation."""
+    """Vectorized damped Newton on the scalar node equation.
+
+    Convergence is tracked **per element**: an element freezes the moment
+    its own residual drops below ``tol`` and never moves again.  A
+    batch-global stop (``|g|.max() < tol``) would let slow-converging
+    neighbours keep polishing already-converged elements, making each
+    element's bits depend on what else shares its batch — which breaks the
+    grouping-invariance contract of :mod:`repro.serving.engine` (the same
+    row must yield identical bits no matter which rows it was batched
+    with).  With per-element freezing every trajectory is a pure function
+    of its own ``v0`` entry.
+    """
     v = v0.copy()
+    active = np.ones(np.shape(v), dtype=bool)
     for _ in range(iterations):
         g, gp = g_and_gprime(v)
+        active &= np.abs(g) >= tol
+        if not active.any():
+            break
         step = g / np.where(np.abs(gp) < 1e-30, 1e-30, gp)
         step = np.clip(step, -step_limit, step_limit)
-        v = v - step
-        if np.abs(g).max() < tol:
-            break
+        v = np.where(active, v - step, v)
     return v
 
 

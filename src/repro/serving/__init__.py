@@ -1,0 +1,43 @@
+"""Frozen model artifacts + batched inference serving.
+
+The first subsystem downstream of training: a trained printed neuromorphic
+circuit is frozen into a self-contained, provenance-stamped artifact and
+served — offline (``repro predict``) or over HTTP (``repro serve``) — by a
+forward-only captured-graph engine with request coalescing.
+
+- :mod:`repro.serving.artifact` — the versioned ``.pnz`` bundle
+  (``export_artifact`` / ``load_artifact`` / :class:`InferenceModel`);
+- :mod:`repro.serving.engine` — fixed-shape micro-batch replay engine
+  (:class:`InferenceEngine`);
+- :mod:`repro.serving.batching` — request-coalescing queue
+  (:class:`MicroBatcher`);
+- :mod:`repro.serving.server` — stdlib ``ThreadingHTTPServer`` JSON API
+  (:class:`ServingServer`: ``/predict``, ``/healthz``, ``/model``,
+  ``/metrics``);
+- :mod:`repro.serving.client` — thin stdlib HTTP client
+  (:class:`ServingClient`).
+"""
+
+from repro.serving.artifact import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactError,
+    InferenceModel,
+    export_artifact,
+    load_artifact,
+)
+from repro.serving.batching import MicroBatcher
+from repro.serving.client import ServingClient
+from repro.serving.engine import InferenceEngine
+from repro.serving.server import ServingServer
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactError",
+    "InferenceModel",
+    "export_artifact",
+    "load_artifact",
+    "InferenceEngine",
+    "MicroBatcher",
+    "ServingServer",
+    "ServingClient",
+]

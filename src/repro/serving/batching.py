@@ -1,0 +1,162 @@
+"""Request-coalescing micro-batcher for the serving layer.
+
+Concurrent ``predict`` calls land on one queue; a single worker thread
+drains it, concatenates the pending rows into one batch, runs the engine
+once, and slices the result back to the waiting callers via futures.  This
+turns N concurrent single-row requests into ~1 replay instead of N.
+
+Correctness does not depend on how requests coalesce: the engine evaluates
+every row at one fixed micro-batch shape (see :mod:`repro.serving.engine`),
+so a coalesced batch returns bitwise the same logits each request would have
+received alone.  Coalescing is purely a throughput optimization, bounded by
+two knobs:
+
+- ``max_batch`` — flush once this many rows are pending;
+- ``max_delay_s`` — flush at this age even if the batch is small, bounding
+  the latency a lone request pays for the chance of company.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable
+
+import numpy as np
+
+from repro.observability.metrics import get_registry
+
+logger = logging.getLogger(__name__)
+
+_BATCHES = get_registry().counter(
+    "serving_batches", "coalesced batches executed by the micro-batcher"
+)
+_COALESCED = get_registry().counter(
+    "serving_coalesced_requests", "requests served by the micro-batcher"
+)
+_LAST_BATCH_ROWS = get_registry().gauge(
+    "serving_last_batch_rows", "rows in the most recent coalesced batch"
+)
+
+_SENTINEL = object()
+
+
+class MicroBatcher:
+    """Coalesce concurrent predict calls into batched engine runs.
+
+    Parameters
+    ----------
+    run:
+        The batched forward, ``(n, in_features) -> (n, out_features)``
+        (typically ``InferenceEngine.run``).
+    max_batch:
+        Maximum rows per flush; a request larger than this still runs,
+        as its own batch.
+    max_delay_s:
+        Maximum time a pending request waits for co-batchers.
+    """
+
+    def __init__(
+        self,
+        run: Callable[[np.ndarray], np.ndarray],
+        max_batch: int = 64,
+        max_delay_s: float = 0.002,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        self._run = run
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_s)
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        self._worker = threading.Thread(target=self._loop, name="micro-batcher", daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, rows: np.ndarray) -> Future:
+        """Enqueue ``rows``; the future resolves to their logits."""
+        if self._closed:
+            raise RuntimeError("micro-batcher is closed")
+        rows = np.asarray(rows, dtype=np.float64)
+        future: Future = Future()
+        self._queue.put((rows, future))
+        return future
+
+    def predict(self, rows: np.ndarray) -> np.ndarray:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(rows).result()
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            pending = [item]
+            rows_pending = len(item[0])
+            deadline = time.monotonic() + self.max_delay_s
+            stop = False
+            while rows_pending < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    extra = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if extra is _SENTINEL:
+                    # Flush what we have, then honor the shutdown.
+                    stop = True
+                    break
+                pending.append(extra)
+                rows_pending += len(extra[0])
+            self._flush(pending)
+            if stop:
+                return
+
+    def _flush(self, pending: list) -> None:
+        batch = np.concatenate([rows for rows, _ in pending], axis=0)
+        _LAST_BATCH_ROWS.set(len(batch))
+        _BATCHES.inc()
+        _COALESCED.inc(len(pending))
+        if len(pending) > 1:
+            logger.debug("coalesced %d requests into a %d-row batch", len(pending), len(batch))
+        try:
+            outputs = self._run(batch)
+        except Exception as exc:
+            for _, future in pending:
+                future.set_exception(exc)
+            return
+        offset = 0
+        for rows, future in pending:
+            future.set_result(outputs[offset:offset + len(rows)])
+            offset += len(rows)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker after draining already-queued requests."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_SENTINEL)
+        self._worker.join(timeout=10.0)
+        # Fail any request that raced past the closed check after the
+        # sentinel — better a clean error than a future that never resolves.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SENTINEL:
+                item[1].set_exception(RuntimeError("micro-batcher closed"))
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,83 @@
+"""Thin stdlib HTTP client for a :class:`~repro.serving.server.ServingServer`.
+
+Pure ``urllib.request`` — no dependencies — so any process with the repo on
+its path (tests, CI smoke jobs, notebooks) can talk to a serving process.
+JSON floats round-trip bitwise (shortest-repr serialization on the server,
+exact parse here), so :meth:`ServingClient.predict_logits` returns exactly
+the engine's logits.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+
+class ServingClientError(RuntimeError):
+    """The server answered with an error status (the body is included)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServingClient:
+    """Talk to a running serving process.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``http://127.0.0.1:8080`` (trailing slash tolerated).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, path: str, payload: dict | None = None) -> bytes:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=None if payload is None else json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="GET" if payload is None else "POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(body).get("error", body)
+            except json.JSONDecodeError:
+                message = body
+            raise ServingClientError(exc.code, message) from exc
+
+    def _request_json(self, path: str, payload: dict | None = None) -> dict:
+        return json.loads(self._request(path, payload).decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    def predict(self, rows) -> dict:
+        """Full ``/predict`` response: predictions, logits, row count."""
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows.reshape(1, -1)
+        return self._request_json("/predict", {"rows": rows.tolist()})
+
+    def predict_logits(self, rows) -> np.ndarray:
+        """Logits ``(n, n_classes)`` — bitwise the server engine's output."""
+        return np.asarray(self.predict(rows)["logits"], dtype=np.float64)
+
+    def healthz(self) -> dict:
+        return self._request_json("/healthz")
+
+    def model(self) -> dict:
+        return self._request_json("/model")
+
+    def metrics_text(self) -> str:
+        return self._request("/metrics").decode("utf-8")

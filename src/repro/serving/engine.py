@@ -1,0 +1,146 @@
+"""Fixed-shape captured-graph inference engine.
+
+The serving forward reuses the training repo's captured-graph machinery
+(:func:`repro.autograd.graph.capture_forward`): the network's forward is
+recorded once over a preallocated ``(B, in_features)`` input buffer and every
+subsequent request replays the flat kernel schedule — no Tensor boxes, no
+graph construction, no Python autograd overhead per request.
+
+**The fixed-shape invariant.**  BLAS matmul kernels choose different
+instruction schedules for different matrix shapes, so the low-order bits of a
+row's logits can depend on *how many other rows shared its batch*.  That
+would make a batching server non-deterministic: the same row could yield
+different bits depending on which concurrent requests it was coalesced with.
+The engine therefore evaluates **every** row at one constant micro-batch
+shape ``B``, zero-padding partial chunks.  Zero pad rows do not perturb the
+real rows' bits (matmul row independence), so
+
+    run(rows A) ++ run(rows B)  ==  run(rows A ++ B)   (bitwise)
+
+for any grouping of rows into requests — the property the batched HTTP
+server relies on to return exactly the outputs a serial client would see.
+
+If capture is impossible (an op without a forward thunk), the engine
+permanently falls back to an eager forward **over the same fixed-shape
+buffer**, preserving the invariant at reduced speed.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+
+import numpy as np
+
+from repro.autograd.graph import CapturedGraph, GraphCaptureError, capture_forward
+from repro.autograd.tensor import Tensor, no_grad
+from repro.circuits.pnc import PrintedNeuralNetwork
+from repro.observability.metrics import get_registry
+
+logger = logging.getLogger(__name__)
+
+_ENGINE_ROWS = get_registry().counter(
+    "serving_engine_rows", "feature rows evaluated by the inference engine"
+)
+_ENGINE_REPLAYS = get_registry().counter(
+    "serving_engine_replays", "fixed-shape graph replays executed by the inference engine"
+)
+_ENGINE_RECAPTURES = get_registry().counter(
+    "serving_engine_recaptures", "inference graphs invalidated and re-recorded"
+)
+_ENGINE_FALLBACKS = get_registry().counter(
+    "serving_engine_fallbacks", "inference engines running eager (capture failed)"
+)
+
+#: Default micro-batch shape.  Large enough that batched serving amortizes
+#: per-replay overhead, small enough that single-row latency (one padded
+#: replay) stays cheap for the paper's tiny classifiers.
+DEFAULT_MICRO_BATCH = 32
+
+
+class InferenceEngine:
+    """Forward-only replay of a frozen pNC at one constant batch shape.
+
+    Parameters
+    ----------
+    net:
+        An inference-mode network (``net.eval()``, analytic power mode) —
+        typically the product of :func:`repro.serving.artifact.load_artifact`.
+    micro_batch:
+        The fixed shape ``B``; requests are chunked/padded to it.
+    """
+
+    def __init__(self, net: PrintedNeuralNetwork, micro_batch: int = DEFAULT_MICRO_BATCH):
+        if micro_batch < 2:
+            # B == 1 would hit numpy's GEMV path, whose bits differ from the
+            # GEMM path used at B >= 2 — the one shape that breaks grouping
+            # invariance.
+            raise ValueError("micro_batch must be at least 2")
+        self.net = net
+        self.micro_batch = int(micro_batch)
+        self._buffer = Tensor(np.zeros((self.micro_batch, net.in_features)))
+        self._graph: CapturedGraph | None = None
+        self._eager = False
+        self._lock = threading.Lock()
+        self._capture()
+
+    # ------------------------------------------------------------------
+    def _capture(self) -> None:
+        try:
+            self._graph = capture_forward(self.net.forward, self._buffer)
+        except GraphCaptureError as exc:  # pragma: no cover - defensive
+            _ENGINE_FALLBACKS.inc()
+            logger.warning("inference capture failed (%s); running eager at fixed shape", exc)
+            self._graph = None
+            self._eager = True
+
+    @property
+    def n_ops(self) -> int:
+        """Kernels per replay (0 when running eager)."""
+        return 0 if self._graph is None else self._graph.n_ops
+
+    @property
+    def is_captured(self) -> bool:
+        return self._graph is not None
+
+    # ------------------------------------------------------------------
+    def _forward_chunk(self, chunk: np.ndarray) -> np.ndarray:
+        """Evaluate ``chunk`` (≤ B rows) at the fixed shape; return its logits."""
+        n = len(chunk)
+        self._buffer.data[:n] = chunk
+        if n < self.micro_batch:
+            self._buffer.data[n:] = 0.0
+        if self._eager:
+            with no_grad():
+                out = self.net.forward(self._buffer).data
+            return out[:n].copy()
+        graph = self._graph
+        if not graph.is_valid():
+            _ENGINE_RECAPTURES.inc()
+            logger.info("inference graph invalidated; re-recording")
+            self._capture()
+            if self._eager:  # recapture itself failed
+                return self._forward_chunk(chunk)
+            graph = self._graph
+        graph.replay_forward()
+        _ENGINE_REPLAYS.inc()
+        return graph.outputs[0].data[:n].copy()
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Logits ``(n, out_features)`` for ``x`` of shape ``(n, in_features)``.
+
+        Thread-safe (one replay at a time — the buffers are shared state);
+        results are bitwise independent of how rows are split across calls.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.net.in_features:
+            raise ValueError(
+                f"expected (n, {self.net.in_features}) feature rows, got shape {x.shape}"
+            )
+        outputs = np.empty((len(x), self.net.out_features))
+        with self._lock:
+            for start in range(0, len(x), self.micro_batch):
+                chunk = x[start:start + self.micro_batch]
+                outputs[start:start + len(chunk)] = self._forward_chunk(chunk)
+        _ENGINE_ROWS.inc(len(x))
+        return outputs

@@ -1,0 +1,264 @@
+"""Stdlib HTTP serving of a frozen pNC artifact.
+
+A :class:`ServingServer` wraps an :class:`~repro.serving.artifact.InferenceModel`
+in a ``ThreadingHTTPServer`` JSON API:
+
+====================  ======================================================
+``POST /predict``     ``{"rows": [[...], ...]}`` → per-row label, confidence
+                      and raw logits.  Concurrent requests coalesce through
+                      the :class:`~repro.serving.batching.MicroBatcher`.
+``GET /healthz``      liveness: status, uptime, rows served.
+``GET /model``        the artifact's metadata (provenance, power, config).
+``GET /metrics``      Prometheus text exposition of the process registry.
+====================  ======================================================
+
+Logits cross the wire as JSON floats; Python serializes floats by shortest
+round-trip ``repr``, so the client-side parse restores bitwise the values
+the engine produced — exactness survives HTTP.
+
+Every request is instrumented (counters, latency histogram) and — when a
+``RunLogger`` is attached — emitted as a schema-valid ``serve`` event, so a
+serving process produces the same auditable run record as a training run.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.observability.metrics import get_registry
+from repro.serving.artifact import InferenceModel
+from repro.serving.batching import MicroBatcher
+
+logger = logging.getLogger(__name__)
+
+_REQUESTS = get_registry().counter("serving_requests_total", "HTTP requests handled")
+_ERRORS = get_registry().counter("serving_request_errors", "HTTP requests answered with 4xx/5xx")
+_ROWS = get_registry().counter("serving_rows_total", "feature rows served over HTTP")
+_LATENCY = get_registry().histogram("serving_request_latency_s", "request wall time (seconds)")
+
+#: Refuse absurd request bodies before json.loads touches them.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set by ServingServer on the server object, read here via self.server.
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def _ctx(self) -> "ServingServer":
+        return self.server.serving  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    # ------------------------------------------------------------------
+    def _respond(self, status: int, payload: dict, endpoint: str, started: float, rows: int = 0) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._account(endpoint, status, started, rows, payload.get("error"))
+
+    def _respond_text(self, status: int, text: str, endpoint: str, started: float) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._account(endpoint, status, started, 0, None)
+
+    def _account(self, endpoint: str, status: int, started: float, rows: int, error) -> None:
+        duration = time.monotonic() - started
+        _REQUESTS.inc()
+        _LATENCY.observe(duration)
+        if status >= 400:
+            _ERRORS.inc()
+        if rows:
+            _ROWS.inc(rows)
+        self._ctx._emit_serve(endpoint, status, rows, duration, error)
+        self._ctx._note_request()
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        started = time.monotonic()
+        ctx = self._ctx
+        if self.path == "/healthz":
+            self._respond(
+                200,
+                {
+                    "status": "ok",
+                    "uptime_s": round(time.monotonic() - ctx.started_at, 3),
+                    "rows_served": int(_ROWS.value),
+                    "engine_captured": ctx.model.engine.is_captured,
+                },
+                "healthz",
+                started,
+            )
+        elif self.path == "/model":
+            self._respond(200, ctx.model.describe(), "model", started)
+        elif self.path == "/metrics":
+            self._respond_text(200, get_registry().render_prometheus(), "metrics", started)
+        else:
+            self._respond(404, {"error": f"unknown path {self.path}"}, "unknown", started)
+
+    def do_POST(self) -> None:
+        started = time.monotonic()
+        if self.path != "/predict":
+            self._respond(404, {"error": f"unknown path {self.path}"}, "unknown", started)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length <= 0 or length > MAX_BODY_BYTES:
+                raise ValueError(f"invalid Content-Length {length}")
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            rows = np.asarray(payload["rows"], dtype=np.float64)
+            if rows.ndim == 1:
+                rows = rows.reshape(1, -1)
+            model = self._ctx.model
+            if rows.ndim != 2 or rows.shape[1] != model.in_features:
+                raise ValueError(
+                    f"expected rows of {model.in_features} features, got shape {tuple(rows.shape)}"
+                )
+            if not np.all(np.isfinite(rows)):
+                raise ValueError("feature rows must be finite")
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
+            self._respond(400, {"error": f"bad request: {exc}"}, "predict", started)
+            return
+        try:
+            logits = self._ctx.batcher.predict(rows)
+        except Exception as exc:  # engine/batcher failure — a server error
+            logger.exception("predict failed")
+            self._respond(500, {"error": f"inference failed: {exc}"}, "predict", started)
+            return
+        labels = np.argmax(logits, axis=1)
+        shifted = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probabilities = shifted / shifted.sum(axis=1, keepdims=True)
+        confidence = probabilities[np.arange(len(labels)), labels]
+        self._respond(
+            200,
+            {
+                "predictions": [
+                    {"label": int(label), "confidence": float(conf)}
+                    for label, conf in zip(labels, confidence)
+                ],
+                "logits": logits.tolist(),
+                "rows": len(rows),
+            },
+            "predict",
+            started,
+            rows=len(rows),
+        )
+
+
+class ServingServer:
+    """Threaded HTTP server over a frozen model, with coalesced batching.
+
+    Parameters
+    ----------
+    model:
+        The loaded :class:`InferenceModel` to serve.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read ``self.port``
+        after construction).
+    max_batch, max_delay_s:
+        :class:`MicroBatcher` knobs — flush thresholds for coalescing.
+    run_logger:
+        Optional :class:`repro.observability.events.RunLogger`; every request
+        is emitted as a ``serve`` event (sinks are not thread-safe, so
+        emissions are serialized by a lock).
+    max_requests:
+        Optional self-shutdown after N requests — used by smoke tests to
+        bound a server's lifetime without signals.
+    """
+
+    def __init__(
+        self,
+        model: InferenceModel,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        max_batch: int = 64,
+        max_delay_s: float = 0.002,
+        run_logger=None,
+        max_requests: int | None = None,
+    ):
+        self.model = model
+        self.batcher = MicroBatcher(model.engine.run, max_batch=max_batch, max_delay_s=max_delay_s)
+        self.run_logger = run_logger
+        self.max_requests = max_requests
+        self.started_at = time.monotonic()
+        self._emit_lock = threading.Lock()
+        self._requests_seen = 0
+        self._thread: threading.Thread | None = None
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.serving = self  # type: ignore[attr-defined]
+        self.host, self.port = self._httpd.server_address[:2]
+
+    # ------------------------------------------------------------------
+    def _emit_serve(self, endpoint: str, status: int, rows: int, duration: float, error) -> None:
+        if self.run_logger is None:
+            return
+        fields = {
+            "endpoint": endpoint,
+            "status": int(status),
+            "rows": int(rows),
+            "duration_s": float(duration),
+        }
+        if error:
+            fields["error"] = str(error)
+        with self._emit_lock:
+            self.run_logger.emit("serve", **fields)
+
+    def _note_request(self) -> None:
+        if self.max_requests is None:
+            return
+        self._requests_seen += 1
+        if self._requests_seen >= self.max_requests:
+            # shutdown() deadlocks when called from a handler thread the
+            # server is joining on — hand it to a helper thread.
+            threading.Thread(target=self.shutdown, daemon=True).start()
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServingServer":
+        """Serve in a background thread (tests, embedding)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serving-http", daemon=True
+        )
+        self._thread.start()
+        logger.info("serving %s on %s", self.model.path or "<model>", self.url)
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (CLI path)."""
+        logger.info("serving %s on %s", self.model.path or "<model>", self.url)
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop accepting requests and drain the batcher."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.batcher.close()
+
+    def close(self) -> None:
+        self.shutdown()
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ServingServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -123,6 +123,7 @@ def penalty_pareto_sweep(
     n_jobs: int = 1,
     net_spec=None,
     progress=None,
+    on_error: str = "continue",
 ) -> ParetoSweepResult:
     """The baseline's multi-run sweep: ``n_alphas × n_seeds`` trainings.
 
@@ -136,8 +137,10 @@ def penalty_pareto_sweep(
     and split).  With ``net_spec`` set, every (α, seed) point runs as a
     mapped task — the ``n_jobs=1`` case included, so serial and parallel
     sweeps execute identical code paths.  A failed point lands in
-    ``result.errors`` instead of aborting the sweep.  ``progress`` is the
-    per-task callback of :func:`repro.parallel.map_tasks`.
+    ``result.errors`` instead of aborting the sweep.  ``progress`` and
+    ``on_error`` are forwarded to :func:`repro.parallel.map_tasks` —
+    ``on_error="cancel"`` fail-fasts the sweep, recording the skipped
+    points as ``TaskError(kind="cancelled")`` entries in ``errors``.
     """
     alphas = list(np.linspace(alpha_range[0], alpha_range[1], n_alphas))
     seeds = list(range(n_seeds))
@@ -158,7 +161,7 @@ def penalty_pareto_sweep(
             for alpha in alphas
             for seed in seeds
         ]
-        for outcome in map_tasks(tasks, n_jobs=n_jobs, progress=progress):
+        for outcome in map_tasks(tasks, n_jobs=n_jobs, progress=progress, on_error=on_error):
             if outcome.ok:
                 sweep.results.append(outcome.value)
             else:

@@ -208,7 +208,7 @@ class TestCliAbortPath:
 
         import repro.cli as cli
 
-        def poisoned(args, run_logger):
+        def poisoned(args, run_logger, run_ctx=None):
             raise TrainingHealthError(
                 "watchdog non_finite fired", {"kind": "non_finite", "epoch": 2}
             )
@@ -228,7 +228,7 @@ class TestCliAbortPath:
     def test_exit_code_3_without_run_dir_dumps_to_stderr(self, monkeypatch, capsys):
         import repro.cli as cli
 
-        def poisoned(args, run_logger):
+        def poisoned(args, run_logger, run_ctx=None):
             raise TrainingHealthError("boom", {"kind": "multiplier_divergence"})
 
         monkeypatch.setattr(cli, "_dispatch", poisoned)

@@ -74,6 +74,9 @@ class TestEventSchema:
                 "kind": "non_finite", "epoch": 12, "message": "loss went NaN",
                 "phase": "constrained", "value": 1.5,
             },
+            "serve": {
+                "endpoint": "predict", "status": 200, "rows": 8, "duration_s": 0.004,
+            },
             "run_end": {"exit_code": 0, "duration_s": 1.5, "metrics": {"forward_calls": 3.0}},
         }
         return {"type": event_type, "ts": time.time(), **samples[event_type]}

@@ -127,6 +127,88 @@ class TestMapTasks:
         assert len(excinfo.value.errors) == 1
 
 
+@dataclass(frozen=True)
+class SlowTask:
+    """Sleeps long enough to still be queued when an earlier task fails."""
+
+    n: int
+    delay: float = 0.2
+
+    @property
+    def label(self) -> str:
+        return f"slow:{self.n}"
+
+    def run(self) -> int:
+        import time
+
+        time.sleep(self.delay)
+        return self.n
+
+
+class TestAbortPolicy:
+    def test_serial_cancel_skips_remaining(self):
+        outcomes = map_tasks(
+            [SquareTask(1), FailingTask(), SquareTask(2), SquareTask(3)],
+            n_jobs=1,
+            on_error="cancel",
+        )
+        assert [o.ok for o in outcomes] == [True, False, False, False]
+        assert outcomes[1].error.kind == "error"
+        for outcome in outcomes[2:]:
+            assert outcome.error.kind == "cancelled"
+            assert outcome.error.error_type == "Cancelled"
+            assert "failing" in outcome.error.message
+        # slots still line up with submission order
+        assert [o.index for o in outcomes] == list(range(4))
+
+    def test_serial_default_drains_everything(self):
+        outcomes = map_tasks([FailingTask(), SquareTask(2)], n_jobs=1)
+        assert [o.ok for o in outcomes] == [False, True]
+        assert outcomes[1].value == 4
+
+    def test_pool_cancel_produces_cancelled_records(self):
+        # First task fails immediately; the slow tail is still queued when
+        # its failure is collected, so at least the last tasks get cancelled.
+        tasks = [FailingTask()] + [SlowTask(i) for i in range(8)]
+        outcomes = map_tasks(tasks, n_jobs=2, on_error="cancel")
+        assert len(outcomes) == 9
+        assert [o.index for o in outcomes] == list(range(9))
+        assert not outcomes[0].ok and outcomes[0].error.kind == "error"
+        cancelled = [o for o in outcomes if o.error is not None and o.error.kind == "cancelled"]
+        assert cancelled, "expected queued tasks to be cancelled after the failure"
+        for outcome in cancelled:
+            assert not outcome.ok
+            assert "failing" in outcome.error.message
+        # already-running tasks are never killed mid-task — they finish ok
+        for outcome in outcomes[1:]:
+            if outcome.ok:
+                assert outcome.value == int(outcome.label.split(":")[1])
+
+    def test_pool_continue_is_unaffected(self):
+        tasks = [FailingTask()] + [SquareTask(i) for i in range(4)]
+        outcomes = map_tasks(tasks, n_jobs=2)
+        assert [o.ok for o in outcomes] == [False, True, True, True, True]
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="on_error"):
+            map_tasks([SquareTask(1)], n_jobs=1, on_error="explode")
+
+    def test_progress_reports_cancelled_status(self):
+        sink = ListSink()
+        reporter = TaskProgressReporter(run_logger=RunLogger(sink))
+        counter = get_registry().counter("parallel_tasks_cancelled", "")
+        before = counter.value
+
+        map_tasks(
+            [FailingTask(), SquareTask(2)], n_jobs=1, on_error="cancel", progress=reporter
+        )
+
+        assert counter.value - before == 1
+        assert [e["status"] for e in sink.events] == ["error", "cancelled"]
+        assert "cancelled by on_error='cancel'" in sink.events[1]["error"]
+        assert sink.events[1]["done"] == 2 and sink.events[1]["total"] == 2
+
+
 class TestTaskProgressReporter:
     def test_emits_task_events_and_counts(self):
         sink = ListSink()

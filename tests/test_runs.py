@@ -164,6 +164,15 @@ class TestRegistryReadSide:
         assert resolve_run("20260101-000000-train-aaa111", tmp_path) == ctx.directory
         assert resolve_run("20260101", tmp_path) == ctx.directory
 
+    def test_resolve_latest_returns_newest_run(self, tmp_path):
+        _make_run(tmp_path, run_id="a-older")
+        newest = _make_run(tmp_path, run_id="b-newer")
+        assert resolve_run("latest", tmp_path) == newest.directory
+
+    def test_resolve_latest_with_no_runs_is_an_error(self, tmp_path):
+        with pytest.raises(ValueError, match="no runs"):
+            resolve_run("latest", tmp_path)
+
     def test_resolve_rejects_missing_and_ambiguous(self, tmp_path):
         _make_run(tmp_path, run_id="run-aa")
         _make_run(tmp_path, run_id="run-ab")
@@ -273,6 +282,15 @@ class TestRunsCli:
                      "--dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "config diff" in out
+
+    def test_runs_show_latest_alias(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self._record_run(tmp_path)
+        newest = self._record_run(tmp_path)
+        capsys.readouterr()
+        assert main(["runs", "show", "latest", "--dir", str(tmp_path)]) == 0
+        assert newest.name in capsys.readouterr().out
 
     def test_runs_show_unknown_ref_exits_2(self, tmp_path, capsys):
         from repro.cli import main
