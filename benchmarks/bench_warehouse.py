@@ -1,0 +1,190 @@
+"""Measure index-backed vs scan-backed `runs list`; write ``BENCH_warehouse.json``.
+
+Builds a synthetic registry of ``N_RUNS`` run directories (manifest +
+a ``N_EPOCHS``-epoch event timeline each, statuses mixed) and times the
+read path both ways in one process:
+
+- **scan**: ``load_summaries`` with no ``index.db`` — every query re-walks
+  the tree and re-parses every ``manifest.json`` and ``events.jsonl``;
+- **index**: the same call after ``Warehouse.sync()`` built the SQLite
+  index — each query is an incremental sync (stat-only when nothing
+  changed) plus one SQL read.
+
+Reported numbers:
+
+- queries/s for both modes and their ratio (``index_vs_scan``) — the
+  number the PR's >=10x warehouse claim is about;
+- one-time ``sync_s`` (full index build) to keep the amortization honest;
+- **byte-identity**: ``render_runs_table`` over the index-backed summaries
+  must equal the scan-backed table exactly (the warehouse's read contract).
+
+Modes:
+
+    PYTHONPATH=src python benchmarks/bench_warehouse.py           # measure + write
+    PYTHONPATH=src python benchmarks/bench_warehouse.py --check   # CI regression gate
+
+``--check`` re-measures on the current host and fails (exit 1) when
+
+- the index-backed table is not byte-identical to the scan-backed table;
+- ``index_vs_scan`` falls below the absolute 5.0x floor, or below
+  baseline/2 (ratios keep the gate host-independent; CI boxes are noisy,
+  so the relative band is wide).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+OUT = REPO / "BENCH_warehouse.json"
+
+N_RUNS = 500
+#: Epochs per synthetic trajectory.  The paper's training default is 300
+#: epochs; 60 keeps registry build time short while staying scan-honest.
+N_EPOCHS = 60
+SCAN_QUERIES = 3
+INDEX_QUERIES = 50
+MIN_SPEEDUP = 5.0
+RATIO_TOLERANCE = 2.0
+
+STATUSES = ("completed", "completed", "completed", "failed", "running")
+
+
+def _build_registry(base: Path) -> None:
+    base.mkdir(parents=True)
+    t0 = time.time() - N_RUNS * 60.0
+    for i in range(N_RUNS):
+        run_id = f"run-{i:04d}"
+        directory = base / run_id
+        directory.mkdir()
+        created = t0 + i * 60.0
+        status = STATUSES[i % len(STATUSES)]
+        manifest = {
+            "schema_version": 1,
+            "run_id": run_id,
+            "command": "train" if i % 3 else "sweep",
+            "config": {"dataset": "iris", "seed": i % 7, "budget_fraction": 0.2 + (i % 8) / 10},
+            "seed": i % 7,
+            "git_sha": "bench",
+            "created_ts": created,
+            "created": "2026-01-01T00:00:00+00:00",
+            "status": status,
+            "exit_code": 0 if status == "completed" else 1,
+            "duration_s": 12.5,
+        }
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with open(directory / "events.jsonl", "w", encoding="utf-8") as fh:
+            for epoch in range(N_EPOCHS):
+                event = {
+                    "type": "epoch", "ts": created + epoch, "epoch": epoch,
+                    "loss": 1.0 / (epoch + 1), "power_w": 1e-3 + i * 1e-6,
+                    "val_accuracy": 0.5 + 0.4 * epoch / N_EPOCHS,
+                    "feasible": True, "lr": 0.1, "phase": "constrained",
+                    "multiplier": 0.1 * epoch,
+                }
+                fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+
+
+def measure() -> dict:
+    from repro.observability.runs import render_runs_table
+    from repro.observability.warehouse import Warehouse, load_summaries
+
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        base = Path(tmp_dir) / "runs"
+        _build_registry(base)
+
+        # Scan path: no index.db exists yet, so load_summaries walks the tree.
+        t0 = time.perf_counter()
+        for _ in range(SCAN_QUERIES):
+            scan_summaries, used_index = load_summaries(base)
+        scan_s = (time.perf_counter() - t0) / SCAN_QUERIES
+        assert not used_index, "index.db appeared before the scan measurement"
+        scan_table = render_runs_table(base, summaries=scan_summaries)
+
+        # One-time index build (amortized over every later query).
+        t0 = time.perf_counter()
+        with Warehouse(base) as warehouse:
+            report = warehouse.sync(full=True)
+        sync_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for _ in range(INDEX_QUERIES):
+            index_summaries, used_index = load_summaries(base)
+        index_s = (time.perf_counter() - t0) / INDEX_QUERIES
+        assert used_index, "load_summaries ignored the freshly built index"
+        index_table = render_runs_table(base, summaries=index_summaries)
+
+        return {
+            "benchmark": "warehouse",
+            "command": "python -m repro.cli runs list",
+            "registry": {"runs": N_RUNS, "epochs_per_run": N_EPOCHS,
+                         "indexed": report.indexed},
+            "host": {
+                "cpu_count": os.cpu_count() or 1,
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            "scan": {"queries": SCAN_QUERIES, "seconds_per_query": scan_s},
+            "index": {"queries": INDEX_QUERIES, "seconds_per_query": index_s,
+                      "sync_s": sync_s},
+            "index_vs_scan": scan_s / index_s,
+            "tables_byte_identical": index_table == scan_table,
+        }
+
+
+def check(fresh: dict) -> int:
+    """Gate a fresh measurement against the committed baseline; 0 = pass."""
+    if not OUT.exists():
+        print(f"FAIL: no baseline {OUT.name}; run without --check first", file=sys.stderr)
+        return 1
+    baseline = json.loads(OUT.read_text())
+    failures: list[str] = []
+
+    if not fresh["tables_byte_identical"]:
+        failures.append("index-backed runs table != scan-backed table (read contract broken)")
+
+    ratio = fresh["index_vs_scan"]
+    base_ratio = baseline.get("index_vs_scan")
+    floor = MIN_SPEEDUP
+    if base_ratio:
+        floor = max(floor, base_ratio / RATIO_TOLERANCE)
+    if ratio < floor:
+        failures.append(
+            f"speedup regression: index_vs_scan {ratio:.1f}x < {floor:.1f}x "
+            f"(baseline {base_ratio and f'{base_ratio:.1f}x'}, "
+            f"absolute floor {MIN_SPEEDUP}x)"
+        )
+    else:
+        print(f"index_vs_scan {ratio:.1f}x (floor {floor:.1f}x) — ok")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("benchmark gate passed")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="gate against the committed BENCH_warehouse.json instead of rewriting it")
+    args = parser.parse_args()
+
+    payload = measure()
+    print(json.dumps(payload, indent=2, default=float))
+    if args.check:
+        return check(payload)
+    OUT.write_text(json.dumps(payload, indent=2, default=float) + "\n")
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

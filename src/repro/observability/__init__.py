@@ -70,16 +70,31 @@ from repro.observability.runs import (
     RunSummary,
     list_runs,
     load_manifest,
+    load_manifest_safe,
     merge_worker_shards,
     parse_age,
     prune_runs,
+    read_run_events,
     render_prune_report,
     render_run_compare,
     render_run_show,
     render_runs_table,
     resolve_run,
     summarize_run,
+    tail_run_events,
     validate_run_events,
+)
+
+# The warehouse is stdlib-only (sqlite3) and safe to import eagerly; the
+# dashboard pulls in repro.serving (numpy-heavy) and stays a lazy import
+# (``from repro.observability.dashboard import DashboardServer``).
+from repro.observability.warehouse import (
+    SyncReport,
+    Warehouse,
+    accuracy_power_front,
+    config_fingerprint,
+    load_summaries,
+    summary_to_dict,
 )
 
 __all__ = [
@@ -114,4 +129,10 @@ __all__ = [
     "render_report",
     "render_report_file",
     "sparkline",
+    "SyncReport",
+    "Warehouse",
+    "accuracy_power_front",
+    "config_fingerprint",
+    "load_summaries",
+    "summary_to_dict",
 ]

@@ -1,0 +1,461 @@
+"""Read-only web dashboard over the run registry.
+
+``repro dashboard --runs-dir runs`` serves a browser UI + JSON API for
+navigating recorded runs — the interactive face of the warehouse
+(:mod:`repro.observability.warehouse`).  It is strictly read-only: no
+endpoint mutates a run directory, and the index is only ever *synced*
+from the tree, never the reverse.
+
+==============================================  ==============================
+``GET /``                                       embedded no-dependency HTML/JS
+                                                run browser (list, detail,
+                                                diff, Pareto, live tail)
+``GET /healthz``                                liveness + run count
+``GET /metrics``                                Prometheus text exposition
+``GET /api/runs``                               filtered/sorted summaries
+                                                (``command, status, dataset,
+                                                seed, sort, desc, limit``)
+``GET /api/runs/<ref>``                         one run: manifest, trajectory,
+                                                alerts (``ref`` = id, unique
+                                                prefix, or ``latest``)
+``GET /api/runs/<ref>/events?offset=N``         live tail of the merged
+                                                timeline (in-flight worker
+                                                shards included)
+``GET /api/compare?a=<ref>&b=<ref>``            config diff + both summaries
+                                                and trajectories
+``GET /api/pareto``                             accuracy-vs-power front
+==============================================  ==============================
+
+Reads go through the warehouse when ``runs/index.db`` exists (synced at
+most once per ``sync_interval`` so a poll storm cannot thrash the tree)
+and fall back to a directory scan otherwise; an index built *after* the
+dashboard started is picked up automatically.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from pathlib import Path
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.observability.metrics import get_registry
+from repro.observability.runs import (
+    _config_diff,
+    load_manifest_safe,
+    read_run_events,
+    resolve_run,
+    summarize_run,
+    tail_run_events,
+)
+from repro.observability.warehouse import (
+    Warehouse,
+    accuracy_power_front,
+    load_summaries,
+    summary_to_dict,
+)
+from repro.serving.httpbase import AppServer, JsonHandler
+
+logger = logging.getLogger(__name__)
+
+_REQUESTS = get_registry().counter("dashboard_requests_total", "dashboard HTTP requests handled")
+_ERRORS = get_registry().counter(
+    "dashboard_request_errors", "dashboard HTTP requests answered with 4xx/5xx"
+)
+_LATENCY = get_registry().histogram(
+    "dashboard_request_latency_s", "dashboard request wall time (seconds)"
+)
+
+
+def _first(query: dict, key: str, default: str | None = None) -> str | None:
+    values = query.get(key)
+    return values[0] if values else default
+
+
+def _int_or_none(value: str | None, name: str) -> int | None:
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {value!r}") from None
+
+
+def _run_detail(run_dir: Path) -> dict:
+    """Everything the detail pane shows, straight from the run directory."""
+    events = read_run_events(run_dir)
+    summary = summarize_run(run_dir, events=events)
+    from repro.observability.runs import _trajectory
+
+    trajectory = [
+        {
+            "epoch": e.get("epoch"),
+            "phase": e.get("phase"),
+            "loss": e.get("loss"),
+            "val_accuracy": e.get("val_accuracy"),
+            "power_w": e.get("power_w"),
+            "multiplier": e.get("multiplier"),
+            "feasible": e.get("feasible"),
+        }
+        for e in _trajectory(events)
+    ]
+    alerts = [
+        {
+            "kind": e.get("kind"),
+            "epoch": e.get("epoch"),
+            "phase": e.get("phase"),
+            "message": e.get("message"),
+        }
+        for e in events
+        if e.get("type") == "alert"
+    ]
+    manifest = load_manifest_safe(run_dir)
+    return {
+        "summary": summary_to_dict(summary),
+        "manifest": {
+            k: manifest.get(k)
+            for k in ("run_id", "command", "argv", "git_sha", "created", "status",
+                      "exit_code", "duration_s", "seed", "worker_events_merged")
+        },
+        "trajectory": trajectory,
+        "alerts": alerts,
+        "n_events": len(events),
+    }
+
+
+class _Handler(JsonHandler):
+    @property
+    def _ctx(self) -> "DashboardServer":
+        return self.app  # type: ignore[return-value]
+
+    def do_GET(self) -> None:
+        started = time.monotonic()
+        split = urlsplit(self.path)
+        path = unquote(split.path).rstrip("/") or "/"
+        query = parse_qs(split.query)
+        try:
+            self._route(path, query, started)
+        except ValueError as exc:  # unresolvable run ref, bad params
+            self._respond(404, {"error": str(exc)}, path, started)
+        except Exception as exc:  # noqa: BLE001 - keep the server alive
+            logger.exception("dashboard request %s failed", self.path)
+            self._respond(500, {"error": f"internal error: {exc}"}, path, started)
+
+    # ------------------------------------------------------------------
+    def _route(self, path: str, query: dict, started: float) -> None:
+        ctx = self._ctx
+        if path == "/":
+            self._respond_text(200, _PAGE, "index", started, content_type="text/html; charset=utf-8")
+        elif path == "/healthz":
+            summaries, used_index = ctx.summaries()
+            self._respond(
+                200,
+                {
+                    "status": "ok",
+                    "uptime_s": round(time.monotonic() - ctx.started_at, 3),
+                    "runs": len(summaries),
+                    "index": used_index,
+                    "runs_dir": str(ctx.base_dir),
+                },
+                "healthz",
+                started,
+            )
+        elif path == "/metrics":
+            self._respond_text(200, get_registry().render_prometheus(), "metrics", started)
+        elif path == "/api/runs":
+            summaries, used_index = ctx.summaries(
+                command=_first(query, "command"),
+                status=_first(query, "status"),
+                dataset=_first(query, "dataset"),
+                seed=_int_or_none(_first(query, "seed"), "seed"),
+                sort=_first(query, "sort", "created"),
+                descending=_first(query, "desc") in ("1", "true", "yes"),
+                limit=_int_or_none(_first(query, "limit"), "limit"),
+            )
+            self._respond(
+                200,
+                {"runs": [summary_to_dict(s) for s in summaries],
+                 "count": len(summaries), "index": used_index},
+                "runs",
+                started,
+            )
+        elif path == "/api/pareto":
+            summaries, used_index = ctx.summaries()
+            front = accuracy_power_front(summaries)
+            front_ids = {s.run_id for s in front}
+            self._respond(
+                200,
+                {
+                    "front": [summary_to_dict(s) for s in front],
+                    "dominated": [
+                        summary_to_dict(s)
+                        for s in summaries
+                        if s.run_id not in front_ids
+                        and s.final_accuracy is not None
+                        and s.final_power_w is not None
+                    ],
+                    "index": used_index,
+                },
+                "pareto",
+                started,
+            )
+        elif path == "/api/compare":
+            ref_a, ref_b = _first(query, "a"), _first(query, "b")
+            if not ref_a or not ref_b:
+                raise ValueError("compare needs both ?a=<ref> and ?b=<ref>")
+            detail_a = _run_detail(ctx.resolve(ref_a))
+            detail_b = _run_detail(ctx.resolve(ref_b))
+            self._respond(
+                200,
+                {
+                    "a": detail_a,
+                    "b": detail_b,
+                    "config_diff": [
+                        line.strip()
+                        for line in _config_diff(
+                            detail_a["summary"]["config"], detail_b["summary"]["config"]
+                        )
+                    ],
+                },
+                "compare",
+                started,
+            )
+        elif path.startswith("/api/runs/") and path.endswith("/events"):
+            ref = path[len("/api/runs/"):-len("/events")]
+            run_dir = ctx.resolve(ref)
+            events, new_offset = tail_run_events(
+                run_dir, offset=_int_or_none(_first(query, "offset"), "offset") or 0
+            )
+            self._respond(
+                200,
+                {
+                    "run_id": run_dir.name,
+                    "events": events,
+                    "offset": new_offset,
+                    "status": load_manifest_safe(run_dir).get("status", "unknown"),
+                },
+                "events",
+                started,
+            )
+        elif path.startswith("/api/runs/"):
+            ref = path[len("/api/runs/"):]
+            if "/" in ref:
+                raise ValueError(f"unknown path {path}")
+            self._respond(200, _run_detail(ctx.resolve(ref)), "run", started)
+        else:
+            self._respond(404, {"error": f"unknown path {path}"}, "unknown", started)
+
+
+class DashboardServer(AppServer):
+    """Threaded read-only HTTP server over one run registry directory.
+
+    Parameters
+    ----------
+    base_dir:
+        The run registry root (``runs/``).
+    sync_interval:
+        Minimum seconds between incremental warehouse syncs triggered by
+        requests — a polling UI must not stat the whole tree per request.
+    max_requests:
+        Optional self-shutdown after N requests (smoke tests).
+    """
+
+    handler_class = _Handler
+    thread_name = "dashboard-http"
+
+    def __init__(
+        self,
+        base_dir: str | Path = "runs",
+        host: str = "127.0.0.1",
+        port: int = 8764,
+        sync_interval: float = 2.0,
+        max_requests: int | None = None,
+    ):
+        self.base_dir = Path(base_dir)
+        self.sync_interval = sync_interval
+        self._wh_lock = threading.Lock()
+        self._warehouse: Warehouse | None = None
+        self._last_sync = float("-inf")
+        super().__init__(host=host, port=port, max_requests=max_requests)
+
+    # ------------------------------------------------------------------
+    def _account(self, endpoint: str, status: int, duration: float, rows: int, error) -> None:
+        _REQUESTS.inc()
+        _LATENCY.observe(duration)
+        if status >= 400:
+            _ERRORS.inc()
+        self._note_request()
+
+    # ------------------------------------------------------------------
+    def _get_warehouse(self) -> Warehouse | None:
+        """Cached handle; hot-detects an index built after startup."""
+        if self._warehouse is None:
+            self._warehouse = Warehouse.open_if_exists(self.base_dir)
+        return self._warehouse
+
+    def summaries(self, **filters) -> tuple[list, bool]:
+        """Filtered summaries via the (rate-limit-synced) index, else scan."""
+        with self._wh_lock:
+            warehouse = self._get_warehouse()
+            if warehouse is not None:
+                now = time.monotonic()
+                if now - self._last_sync >= self.sync_interval:
+                    warehouse.sync()
+                    self._last_sync = now
+                return warehouse.query(**filters), True
+        return load_summaries(self.base_dir, **filters)
+
+    def resolve(self, ref: str) -> Path:
+        with self._wh_lock:
+            warehouse = self._get_warehouse()
+            if warehouse is not None:
+                return warehouse.resolve(ref)
+        return resolve_run(ref, self.base_dir)
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        with self._wh_lock:
+            if self._warehouse is not None:
+                self._warehouse.close()
+                self._warehouse = None
+
+
+def render_dashboard_page() -> str:
+    """The embedded single-page UI (exposed for tests/docs)."""
+    return _PAGE
+
+
+_PAGE = r"""<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro run dashboard</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 1.5rem; color: #1a1a1a; }
+  h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin: 1rem 0 .4rem; }
+  table { border-collapse: collapse; margin-top: .5rem; }
+  th, td { padding: .2rem .6rem; border-bottom: 1px solid #ddd; text-align: left;
+           font-variant-numeric: tabular-nums; }
+  th { border-bottom: 2px solid #888; }
+  tr.run { cursor: pointer; } tr.run:hover { background: #f2f6ff; }
+  .pill { padding: 0 .45em; border-radius: .7em; font-size: .85em; color: #fff; }
+  .completed { background: #2e7d32; } .failed { background: #c62828; }
+  .running { background: #1565c0; } .unknown { background: #757575; }
+  nav button { margin-right: .4rem; }
+  #detail, #compare, #pareto { display: none; }
+  pre { background: #f6f6f6; padding: .6rem; overflow-x: auto; }
+  .muted { color: #777; } input { width: 22rem; }
+</style>
+</head>
+<body>
+<h1>repro run dashboard <span id="src" class="muted"></span></h1>
+<nav>
+  <button onclick="showList()">runs</button>
+  <button onclick="show('pareto'); loadPareto()">pareto</button>
+  <label>compare: <input id="cmp" placeholder="refA refB"
+    onkeydown="if(event.key==='Enter')loadCompare()"></label>
+</nav>
+<div id="list"><table id="runs"><thead><tr>
+  <th>run_id</th><th>command</th><th>status</th><th>epochs</th>
+  <th>val_acc</th><th>power_mW</th><th>alerts</th><th>created</th>
+</tr></thead><tbody></tbody></table></div>
+<div id="detail"></div>
+<div id="compare"></div>
+<div id="pareto"></div>
+<script>
+"use strict";
+let tailTimer = null;
+const $ = id => document.getElementById(id);
+const esc = s => String(s).replace(/[&<>"]/g,
+  c => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
+const fmt = (v, d) => (v === null || v === undefined) ? "-" : Number(v).toFixed(d);
+const mw = v => (v === null || v === undefined) ? "-" : (v * 1e3).toFixed(4);
+const pill = s => `<span class="pill ${esc(s)}">${esc(s)}</span>`;
+function show(pane) {
+  clearInterval(tailTimer);
+  for (const p of ["list", "detail", "compare", "pareto"])
+    $(p).style.display = p === pane ? "block" : "none";
+}
+function showList() { show("list"); loadRuns(); }
+async function api(path) {
+  const res = await fetch(path);
+  const body = await res.json();
+  if (!res.ok) throw new Error(body.error || res.statusText);
+  return body;
+}
+async function loadRuns() {
+  const data = await api("/api/runs");
+  $("src").textContent = data.index ? "(index-backed)" : "(directory scan)";
+  $("runs").querySelector("tbody").innerHTML = data.runs.map(r => `
+    <tr class="run" onclick="loadDetail('${esc(r.run_id)}')">
+      <td>${esc(r.run_id)}</td><td>${esc(r.command)}</td><td>${pill(r.status)}</td>
+      <td>${r.n_epochs}</td><td>${fmt(r.final.val_accuracy, 3)}</td>
+      <td>${mw(r.final.power_w)}</td><td>${r.n_alerts}</td>
+      <td class="muted">${esc(r.created || "")}</td></tr>`).join("");
+}
+function trajTable(rows) {
+  if (!rows.length) return "<p class='muted'>(no epoch events)</p>";
+  return `<table><thead><tr><th>epoch</th><th>loss</th><th>val_acc</th>
+    <th>power_mW</th><th>λ</th><th>feasible</th></tr></thead><tbody>` +
+    rows.map(e => `<tr><td>${e.epoch}</td><td>${fmt(e.loss, 4)}</td>
+      <td>${fmt(e.val_accuracy, 3)}</td><td>${mw(e.power_w)}</td>
+      <td>${fmt(e.multiplier, 4)}</td><td>${e.feasible}</td></tr>`).join("") +
+    "</tbody></table>";
+}
+async function loadDetail(ref) {
+  const d = await api("/api/runs/" + encodeURIComponent(ref));
+  const s = d.summary;
+  $("detail").innerHTML = `
+    <h2>${esc(s.run_id)} ${pill(s.status)}</h2>
+    <p>command <b>${esc(s.command)}</b> · dataset ${esc(s.dataset ?? "-")} ·
+       seed ${esc(s.seed ?? "-")} · ${s.n_epochs} epochs ·
+       ${d.n_events} events · config ${esc(s.config_fingerprint.slice(0, 12))}</p>
+    <h2>trajectory</h2>${trajTable(d.trajectory)}
+    <h2>alerts (${d.alerts.length})</h2>
+    ${d.alerts.length ? "<ul>" + d.alerts.map(a =>
+        `<li><b>${esc(a.kind)}</b> @ epoch ${a.epoch}: ${esc(a.message)}</li>`
+      ).join("") + "</ul>" : "<p class='muted'>(none)</p>"}
+    <h2>live tail</h2><pre id="tail"></pre>`;
+  show("detail");
+  let offset = 0;
+  const tail = async () => {
+    const t = await api(`/api/runs/${encodeURIComponent(ref)}/events?offset=${offset}`);
+    offset = t.offset;
+    if (t.events.length)
+      $("tail").textContent += t.events.map(e => JSON.stringify(e)).join("\n") + "\n";
+    if (t.status !== "running") clearInterval(tailTimer);
+  };
+  await tail();
+  tailTimer = setInterval(tail, 2000);
+}
+async function loadCompare() {
+  const [a, b] = $("cmp").value.trim().split(/\s+/);
+  if (!a || !b) return;
+  const d = await api(`/api/compare?a=${encodeURIComponent(a)}&b=${encodeURIComponent(b)}`);
+  $("compare").innerHTML = `
+    <h2>${esc(d.a.summary.run_id)} vs ${esc(d.b.summary.run_id)}</h2>
+    <h2>config diff</h2>
+    <pre>${d.config_diff.length ? esc(d.config_diff.join("\n")) : "(identical)"}</pre>
+    <h2>${esc(d.a.summary.run_id)}</h2>${trajTable(d.a.trajectory)}
+    <h2>${esc(d.b.summary.run_id)}</h2>${trajTable(d.b.trajectory)}`;
+  show("compare");
+}
+async function loadPareto() {
+  const d = await api("/api/pareto");
+  const row = (r, cls) => `<tr class="${cls}"><td>${esc(r.run_id)}</td>
+    <td>${fmt(r.final.val_accuracy, 3)}</td><td>${mw(r.final.power_w)}</td>
+    <td>${esc(r.command)}</td></tr>`;
+  $("pareto").innerHTML = `
+    <h2>accuracy / power front — ${d.front.length} non-dominated of
+        ${d.front.length + d.dominated.length}</h2>
+    <table><thead><tr><th>run_id</th><th>val_acc</th><th>power_mW</th>
+    <th>command</th></tr></thead><tbody>
+    ${d.front.map(r => row(r, "run")).join("")}
+    ${d.dominated.map(r => row(r, "muted")).join("")}</tbody></table>`;
+}
+showList();
+</script>
+</body>
+</html>
+"""

@@ -254,7 +254,9 @@ class RunLogger:
         self.sink.close()
 
 
-def read_events(path: str | Path, strict: bool = True) -> list[dict]:
+def read_events(
+    path: str | Path, strict: bool = True, tolerate_truncated_tail: bool = False
+) -> list[dict]:
     """Parse and validate a JSONL run file.
 
     Raises ``ValueError`` naming the first offending line, so a truncated
@@ -265,24 +267,38 @@ def read_events(path: str | Path, strict: bool = True) -> list[dict]:
     report renderer uses, so a file written by a newer schema still
     renders everything this version understands.  Known event types are
     validated either way, and malformed JSON always fails.
+
+    With ``tolerate_truncated_tail=True``, a *final* line that fails to
+    parse or validate is silently dropped instead of raising — the mode
+    for reading an **in-flight** run whose writer may be mid-line (live
+    tailing, warehouse indexing).  Only the last line gets this grace:
+    corruption anywhere else still fails loudly.
     """
     events: list[dict] = []
     with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})") from exc
-            if not strict and isinstance(event, dict) and event.get("type") not in EVENT_SCHEMAS:
-                logger.debug("%s:%d: keeping unknown event type %r", path, lineno, event.get("type"))
-                events.append(event)
-                continue
-            try:
-                validate_event(event)
-            except ValueError as exc:
-                raise ValueError(f"{path}:{lineno}: {exc}") from exc
+        lines = fh.read().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        is_tail = lineno == len(lines)
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if tolerate_truncated_tail and is_tail:
+                logger.debug("%s:%d: dropping truncated tail line", path, lineno)
+                break
+            raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})") from exc
+        if not strict and isinstance(event, dict) and event.get("type") not in EVENT_SCHEMAS:
+            logger.debug("%s:%d: keeping unknown event type %r", path, lineno, event.get("type"))
             events.append(event)
+            continue
+        try:
+            validate_event(event)
+        except ValueError as exc:
+            if tolerate_truncated_tail and is_tail:
+                logger.debug("%s:%d: dropping invalid tail line (%s)", path, lineno, exc)
+                break
+            raise ValueError(f"{path}:{lineno}: {exc}") from exc
+        events.append(event)
     return events

@@ -218,6 +218,20 @@ def load_manifest(run_dir: str | Path) -> dict:
         return json.load(fh)
 
 
+def load_manifest_safe(run_dir: str | Path) -> dict:
+    """Best-effort manifest load: ``{}`` when missing, corrupt, or mid-write.
+
+    The tolerant read side (``runs list``, warehouse indexing, the
+    dashboard) must survive a manifest another process is rewriting —
+    one unreadable run must never take down a listing of thousands.
+    """
+    try:
+        return load_manifest(run_dir)
+    except (OSError, json.JSONDecodeError) as exc:
+        logger.warning("unreadable manifest in %s: %s", run_dir, exc)
+        return {}
+
+
 def list_runs(base_dir: str | Path) -> list[Path]:
     """Run directories under ``base_dir``, oldest first."""
     base = Path(base_dir)
@@ -308,17 +322,33 @@ def _trajectory(events: list[dict]) -> list[dict]:
     return sorted(by_phase[phase], key=lambda e: e["epoch"])
 
 
-def summarize_run(run_dir: str | Path) -> RunSummary:
-    """Manifest + event digest of one run (tolerant of unfinished runs)."""
+def read_run_events(run_dir: str | Path) -> list[dict]:
+    """Tolerant timeline read of one run: ``[]`` when missing or unreadable.
+
+    Unknown event types are kept (forward compatibility) and a truncated
+    or mid-write final line is dropped, so in-flight runs always read.
+    """
+    events_path = Path(run_dir) / EVENTS_NAME
+    if not events_path.exists():
+        return []
+    try:
+        return read_events(events_path, strict=False, tolerate_truncated_tail=True)
+    except (OSError, ValueError) as exc:
+        logger.warning("unreadable timeline in %s: %s", run_dir, exc)
+        return []
+
+
+def summarize_run(run_dir: str | Path, events: list[dict] | None = None) -> RunSummary:
+    """Manifest + event digest of one run (tolerant of unfinished runs).
+
+    Pass ``events`` to reuse an already-loaded timeline (the warehouse
+    indexer reads each file once and feeds both this digest and the
+    trajectory table from it).
+    """
     run_dir = Path(run_dir)
-    manifest = load_manifest(run_dir)
-    events: list[dict] = []
-    events_path = run_dir / EVENTS_NAME
-    if events_path.exists():
-        try:
-            events = read_events(events_path, strict=False)
-        except ValueError as exc:
-            logger.warning("unreadable timeline in %s: %s", run_dir, exc)
+    manifest = load_manifest_safe(run_dir)
+    if events is None:
+        events = read_run_events(run_dir)
     trajectory = _trajectory(events)
     final: dict = {}
     if trajectory:
@@ -346,6 +376,34 @@ def summarize_run(run_dir: str | Path) -> RunSummary:
         alert_kinds=tuple(sorted({a.get("kind", "?") for a in alerts})),
         worker_ids=tuple(worker_ids),
     )
+
+
+def tail_run_events(run_dir: str | Path, offset: int = 0) -> tuple[list[dict], int]:
+    """Follow an active run's merged timeline: events after ``offset``.
+
+    Reads ``events.jsonl`` *and* any live ``events.worker-*.jsonl``
+    shards (tolerating a mid-write final line in each), merges them the
+    same way :func:`merge_worker_shards` will at finalization (stable
+    sort by timestamp, parent stream first), and returns
+    ``(events[offset:], new_offset)``.  The caller polls with the
+    returned offset; because finished files only ever grow, the merged
+    prefix below ``offset`` is stable for a completed stream and at
+    worst transiently reordered while workers interleave.
+    """
+    run_dir = Path(run_dir)
+    merged: list[dict] = list(read_run_events(run_dir))
+    # Finalized runs already fold their shards into events.jsonl (the
+    # shard files stay on disk for forensics) — only an in-flight run's
+    # shards still hold events the parent timeline lacks.
+    if load_manifest_safe(run_dir).get("status", "running") == "running":
+        for shard in sorted(run_dir.glob("events.worker-*.jsonl")):
+            try:
+                merged.extend(read_events(shard, strict=False, tolerate_truncated_tail=True))
+            except (OSError, ValueError) as exc:
+                logger.warning("unreadable worker shard %s: %s", shard, exc)
+    merged.sort(key=lambda e: e.get("ts", 0.0))
+    offset = max(0, int(offset))
+    return merged[offset:], len(merged)
 
 
 # ----------------------------------------------------------------------
@@ -394,6 +452,7 @@ def prune_runs(
     status: str | None = None,
     dry_run: bool = True,
     now: float | None = None,
+    entries: list[tuple[Path, dict]] | None = None,
 ) -> list[PruneDecision]:
     """Retention GC over the run registry; returns one decision per run.
 
@@ -406,6 +465,10 @@ def prune_runs(
     ``status="running"`` is explicit.  With ``dry_run`` (the default)
     nothing is deleted — callers render the decisions and re-invoke with
     ``dry_run=False`` after confirmation.
+
+    ``entries`` — optional pre-loaded ``(path, manifest)`` pairs, oldest
+    first — lets the warehouse feed the decision pass from its index
+    instead of re-reading every manifest; the policy is identical.
     """
     if keep_last is None and older_than_s is None and status is None:
         raise ValueError(
@@ -414,17 +477,14 @@ def prune_runs(
     if keep_last is not None and keep_last < 0:
         raise ValueError("keep_last must be >= 0")
     now = time.time() if now is None else now
-    runs = list_runs(base_dir)  # oldest first
+    if entries is None:
+        entries = [(path, load_manifest_safe(path)) for path in list_runs(base_dir)]
+    runs = [path for path, _ in entries]  # oldest first
     protected_recent = set()
     if keep_last is not None and keep_last > 0:
         protected_recent = {p.name for p in runs[-keep_last:]}
     decisions: list[PruneDecision] = []
-    for path in runs:
-        manifest = {}
-        try:
-            manifest = load_manifest(path)
-        except (OSError, json.JSONDecodeError):
-            pass
+    for path, manifest in entries:
         run_status = manifest.get("status", "unknown")
         age_s = max(0.0, now - float(manifest.get("created_ts") or 0.0))
         prune, reason = True, "matched criteria"
@@ -508,14 +568,21 @@ def _fmt_opt(value, spec: str = "g") -> str:
     return format(value, spec)
 
 
-def render_runs_table(base_dir: str | Path) -> str:
-    """One line per recorded run under ``base_dir``."""
-    runs = list_runs(base_dir)
-    if not runs:
+def render_runs_table(
+    base_dir: str | Path, summaries: list[RunSummary] | None = None
+) -> str:
+    """One line per recorded run under ``base_dir``.
+
+    With ``summaries`` the caller supplies the (possibly warehouse-backed,
+    filtered) digests and no directory scan happens; without it every run
+    directory is summarized from disk.  Rendering is identical either way.
+    """
+    if summaries is None:
+        summaries = [summarize_run(path) for path in list_runs(base_dir)]
+    if not summaries:
         return f"(no runs under {base_dir})"
     rows = [("run_id", "command", "status", "epochs", "val_acc", "power_mW", "alerts", "workers")]
-    for path in runs:
-        s = summarize_run(path)
+    for s in summaries:
         power = None if s.final_power_w is None else s.final_power_w * 1e3
         rows.append(
             (
@@ -608,10 +675,7 @@ def render_run_compare(dir_a: str | Path, dir_b: str | Path) -> str:
 
     spark_lines = []
     for summary in (a, b):
-        events_path = summary.path / EVENTS_NAME
-        trajectory = (
-            _trajectory(read_events(events_path, strict=False)) if events_path.exists() else []
-        )
+        trajectory = _trajectory(read_run_events(summary.path))
         if not trajectory:
             spark_lines.append(f"{summary.run_id}: (no epoch events)")
             continue

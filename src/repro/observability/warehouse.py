@@ -1,0 +1,677 @@
+"""SQLite-indexed run warehouse: fast queries over thousands of runs.
+
+The run registry is self-describing but scan-shaped: every ``runs
+list|prune`` walks ``runs/`` and re-parses each ``manifest.json`` and
+``events.jsonl``.  The paper's workflow (Pareto sweeps, Monte-Carlo
+grids) emits runs by the hundreds, so the read side gets a warehouse: a
+single-file stdlib-``sqlite3`` index at ``runs/index.db`` (WAL mode,
+schema-versioned) holding one row per run — manifest fields, the final
+trajectory point, alert/worker digests, a config fingerprint — plus the
+full per-epoch trajectory of the reporting phase.
+
+Contracts:
+
+- **The directory tree stays the source of truth.**  :meth:`Warehouse.sync`
+  is incremental (a run re-indexes only when its manifest or events file
+  changed mtime/size) and tolerant of partially-written runs; a schema
+  bump or a suspect index is repaired by rebuilding from the tree, never
+  the other way around.
+- **Byte-identical reads.**  Query results are materialized back into the
+  same :class:`~repro.observability.runs.RunSummary` the scan path
+  produces (floats survive via JSON shortest-repr round-trip), so
+  warehouse-backed CLI output is identical to scan-backed output.
+- **Concurrent-writer safe.**  WAL journaling plus ``BEGIN IMMEDIATE``
+  transactions and a busy timeout let two processes sync the same index;
+  public methods take an internal lock so one :class:`Warehouse` can be
+  shared across dashboard handler threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+
+from repro.observability.metrics import get_registry
+from repro.observability.runs import (
+    EVENTS_NAME,
+    MANIFEST_NAME,
+    RunSummary,
+    _trajectory,
+    is_run_dir,
+    load_manifest_safe,
+    read_run_events,
+    summarize_run,
+)
+
+logger = logging.getLogger(__name__)
+
+INDEX_NAME = "index.db"
+
+#: Index layout version.  A mismatch (older *or* newer) drops and rebuilds
+#: the index from the run directories — the tree is the source of truth,
+#: so "migration" is always a rebuild, never a lossy in-place upgrade.
+SCHEMA_VERSION = 1
+
+_SYNCED = get_registry().counter(
+    "warehouse_sync_runs_total", "run directories (re)indexed into the warehouse"
+)
+_QUERY_SECONDS = get_registry().histogram(
+    "warehouse_query_seconds", "warehouse query wall time (seconds)"
+)
+_INDEX_BYTES = get_registry().gauge(
+    "warehouse_index_bytes", "size of the warehouse index file (bytes)"
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    dir_name            TEXT PRIMARY KEY,
+    run_id              TEXT NOT NULL,
+    command             TEXT NOT NULL,
+    status              TEXT NOT NULL,
+    created             TEXT NOT NULL,
+    created_ts          REAL NOT NULL,
+    exit_code           INTEGER,
+    duration_s          REAL,
+    dataset             TEXT,
+    seed                INTEGER,
+    git_sha             TEXT,
+    config_json         TEXT NOT NULL,
+    config_fingerprint  TEXT NOT NULL,
+    final_json          TEXT NOT NULL,
+    final_val_accuracy  REAL,
+    final_power_w       REAL,
+    final_multiplier    REAL,
+    final_feasible      INTEGER,
+    n_epochs            INTEGER NOT NULL,
+    n_alerts            INTEGER NOT NULL,
+    alert_kinds_json    TEXT NOT NULL,
+    worker_ids_json     TEXT NOT NULL,
+    manifest_mtime_ns   INTEGER NOT NULL,
+    manifest_size       INTEGER NOT NULL,
+    events_mtime_ns     INTEGER NOT NULL,
+    events_size         INTEGER NOT NULL,
+    indexed_ts          REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_created ON runs (created_ts, dir_name);
+CREATE INDEX IF NOT EXISTS idx_runs_command ON runs (command);
+CREATE INDEX IF NOT EXISTS idx_runs_status  ON runs (status);
+CREATE INDEX IF NOT EXISTS idx_runs_dataset ON runs (dataset);
+CREATE TABLE IF NOT EXISTS trajectory (
+    dir_name      TEXT NOT NULL,
+    epoch         INTEGER NOT NULL,
+    phase         TEXT NOT NULL,
+    val_accuracy  REAL,
+    power_w       REAL,
+    multiplier    REAL,
+    feasible      INTEGER,
+    PRIMARY KEY (dir_name, epoch)
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+#: ``--sort`` name → runs column.  Every ordering tie-breaks on
+#: ``dir_name`` in the same direction so index and scan agree exactly.
+SORT_COLUMNS = {
+    "created": "created_ts",
+    "accuracy": "final_val_accuracy",
+    "power": "final_power_w",
+    "duration": "duration_s",
+    "epochs": "n_epochs",
+    "alerts": "n_alerts",
+}
+
+
+def config_fingerprint(config: dict) -> str:
+    """Stable digest of a resolved run config (key-order independent)."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """Outcome of one :meth:`Warehouse.sync` pass."""
+
+    scanned: int
+    indexed: int
+    removed: int
+    unchanged: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.scanned} run dir(s) scanned: {self.indexed} indexed, "
+            f"{self.unchanged} unchanged, {self.removed} removed"
+        )
+
+
+def _registry_signatures(base_dir: Path) -> list[tuple[str, tuple[int, int, int, int]]]:
+    """``(dir_name, change-detection key)`` per run dir, name-ordered.
+
+    The key is (manifest mtime_ns/size, events mtime_ns/size).  One
+    ``scandir`` pass + two ``os.stat`` per directory — this runs on every
+    incremental sync over potentially thousands of runs, so no pathlib.
+    """
+    try:
+        it = os.scandir(base_dir)
+    except OSError:
+        return []
+    signatures: list[tuple[str, tuple[int, int, int, int]]] = []
+    with it:
+        for entry in it:
+            try:
+                if not entry.is_dir():
+                    continue
+                manifest = os.stat(os.path.join(entry.path, MANIFEST_NAME))
+            except OSError:
+                continue  # no readable manifest -> not a run directory
+            try:
+                events = os.stat(os.path.join(entry.path, EVENTS_NAME))
+                signature = (manifest.st_mtime_ns, manifest.st_size,
+                             events.st_mtime_ns, events.st_size)
+            except OSError:
+                signature = (manifest.st_mtime_ns, manifest.st_size, 0, 0)
+            signatures.append((entry.name, signature))
+    signatures.sort()
+    return signatures
+
+
+class Warehouse:
+    """One ``index.db`` over one run registry directory."""
+
+    def __init__(self, base_dir: str | Path, path: str | Path | None = None):
+        self.base_dir = Path(base_dir)
+        self.path = Path(path) if path is not None else self.base_dir / INDEX_NAME
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        # One connection shared across threads (dashboard handlers), made
+        # safe by the public-method lock; autocommit mode so transactions
+        # are explicit BEGIN IMMEDIATE / COMMIT.
+        self._conn = sqlite3.connect(self.path, timeout=30.0, check_same_thread=False)
+        self._conn.isolation_level = None
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        self._ensure_schema()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open_if_exists(cls, base_dir: str | Path) -> "Warehouse | None":
+        """The transparent-fallback hook: a warehouse only if one was built."""
+        base = Path(base_dir)
+        if (base / INDEX_NAME).is_file():
+            return cls(base)
+        return None
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "Warehouse":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _ensure_schema(self) -> None:
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+        if version == SCHEMA_VERSION:
+            return
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+            if version != SCHEMA_VERSION:
+                if version != 0:
+                    logger.info(
+                        "index schema v%d != v%d: rebuilding %s from the run directories",
+                        version, SCHEMA_VERSION, self.path,
+                    )
+                for table in ("runs", "trajectory", "meta"):
+                    self._conn.execute(f"DROP TABLE IF EXISTS {table}")
+                # NOT executescript(): that implicitly commits the open
+                # BEGIN IMMEDIATE transaction before running.
+                for statement in _SCHEMA.split(";"):
+                    if statement.strip():
+                        self._conn.execute(statement)
+                self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION:d}")
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+
+    # ------------------------------------------------------------------
+    # Sync (write side)
+    # ------------------------------------------------------------------
+    def sync(self, full: bool = False) -> SyncReport:
+        """Fold the current state of ``base_dir`` into the index.
+
+        Incremental by default: a run directory is re-read only when its
+        manifest or events file changed size or mtime; rows whose
+        directory vanished are deleted.  ``full=True`` re-reads
+        everything (the ``runs index --rebuild`` path).
+        """
+        with self._lock:
+            signatures = _registry_signatures(self.base_dir)
+            known = {
+                name: signature
+                for name, *signature in self._conn.execute(
+                    "SELECT dir_name, manifest_mtime_ns, manifest_size,"
+                    " events_mtime_ns, events_size FROM runs"
+                )
+            }
+            changed = [
+                (name, signature)
+                for name, signature in signatures
+                if full or known.get(name) != list(signature)
+            ]
+            removed = set(known) - {name for name, _ in signatures}
+            indexed = len(changed)
+            unchanged = len(signatures) - indexed
+            if changed or removed:
+                self._conn.execute("BEGIN IMMEDIATE")
+                try:
+                    for name, signature in changed:
+                        self._index_run(self.base_dir / name, signature)
+                    for name in removed:
+                        self._conn.execute("DELETE FROM runs WHERE dir_name = ?", (name,))
+                        self._conn.execute(
+                            "DELETE FROM trajectory WHERE dir_name = ?", (name,)
+                        )
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO meta (key, value) VALUES ('last_sync', ?)",
+                        (repr(time.time()),),
+                    )
+                    self._conn.execute("COMMIT")
+                except BaseException:
+                    self._conn.execute("ROLLBACK")
+                    raise
+        if indexed:
+            _SYNCED.inc(indexed)
+            try:
+                _INDEX_BYTES.set(os.stat(self.path).st_size)
+            except OSError:
+                pass
+        report = SyncReport(len(signatures), indexed, len(removed), unchanged)
+        logger.debug("warehouse sync of %s: %s", self.base_dir, report)
+        return report
+
+    def _index_run(self, path: Path, signature: tuple[int, int, int, int]) -> None:
+        """Upsert one run row + its trajectory (tolerant of partial writes)."""
+        events = read_run_events(path)
+        summary = summarize_run(path, events=events)
+        manifest = load_manifest_safe(path)
+        trajectory = _trajectory(events)
+        config = summary.config
+        dataset = config.get("dataset")
+        final = summary.final
+        feasible = final.get("feasible")
+        self._conn.execute(
+            "INSERT OR REPLACE INTO runs VALUES "
+            "(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+            (
+                path.name,
+                summary.run_id,
+                summary.command,
+                summary.status,
+                summary.created,
+                float(manifest.get("created_ts") or 0.0),
+                summary.exit_code,
+                summary.duration_s,
+                str(dataset) if dataset is not None else None,
+                config.get("seed"),
+                manifest.get("git_sha"),
+                json.dumps(config),
+                config_fingerprint(config),
+                json.dumps(final),
+                summary.final_accuracy,
+                summary.final_power_w,
+                summary.final_multiplier,
+                None if feasible is None else int(bool(feasible)),
+                summary.n_epochs,
+                summary.n_alerts,
+                json.dumps(list(summary.alert_kinds)),
+                json.dumps(list(summary.worker_ids)),
+                signature[0],
+                signature[1],
+                signature[2],
+                signature[3],
+                time.time(),
+            ),
+        )
+        self._conn.execute("DELETE FROM trajectory WHERE dir_name = ?", (path.name,))
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO trajectory VALUES (?,?,?,?,?,?,?)",
+            [
+                (
+                    path.name,
+                    e["epoch"],
+                    e.get("phase", ""),
+                    e.get("val_accuracy"),
+                    e.get("power_w"),
+                    e.get("multiplier"),
+                    None if e.get("feasible") is None else int(bool(e["feasible"])),
+                )
+                for e in trajectory
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # Query (read side)
+    # ------------------------------------------------------------------
+    #: Column order matched by the tuple unpack in :meth:`_rows_to_summaries`.
+    _SUMMARY_COLUMNS = (
+        "dir_name, run_id, command, status, created, exit_code, duration_s,"
+        " config_json, final_val_accuracy, final_power_w, final_multiplier,"
+        " final_feasible, n_epochs, n_alerts, alert_kinds_json, worker_ids_json"
+    )
+
+    def _rows_to_summaries(self, rows) -> list[RunSummary]:
+        """Materialize :data:`_SUMMARY_COLUMNS` rows back into summaries.
+
+        ``final`` is rebuilt from the dedicated REAL columns (IEEE doubles
+        round-trip SQLite exactly) in the same key order
+        :func:`~repro.observability.runs.summarize_run` uses, so rendered
+        output matches the scan path byte for byte.
+        """
+        base = self.base_dir
+        summaries = []
+        for (dir_name, run_id, command, status, created, exit_code, duration_s,
+             config_json, accuracy, power_w, multiplier, feasible, n_epochs,
+             n_alerts, alert_kinds_json, worker_ids_json) in rows:
+            final = {} if n_epochs == 0 else {
+                "val_accuracy": accuracy,
+                "power_w": power_w,
+                "multiplier": multiplier,
+                "feasible": None if feasible is None else bool(feasible),
+            }
+            summaries.append(RunSummary(
+                path=base / dir_name,
+                run_id=run_id,
+                command=command,
+                status=status,
+                created=created,
+                exit_code=exit_code,
+                duration_s=duration_s,
+                config=json.loads(config_json),
+                final=final,
+                n_epochs=n_epochs,
+                n_alerts=n_alerts,
+                alert_kinds=() if alert_kinds_json == "[]" else tuple(json.loads(alert_kinds_json)),
+                worker_ids=() if worker_ids_json == "[]" else tuple(json.loads(worker_ids_json)),
+            ))
+        return summaries
+
+    def query(
+        self,
+        command: str | None = None,
+        status: str | None = None,
+        dataset: str | None = None,
+        seed: int | None = None,
+        sort: str = "created",
+        descending: bool = False,
+        limit: int | None = None,
+    ) -> list[RunSummary]:
+        """Filtered, sorted run summaries — the typed query API.
+
+        Default ordering (``created`` ascending, directory-name
+        tie-break) matches :func:`repro.observability.runs.list_runs`
+        exactly.  ``sort`` names come from :data:`SORT_COLUMNS`.
+        """
+        if sort not in SORT_COLUMNS:
+            raise ValueError(f"unknown sort {sort!r} (one of: {', '.join(SORT_COLUMNS)})")
+        clauses, params = [], []
+        for column, value in (
+            ("command", command), ("status", status), ("dataset", dataset), ("seed", seed),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        direction = "DESC" if descending else "ASC"
+        sql = f"SELECT {self._SUMMARY_COLUMNS} FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += f" ORDER BY {SORT_COLUMNS[sort]} {direction}, dir_name {direction}"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        started = perf_counter()
+        with self._lock:
+            summaries = self._rows_to_summaries(self._conn.execute(sql, params))
+        _QUERY_SECONDS.observe(perf_counter() - started)
+        return summaries
+
+    def summaries(self) -> list[RunSummary]:
+        """Every indexed run, oldest first (the ``runs list`` ordering)."""
+        return self.query()
+
+    def trajectory(self, ref: str | Path) -> list[dict]:
+        """Per-epoch trajectory rows of one run, epoch-ordered."""
+        name = Path(ref).name
+        started = perf_counter()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT epoch, phase, val_accuracy, power_w, multiplier, feasible"
+                " FROM trajectory WHERE dir_name = ? ORDER BY epoch",
+                (name,),
+            ).fetchall()
+        _QUERY_SECONDS.observe(perf_counter() - started)
+        return [
+            {
+                "epoch": row["epoch"],
+                "phase": row["phase"],
+                "val_accuracy": row["val_accuracy"],
+                "power_w": row["power_w"],
+                "multiplier": row["multiplier"],
+                "feasible": None if row["feasible"] is None else bool(row["feasible"]),
+            }
+            for row in rows
+        ]
+
+    def resolve(self, ref: str) -> Path:
+        """Index-backed twin of :func:`repro.observability.runs.resolve_run`.
+
+        Accepts a run-directory path, an id under ``base_dir``, a unique
+        id prefix, or ``latest``; error messages match the scan resolver
+        so CLI output is mode-independent.
+        """
+        as_path = Path(ref)
+        if is_run_dir(as_path):
+            return as_path
+        if is_run_dir(self.base_dir / ref):
+            return self.base_dir / ref
+        with self._lock:
+            if ref == "latest":
+                row = self._conn.execute(
+                    "SELECT dir_name FROM runs ORDER BY created_ts DESC, dir_name DESC LIMIT 1"
+                ).fetchone()
+                if row is None:
+                    raise ValueError(f"no runs under {self.base_dir} to resolve 'latest'")
+                return self.base_dir / row["dir_name"]
+            pattern = (
+                ref.replace("\\", "\\\\").replace("%", r"\%").replace("_", r"\_") + "%"
+            )
+            rows = self._conn.execute(
+                r"SELECT dir_name FROM runs WHERE dir_name LIKE ? ESCAPE '\'"
+                " ORDER BY created_ts, dir_name",
+                (pattern,),
+            ).fetchall()
+        if len(rows) == 1:
+            return self.base_dir / rows[0]["dir_name"]
+        if not rows:
+            raise ValueError(
+                f"no run {ref!r} under {self.base_dir} (and {ref!r} is not a run directory)"
+            )
+        names = ", ".join(row["dir_name"] for row in rows)
+        raise ValueError(f"run reference {ref!r} is ambiguous: {names}")
+
+    def prune_entries(self) -> list[tuple[Path, dict]]:
+        """Oldest-first ``(path, manifest-digest)`` pairs for :func:`prune_runs`."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT dir_name, run_id, status, created_ts FROM runs"
+                " ORDER BY created_ts, dir_name"
+            ).fetchall()
+        return [
+            (
+                self.base_dir / row["dir_name"],
+                {
+                    "run_id": row["run_id"],
+                    "status": row["status"],
+                    "created_ts": row["created_ts"],
+                },
+            )
+            for row in rows
+        ]
+
+    def stats(self) -> dict:
+        """Index health: row counts, size, status/command breakdowns."""
+        with self._lock:
+            n_runs = self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+            n_epochs = self._conn.execute("SELECT COUNT(*) FROM trajectory").fetchone()[0]
+            by_status = dict(
+                self._conn.execute(
+                    "SELECT status, COUNT(*) FROM runs GROUP BY status ORDER BY status"
+                ).fetchall()
+            )
+            by_command = dict(
+                self._conn.execute(
+                    "SELECT command, COUNT(*) FROM runs GROUP BY command ORDER BY command"
+                ).fetchall()
+            )
+            last_sync = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'last_sync'"
+            ).fetchone()
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            size = 0
+        return {
+            "path": str(self.path),
+            "schema_version": SCHEMA_VERSION,
+            "size_bytes": size,
+            "runs": n_runs,
+            "trajectory_rows": n_epochs,
+            "by_status": by_status,
+            "by_command": by_command,
+            "last_sync": float(last_sync["value"]) if last_sync is not None else None,
+        }
+
+
+# ----------------------------------------------------------------------
+# Warehouse-or-scan facade (the CLI/dashboard read path)
+# ----------------------------------------------------------------------
+def _scan_sort_key(summary: RunSummary, sort: str):
+    value = {
+        "created": None,  # handled separately (created_ts lives in the manifest)
+        "accuracy": summary.final_accuracy,
+        "power": summary.final_power_w,
+        "duration": summary.duration_s,
+        "epochs": summary.n_epochs,
+        "alerts": summary.n_alerts,
+    }[sort]
+    # SQLite orders NULLs first ascending / last descending; mirror that.
+    return (value is not None, 0 if value is None else value)
+
+
+def load_summaries(
+    base_dir: str | Path,
+    command: str | None = None,
+    status: str | None = None,
+    dataset: str | None = None,
+    seed: int | None = None,
+    sort: str = "created",
+    descending: bool = False,
+    limit: int | None = None,
+) -> tuple[list[RunSummary], bool]:
+    """Run summaries via the warehouse when ``index.db`` exists, else scan.
+
+    The transparent-fallback entry point backing ``runs list|query``:
+    returns ``(summaries, used_index)``.  When an index exists it is
+    incrementally synced first, so results are always fresh; without one
+    the directory tree is scanned and filtered with matching semantics.
+    """
+    warehouse = Warehouse.open_if_exists(base_dir)
+    if warehouse is not None:
+        with warehouse:
+            warehouse.sync()
+            return (
+                warehouse.query(
+                    command=command, status=status, dataset=dataset, seed=seed,
+                    sort=sort, descending=descending, limit=limit,
+                ),
+                True,
+            )
+    if sort not in SORT_COLUMNS:
+        raise ValueError(f"unknown sort {sort!r} (one of: {', '.join(SORT_COLUMNS)})")
+    from repro.observability.runs import list_runs
+
+    started = perf_counter()
+    summaries = [summarize_run(path) for path in list_runs(base_dir)]  # oldest first
+    if command is not None:
+        summaries = [s for s in summaries if s.command == command]
+    if status is not None:
+        summaries = [s for s in summaries if s.status == status]
+    if dataset is not None:
+        summaries = [s for s in summaries if str(s.config.get("dataset")) == str(dataset)]
+    if seed is not None:
+        summaries = [s for s in summaries if s.config.get("seed") == seed]
+    if sort != "created":  # list_runs already yields created-order
+        summaries.sort(key=lambda s: (*_scan_sort_key(s, sort), s.path.name))
+    if descending:
+        summaries.reverse()
+    if limit is not None:
+        summaries = summaries[: max(0, int(limit))]
+    _QUERY_SECONDS.observe(perf_counter() - started)
+    return summaries, False
+
+
+def accuracy_power_front(summaries: list[RunSummary]) -> list[RunSummary]:
+    """Non-dominated runs under (maximize accuracy, minimize power).
+
+    Input order is irrelevant; the front comes back sorted by ascending
+    power.  Runs missing either coordinate are excluded.
+    """
+    points = [
+        s for s in summaries
+        if s.final_accuracy is not None and s.final_power_w is not None
+    ]
+    points.sort(key=lambda s: (s.final_power_w, -s.final_accuracy, s.path.name))
+    front: list[RunSummary] = []
+    best = float("-inf")
+    for s in points:
+        if s.final_accuracy > best:
+            front.append(s)
+            best = s.final_accuracy
+    return front
+
+
+def summary_to_dict(summary: RunSummary) -> dict:
+    """JSON-ready view of one run summary (CLI ``--json`` + dashboard API)."""
+    return {
+        "run_id": summary.run_id,
+        "dir": summary.path.name,
+        "command": summary.command,
+        "status": summary.status,
+        "created": summary.created,
+        "exit_code": summary.exit_code,
+        "duration_s": summary.duration_s,
+        "dataset": summary.config.get("dataset"),
+        "seed": summary.config.get("seed"),
+        "config": summary.config,
+        "config_fingerprint": config_fingerprint(summary.config),
+        "final": summary.final,
+        "n_epochs": summary.n_epochs,
+        "n_alerts": summary.n_alerts,
+        "alert_kinds": list(summary.alert_kinds),
+        "workers": len(summary.worker_ids),
+    }

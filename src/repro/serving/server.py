@@ -27,13 +27,13 @@ import json
 import logging
 import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
 from repro.observability.metrics import get_registry
 from repro.serving.artifact import InferenceModel
 from repro.serving.batching import MicroBatcher
+from repro.serving.httpbase import AppServer, JsonHandler
 
 logger = logging.getLogger(__name__)
 
@@ -46,46 +46,12 @@ _LATENCY = get_registry().histogram("serving_request_latency_s", "request wall t
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
 
-class _Handler(BaseHTTPRequestHandler):
-    # Set by ServingServer on the server object, read here via self.server.
-    protocol_version = "HTTP/1.1"
+class _Handler(JsonHandler):
+    # Set by AppServer on the server object, read here via self.server.app.
 
     @property
     def _ctx(self) -> "ServingServer":
-        return self.server.serving  # type: ignore[attr-defined]
-
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
-        logger.debug("%s - %s", self.address_string(), format % args)
-
-    # ------------------------------------------------------------------
-    def _respond(self, status: int, payload: dict, endpoint: str, started: float, rows: int = 0) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-        self._account(endpoint, status, started, rows, payload.get("error"))
-
-    def _respond_text(self, status: int, text: str, endpoint: str, started: float) -> None:
-        body = text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "text/plain; version=0.0.4")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-        self._account(endpoint, status, started, 0, None)
-
-    def _account(self, endpoint: str, status: int, started: float, rows: int, error) -> None:
-        duration = time.monotonic() - started
-        _REQUESTS.inc()
-        _LATENCY.observe(duration)
-        if status >= 400:
-            _ERRORS.inc()
-        if rows:
-            _ROWS.inc(rows)
-        self._ctx._emit_serve(endpoint, status, rows, duration, error)
-        self._ctx._note_request()
+        return self.app  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:
@@ -159,8 +125,13 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
 
-class ServingServer:
+class ServingServer(AppServer):
     """Threaded HTTP server over a frozen model, with coalesced batching.
+
+    The HTTP lifecycle (bind, background/blocking serve, ``max_requests``
+    self-shutdown) lives in :class:`repro.serving.httpbase.AppServer`;
+    this class adds the model, the batcher, ``serving_*`` metrics and the
+    per-request ``serve`` event.
 
     Parameters
     ----------
@@ -180,6 +151,9 @@ class ServingServer:
         bound a server's lifetime without signals.
     """
 
+    handler_class = _Handler
+    thread_name = "serving-http"
+
     def __init__(
         self,
         model: InferenceModel,
@@ -193,17 +167,20 @@ class ServingServer:
         self.model = model
         self.batcher = MicroBatcher(model.engine.run, max_batch=max_batch, max_delay_s=max_delay_s)
         self.run_logger = run_logger
-        self.max_requests = max_requests
-        self.started_at = time.monotonic()
         self._emit_lock = threading.Lock()
-        self._requests_seen = 0
-        self._thread: threading.Thread | None = None
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
-        self._httpd.daemon_threads = True
-        self._httpd.serving = self  # type: ignore[attr-defined]
-        self.host, self.port = self._httpd.server_address[:2]
+        super().__init__(host=host, port=port, max_requests=max_requests)
 
     # ------------------------------------------------------------------
+    def _account(self, endpoint: str, status: int, duration: float, rows: int, error) -> None:
+        _REQUESTS.inc()
+        _LATENCY.observe(duration)
+        if status >= 400:
+            _ERRORS.inc()
+        if rows:
+            _ROWS.inc(rows)
+        self._emit_serve(endpoint, status, rows, duration, error)
+        self._note_request()
+
     def _emit_serve(self, endpoint: str, status: int, rows: int, duration: float, error) -> None:
         if self.run_logger is None:
             return
@@ -218,27 +195,11 @@ class ServingServer:
         with self._emit_lock:
             self.run_logger.emit("serve", **fields)
 
-    def _note_request(self) -> None:
-        if self.max_requests is None:
-            return
-        self._requests_seen += 1
-        if self._requests_seen >= self.max_requests:
-            # shutdown() deadlocks when called from a handler thread the
-            # server is joining on — hand it to a helper thread.
-            threading.Thread(target=self.shutdown, daemon=True).start()
-
     # ------------------------------------------------------------------
-    @property
-    def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
-
     def start(self) -> "ServingServer":
         """Serve in a background thread (tests, embedding)."""
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever, name="serving-http", daemon=True
-        )
-        self._thread.start()
         logger.info("serving %s on %s", self.model.path or "<model>", self.url)
+        super().start()
         return self
 
     def serve_forever(self) -> None:
@@ -248,17 +209,8 @@ class ServingServer:
 
     def shutdown(self) -> None:
         """Stop accepting requests and drain the batcher."""
-        self._httpd.shutdown()
-        if self._thread is not None:
-            self._thread.join(timeout=10.0)
+        super().shutdown()
         self.batcher.close()
-
-    def close(self) -> None:
-        self.shutdown()
-        self._httpd.server_close()
 
     def __enter__(self) -> "ServingServer":
         return self.start()
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()

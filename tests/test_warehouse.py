@@ -1,0 +1,469 @@
+"""Tests for the SQLite run warehouse (repro.observability.warehouse).
+
+The load-bearing property is *byte-identity*: every ``repro runs`` read
+(`list|show|compare|prune`, plus the query API) must produce exactly the
+same output whether it is answered from ``runs/index.db`` or from a
+directory scan — over a registry with mixed statuses, a corrupted
+manifest, and an in-flight run whose last event line is mid-write.
+Schema migration (rebuild-from-tree), incremental sync, concurrent
+two-process sync, and the Pareto helper are covered alongside.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.observability.runs import (
+    list_runs,
+    read_run_events,
+    render_runs_table,
+    resolve_run,
+    summarize_run,
+)
+from repro.observability.warehouse import (
+    INDEX_NAME,
+    SCHEMA_VERSION,
+    SyncReport,
+    Warehouse,
+    accuracy_power_front,
+    config_fingerprint,
+    load_summaries,
+    summary_to_dict,
+)
+
+NOW = time.time()
+DAY = 86400.0
+
+
+def _write_run(
+    base: Path,
+    name: str,
+    status: str = "completed",
+    command: str = "train",
+    acc: float = 0.9,
+    power: float = 1e-3,
+    epochs: int = 3,
+    age_days: float = 10.0,
+    seed: int = 0,
+    dataset: str = "iris",
+    corrupt_manifest: bool = False,
+    truncated_tail: bool = False,
+    alerts: int = 0,
+    worker_shard: bool = False,
+) -> Path:
+    """One synthetic run directory, manifest + epoch timeline."""
+    directory = base / name
+    directory.mkdir(parents=True)
+    created = NOW - age_days * DAY
+    manifest = {
+        "schema_version": 1,
+        "run_id": name,
+        "command": command,
+        "config": {"dataset": dataset, "seed": seed},
+        "seed": seed,
+        "git_sha": "test",
+        "created_ts": created,
+        "created": "2026-08-01T00:00:00+00:00",
+        "status": status,
+        "exit_code": 0 if status == "completed" else 1,
+        "duration_s": 2.5,
+    }
+    (directory / "manifest.json").write_text(
+        "{broken" if corrupt_manifest else json.dumps(manifest)
+    )
+    with open(directory / "events.jsonl", "w", encoding="utf-8") as fh:
+        for epoch in range(epochs):
+            fh.write(json.dumps({
+                "type": "epoch", "ts": created + epoch, "epoch": epoch,
+                "loss": 1.0 / (epoch + 1), "power_w": power,
+                "val_accuracy": acc, "feasible": True, "lr": 0.1,
+                "phase": "constrained", "multiplier": 0.05 * epoch,
+            }) + "\n")
+        for k in range(alerts):
+            fh.write(json.dumps({
+                "type": "alert", "ts": created + 50 + k, "kind": "lambda_divergence",
+                "epoch": epochs - 1, "message": "x", "phase": "constrained",
+            }) + "\n")
+        if truncated_tail:
+            fh.write('{"type": "epoch", "ts": 1.0, "epo')  # writer died mid-line
+    if worker_shard:
+        with open(directory / "events.worker-77.jsonl", "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({
+                "type": "task_end", "ts": created + 1.5, "index": 0, "label": "cell",
+                "status": "ok", "duration_s": 0.4, "worker_id": 77,
+            }) + "\n")
+    return directory
+
+
+@pytest.fixture
+def registry(tmp_path) -> Path:
+    """Mixed registry: statuses, corruption, in-flight mid-write run."""
+    base = tmp_path / "runs"
+    _write_run(base, "a-train-old", acc=0.80, power=2e-3, age_days=30, seed=1)
+    _write_run(base, "b-sweep", command="sweep", status="failed", acc=0.70,
+               power=3e-3, age_days=20, alerts=2)
+    _write_run(base, "c-train", acc=0.95, power=1.5e-3, age_days=10, dataset="seeds")
+    _write_run(base, "d-corrupt", corrupt_manifest=True, age_days=5)
+    _write_run(base, "e-inflight", status="running", age_days=0.5,
+               truncated_tail=True, worker_shard=True)
+    return base
+
+
+def _indexed(base: Path) -> Path:
+    with Warehouse(base) as warehouse:
+        warehouse.sync()
+    return base
+
+
+# ----------------------------------------------------------------------
+class TestSync:
+    def test_full_then_incremental(self, registry):
+        with Warehouse(registry) as warehouse:
+            first = warehouse.sync()
+            assert first == SyncReport(scanned=5, indexed=5, removed=0, unchanged=0)
+            second = warehouse.sync()
+            assert second.indexed == 0 and second.unchanged == 5
+
+    def test_change_detection_reindexes_only_touched_run(self, registry):
+        with Warehouse(registry) as warehouse:
+            warehouse.sync()
+            manifest_path = registry / "c-train" / "manifest.json"
+            manifest = json.loads(manifest_path.read_text())
+            manifest["status"] = "failed"
+            manifest_path.write_text(json.dumps(manifest))
+            os.utime(manifest_path, ns=(1, 1))  # force a distinct mtime
+            report = warehouse.sync()
+            assert report.indexed == 1
+            (run,) = warehouse.query(status="failed", command="train")
+            assert run.run_id == "c-train"
+
+    def test_deleted_run_leaves_the_index(self, registry):
+        with Warehouse(registry) as warehouse:
+            warehouse.sync()
+            import shutil
+
+            shutil.rmtree(registry / "a-train-old")
+            report = warehouse.sync()
+            assert report.removed == 1
+            assert "a-train-old" not in [s.run_id for s in warehouse.summaries()]
+
+    def test_rebuild_reindexes_everything(self, registry):
+        with Warehouse(registry) as warehouse:
+            warehouse.sync()
+            assert warehouse.sync(full=True).indexed == 5
+
+    def test_sync_tolerates_empty_and_missing_base(self, tmp_path):
+        with Warehouse(tmp_path / "nothing-here") as warehouse:
+            assert warehouse.sync().scanned == 0
+
+    def test_stats(self, registry):
+        with Warehouse(registry) as warehouse:
+            warehouse.sync()
+            stats = warehouse.stats()
+        assert stats["runs"] == 5
+        assert stats["schema_version"] == SCHEMA_VERSION
+        assert stats["by_status"]["completed"] == 2
+        assert stats["by_status"]["unknown"] == 1  # the corrupted manifest
+        assert stats["size_bytes"] > 0
+
+
+# ----------------------------------------------------------------------
+class TestQueryEquivalence:
+    """Index-backed reads == scan-backed reads, field for field."""
+
+    FILTERS = [
+        {},
+        {"status": "completed"},
+        {"command": "sweep"},
+        {"dataset": "seeds"},
+        {"seed": 1},
+        {"sort": "accuracy", "descending": True},
+        {"sort": "power"},
+        {"sort": "duration", "descending": True},
+        {"limit": 2},
+        {"sort": "alerts", "descending": True, "limit": 3},
+        {"status": "completed", "sort": "accuracy", "descending": True, "limit": 1},
+    ]
+
+    @pytest.mark.parametrize("filters", FILTERS)
+    def test_summaries_identical(self, registry, filters):
+        scanned, used = load_summaries(registry, **filters)
+        assert not used
+        _indexed(registry)
+        indexed, used = load_summaries(registry, **filters)
+        assert used
+        assert [summary_to_dict(s) for s in indexed] == [summary_to_dict(s) for s in scanned]
+        assert render_runs_table(registry, summaries=indexed) == render_runs_table(
+            registry, summaries=scanned
+        )
+
+    def test_default_order_matches_list_runs(self, registry):
+        _indexed(registry)
+        with Warehouse(registry) as warehouse:
+            assert [s.path.name for s in warehouse.summaries()] == [
+                p.name for p in list_runs(registry)
+            ]
+
+    def test_unknown_sort_rejected_in_both_modes(self, registry):
+        with pytest.raises(ValueError, match="unknown sort"):
+            load_summaries(registry, sort="speed")
+        _indexed(registry)
+        with pytest.raises(ValueError, match="unknown sort"):
+            load_summaries(registry, sort="speed")
+
+    def test_trajectory_round_trip(self, registry):
+        _indexed(registry)
+        from repro.observability.runs import _trajectory
+
+        scan = _trajectory(read_run_events(registry / "c-train"))
+        with Warehouse(registry) as warehouse:
+            stored = warehouse.trajectory("c-train")
+        assert [e["epoch"] for e in stored] == [e["epoch"] for e in scan]
+        assert [e["val_accuracy"] for e in stored] == [e["val_accuracy"] for e in scan]
+        assert [e["power_w"] for e in stored] == [e["power_w"] for e in scan]
+
+    def test_resolve_matches_scan_resolver(self, registry):
+        _indexed(registry)
+        with Warehouse(registry) as warehouse:
+            for ref in ("latest", "c-train", "b"):
+                assert warehouse.resolve(ref) == resolve_run(ref, registry)
+            # error texts must match too: CLI output is mode-independent
+            for ref in ("nope", "zzz"):
+                with pytest.raises(ValueError) as via_index:
+                    warehouse.resolve(ref)
+                with pytest.raises(ValueError) as via_scan:
+                    resolve_run(ref, registry)
+                assert str(via_index.value) == str(via_scan.value)
+
+    def test_resolve_ambiguous_prefix_matches_scan(self, tmp_path):
+        base = tmp_path / "runs"
+        _write_run(base, "run-aa", age_days=2)
+        _write_run(base, "run-ab", age_days=1)
+        _indexed(base)
+        with Warehouse(base) as warehouse:
+            with pytest.raises(ValueError) as via_index:
+                warehouse.resolve("run-a")
+        with pytest.raises(ValueError) as via_scan:
+            resolve_run("run-a", base)
+        assert str(via_index.value) == str(via_scan.value)
+
+    def test_resolve_latest_empty_registry(self, tmp_path):
+        base = tmp_path / "runs"
+        base.mkdir()
+        with Warehouse(base) as warehouse:
+            with pytest.raises(ValueError) as via_index:
+                warehouse.resolve("latest")
+        with pytest.raises(ValueError) as via_scan:
+            resolve_run("latest", base)
+        assert str(via_index.value) == str(via_scan.value)
+
+
+# ----------------------------------------------------------------------
+class TestCliEquivalence:
+    """`repro runs ...` stdout is byte-identical with and without index."""
+
+    def _cli(self, argv, capsys):
+        from repro.cli import main
+
+        code = main(argv)
+        out = capsys.readouterr()
+        # stderr also carries log-warning noise (e.g. the corrupted-manifest
+        # warning) whose repetition depends on handler setup, not on the
+        # index; the CLI's own stderr contract is the ``error:`` lines.
+        errors = [l for l in out.err.splitlines() if l.startswith("error:")]
+        return code, out.out, errors
+
+    @pytest.mark.parametrize("argv_tail", [
+        ["list"],
+        ["list", "--limit", "2"],
+        ["list", "--status", "completed"],
+        ["list", "--limit", "1", "--status", "failed"],
+        ["show", "c-train"],
+        ["show", "latest"],
+        ["compare", "a-train-old", "c-train"],
+        ["prune", "--keep-last", "2"],
+        ["prune", "--older-than", "15d"],
+        ["prune", "--status", "failed"],
+        ["show", "definitely-missing"],
+        ["query", "--sort", "accuracy", "--desc", "--json"],
+    ])
+    def test_byte_identical_output(self, registry, capsys, argv_tail):
+        argv = ["runs", *argv_tail, "--dir", str(registry)]
+        scan_result = self._cli(argv, capsys)
+        _indexed(registry)
+        assert (registry / INDEX_NAME).is_file()
+        index_result = self._cli(argv, capsys)
+        assert index_result == scan_result
+
+    def test_index_subcommand_sync_and_stats(self, registry, capsys):
+        code, out, _ = self._cli(["runs", "index", "--dir", str(registry)], capsys)
+        assert code == 0 and "5 indexed" in out
+        code, out, _ = self._cli(["runs", "index", "--dir", str(registry)], capsys)
+        assert code == 0 and "0 indexed, 5 unchanged" in out
+        code, out, _ = self._cli(
+            ["runs", "index", "--rebuild", "--dir", str(registry)], capsys
+        )
+        assert code == 0 and out.startswith("rebuilt")
+        code, out, _ = self._cli(["runs", "index", "--stats", "--dir", str(registry)], capsys)
+        assert code == 0 and "schema v1" in out and "5" in out
+
+    def test_query_json_round_trips(self, registry, capsys):
+        _indexed(registry)
+        code, out, _ = self._cli(
+            ["runs", "query", "--status", "completed", "--json", "--dir", str(registry)],
+            capsys,
+        )
+        assert code == 0
+        rows = json.loads(out)
+        assert [r["run_id"] for r in rows] == ["a-train-old", "c-train"]
+        assert all(r["config_fingerprint"] for r in rows)
+
+    def test_prune_yes_updates_index(self, registry, capsys):
+        _indexed(registry)
+        code, out, _ = self._cli(
+            ["runs", "prune", "--older-than", "25d", "--yes", "--dir", str(registry)],
+            capsys,
+        )
+        # a-train-old (30d) and d-corrupt (created_ts falls back to 0 ->
+        # epoch age) both match --older-than 25d.
+        assert code == 0 and "pruned: 2 of 5" in out
+        assert not (registry / "a-train-old").exists()
+        assert not (registry / "d-corrupt").exists()
+        with Warehouse(registry) as warehouse:  # no stale rows left behind
+            survivors = [s.path.name for s in warehouse.summaries()]
+            assert sorted(survivors) == ["b-sweep", "c-train", "e-inflight"]
+
+    def test_unusable_index_reports_cleanly(self, registry, capsys):
+        (registry / INDEX_NAME).write_bytes(b"this is not a sqlite file" * 100)
+        code, _, err = self._cli(["runs", "list", "--dir", str(registry)], capsys)
+        assert code == 2
+        assert any("index is unusable" in line and "--rebuild" in line for line in err)
+
+
+# ----------------------------------------------------------------------
+class TestSchemaMigration:
+    def test_version_mismatch_rebuilds_from_tree(self, registry):
+        _indexed(registry)
+        index_path = registry / INDEX_NAME
+        with sqlite3.connect(index_path) as conn:
+            conn.execute("PRAGMA user_version = 999")
+            conn.execute("ALTER TABLE runs ADD COLUMN bogus TEXT")  # layout drift
+        with Warehouse(registry) as warehouse:  # reopen: drop + rebuild
+            assert warehouse.sync().indexed == 5
+            assert len(warehouse.summaries()) == 5
+        with sqlite3.connect(index_path) as conn:
+            assert conn.execute("PRAGMA user_version").fetchone()[0] == SCHEMA_VERSION
+            columns = [r[1] for r in conn.execute("PRAGMA table_info(runs)")]
+            assert "bogus" not in columns
+
+    def test_old_index_never_wins_over_tree(self, registry):
+        # Rows from a stale schema must not leak into query results.
+        _indexed(registry)
+        with sqlite3.connect(registry / INDEX_NAME) as conn:
+            conn.execute("PRAGMA user_version = 0")
+        summaries, used = load_summaries(registry)
+        assert used and len(summaries) == 5
+
+
+# ----------------------------------------------------------------------
+class TestConcurrentSync:
+    def test_two_processes_sync_the_same_index(self, registry):
+        script = (
+            "import sys; sys.path.insert(0, sys.argv[2])\n"
+            "from repro.observability.warehouse import Warehouse\n"
+            "with Warehouse(sys.argv[1]) as w:\n"
+            "    for _ in range(3):\n"
+            "        w.sync(full=True)\n"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(registry), src],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            _, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err.decode()
+        summaries, used = load_summaries(registry)
+        assert used and len(summaries) == 5
+
+
+# ----------------------------------------------------------------------
+class TestTruncatedTailTolerance:
+    def test_summarize_run_survives_midwrite_tail(self, registry):
+        summary = summarize_run(registry / "e-inflight")
+        assert summary.status == "running"
+        assert summary.n_epochs == 3  # the mid-write line is dropped, not fatal
+
+    def test_read_events_tail_grace_is_last_line_only(self, tmp_path):
+        from repro.observability.events import read_events
+
+        path = tmp_path / "events.jsonl"
+        good = json.dumps({"type": "epoch", "ts": 1.0, "epoch": 0, "loss": 0.5,
+                           "power_w": 1e-3, "val_accuracy": 0.5, "feasible": True,
+                           "lr": 0.1, "phase": "p"})
+        path.write_text('{"broken\n' + good + "\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_events(path, tolerate_truncated_tail=True)  # corruption mid-file
+        path.write_text(good + "\n" + '{"broken')
+        assert len(read_events(path, tolerate_truncated_tail=True)) == 1
+        with pytest.raises(ValueError):
+            read_events(path)  # strict default still refuses
+
+    def test_corrupt_manifest_listed_not_fatal(self, registry):
+        summaries, _ = load_summaries(registry)
+        corrupt = next(s for s in summaries if s.path.name == "d-corrupt")
+        assert corrupt.status == "unknown" and corrupt.command == "?"
+
+
+# ----------------------------------------------------------------------
+class TestParetoAndFingerprint:
+    def test_front_is_non_dominated_and_power_sorted(self, registry):
+        summaries, _ = load_summaries(registry)
+        front = accuracy_power_front(summaries)
+        ids = [s.run_id for s in front]
+        # c-train (0.95 @ 1.5mW) dominates a-train-old (0.80 @ 2mW) and
+        # b-sweep (0.70 @ 3mW).  d-corrupt and e-inflight tie at the
+        # default coordinates (0.90 @ 1mW); the name tie-break keeps
+        # d-corrupt and drops e-inflight (no strict accuracy gain).
+        assert ids == ["d-corrupt", "c-train"]
+        powers = [s.final_power_w for s in front]
+        assert powers == sorted(powers)
+
+    def test_runs_without_final_metrics_excluded(self, tmp_path):
+        base = tmp_path / "runs"
+        _write_run(base, "no-epochs", epochs=0)
+        summaries, _ = load_summaries(base)
+        assert accuracy_power_front(summaries) == []
+
+    def test_fingerprint_is_key_order_independent(self):
+        assert config_fingerprint({"a": 1, "b": [2]}) == config_fingerprint({"b": [2], "a": 1})
+        assert config_fingerprint({"a": 1}) != config_fingerprint({"a": 2})
+
+
+# ----------------------------------------------------------------------
+class TestWarehouseMetrics:
+    def test_sync_and_query_metrics_advance(self, registry):
+        from repro.observability.metrics import get_registry
+
+        registry_m = get_registry()
+        synced = registry_m.counter("warehouse_sync_runs_total", "")
+        before = synced.value
+        with Warehouse(registry) as warehouse:
+            warehouse.sync()
+            warehouse.query()
+        assert synced.value == before + 5
+        rendered = registry_m.render_prometheus()
+        assert "repro_warehouse_sync_runs_total" in rendered
+        assert "repro_warehouse_query_seconds" in rendered
+        assert "repro_warehouse_index_bytes" in rendered
