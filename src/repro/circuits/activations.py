@@ -22,6 +22,47 @@ from repro.pdk.transfer import TransferModel
 from repro.power.surrogate import SurrogatePowerModel
 
 
+def units_from_q(space, q: np.ndarray) -> np.ndarray:
+    """Inverse of the sigmoid box mapping: physical q → unconstrained u.
+
+    Exactly the arithmetic :meth:`PrintedActivation.set_q` applies — the
+    design-space clip, the (log-space) unit coordinate, the ``1e-6`` unit
+    clip and the logit — exposed as a function so the instance-stacked
+    Monte-Carlo sampler (:mod:`repro.circuits.ensemble`) reproduces the
+    same q → u → q round trip bit for bit.  ``q`` may carry leading axes
+    (e.g. an ``(instances, dim)`` stack): every op is elementwise per
+    design axis, so each row matches the single-vector path bit for bit.
+    """
+    q = space.clip(np.asarray(q, dtype=np.float64))
+    u = np.empty_like(q)
+    for i in range(space.dimension):
+        value = q[..., i]
+        low, high = float(space.lows[i]), float(space.highs[i])
+        if space.log_scale and space.log_scale[i]:
+            unit = (np.log(value) - np.log(low)) / (np.log(high) - np.log(low))
+        else:
+            unit = (value - low) / (high - low)
+        unit = np.clip(unit, 1e-6, 1.0 - 1e-6)
+        u[..., i] = np.log(unit / (1.0 - unit))
+    return u
+
+
+def q_tensor_from_u(space, i: int, u: Tensor) -> Tensor:
+    """Map one unconstrained u tensor onto design axis ``i`` of ``space``.
+
+    The forward half of the reparametrization (sigmoid, then a linear or
+    log-space affine map onto the feasible box).  ``u`` may carry leading
+    axes — e.g. an ``(instances, 1, 1)`` stack — the ops are elementwise,
+    so every slice matches the scalar path bit for bit.
+    """
+    unit = u.sigmoid()
+    low, high = float(space.lows[i]), float(space.highs[i])
+    if space.log_scale and space.log_scale[i]:
+        log_low, log_high = np.log(low), np.log(high)
+        return (unit * (log_high - log_low) + log_low).exp()
+    return unit * (high - low) + low
+
+
 class PrintedActivation(Module):
     """Layer of N identical learnable printed activation circuits.
 
@@ -137,13 +178,7 @@ class PrintedActivation(Module):
 
     # ------------------------------------------------------------------
     def _q_tensor(self, i: int) -> Tensor:
-        u: Tensor = getattr(self, f"u_{i}")
-        unit = u.sigmoid()
-        low, high = float(self.space.lows[i]), float(self.space.highs[i])
-        if self.space.log_scale and self.space.log_scale[i]:
-            log_low, log_high = np.log(low), np.log(high)
-            return (unit * (log_high - log_low) + log_low).exp()
-        return unit * (high - low) + low
+        return q_tensor_from_u(self.space, i, getattr(self, f"u_{i}"))
 
     @property
     def q_tensors(self) -> list[Tensor]:
@@ -156,15 +191,9 @@ class PrintedActivation(Module):
 
     def set_q(self, q: np.ndarray) -> None:
         """Set the physical parameters (inverse of the sigmoid mapping)."""
-        q = self.space.clip(np.asarray(q, dtype=np.float64))
-        for i, value in enumerate(q):
-            low, high = float(self.space.lows[i]), float(self.space.highs[i])
-            if self.space.log_scale and self.space.log_scale[i]:
-                unit = (np.log(value) - np.log(low)) / (np.log(high) - np.log(low))
-            else:
-                unit = (value - low) / (high - low)
-            unit = np.clip(unit, 1e-6, 1.0 - 1e-6)
-            np.copyto(getattr(self, f"u_{i}").data, np.log(unit / (1.0 - unit)))
+        u = units_from_q(self.space, q)
+        for i in range(self._dim):
+            np.copyto(getattr(self, f"u_{i}").data, u[i])
 
     # ------------------------------------------------------------------
     #: Backward-only linear leak: the forward value is exactly the circuit

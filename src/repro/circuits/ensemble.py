@@ -1,0 +1,447 @@
+"""Instance-stacked (ensemble) execution of a printed network.
+
+Monte-Carlo yield analysis evaluates N *printed instances* of one trained
+network — same topology, different variation draws.  The serial loop in
+:mod:`repro.evaluation.montecarlo` pays N full eager forwards for that.
+This module evaluates a whole chunk of instances as **one** tensor program
+with a leading instance axis:
+
+- every crossbar's effective θ becomes an ``(instances, M+2, N)`` stack,
+- every activation's unconstrained design parameters ``u_i`` become
+  ``(instances, 1, 1)`` stacks (mapped to q by the same sigmoid box map),
+- the perturbed EGT model card becomes an ``(instances, 1, 1)`` V_th/K pair
+  shared between a numpy card (read by the Newton closures at call time)
+  and a :class:`Tensor` card (recorded into the graph expressions),
+- activations/voltages flow as ``(instances, batch, dim)`` buffers.
+
+The program is recorded once with :func:`repro.autograd.graph
+.capture_forward` and replayed per chunk: only the leaf stacks change.
+Chunks are fixed-shape — a short tail chunk is padded with nominal
+(base) instances, never zeros, so the padded elements stay physical and the
+real elements' bits cannot depend on the padding (per-element Newton
+freezing, per-slice GEMMs; see ``docs/architecture.md`` §1.2).
+
+Bit-identity contract: every per-instance accuracy/power equals the serial
+``evaluate_instances`` loop *bit for bit*.  Each stacked kernel acts
+elementwise or per-slice on the instance axis, so instance ``j``'s slice
+sees exactly the arithmetic the serial path runs with instance ``j``'s
+values (asserted by ``tests/test_ensemble.py`` and the benchmark gate).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, concatenate, no_grad
+from repro.autograd.graph import (
+    CapturedGraph,
+    GraphCaptureError,
+    capture_forward,
+    mark_recapture,
+)
+from repro.circuits.activations import PrintedActivation, q_tensor_from_u, units_from_q
+from repro.circuits.crossbar import _EPS_G, CrossbarLayer
+from repro.circuits.pnc import PrintedNeuralNetwork
+from repro.pdk.transfer import NegationModel, TransferModel
+from repro.pdk.variation import (
+    VariationSpec,
+    perturb_model_card,
+    perturb_q,
+    perturb_theta,
+)
+from repro.power.counts import (
+    soft_column_activity,
+    soft_row_negativity,
+    straight_through_column_activity,
+    straight_through_row_negativity,
+)
+from repro.power.crossbar_power import crossbar_power_matrix_signed
+from repro.spice.egt import EGTModel
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class InstanceStack:
+    """One chunk of sampled printed instances as stacked arrays.
+
+    ``thetas[l]`` is the ``(k, M+2, N)`` perturbed *effective* conductance
+    stack of crossbar ``l``; ``units[l]`` the ``(k, dim)`` unconstrained
+    activation parameters of layer ``l``; ``vths[l]`` / ``ks[l]`` the
+    ``(k,)`` perturbed model-card values.
+    """
+
+    thetas: list[np.ndarray]
+    units: list[np.ndarray]
+    vths: list[np.ndarray]
+    ks: list[np.ndarray]
+
+    @property
+    def n_instances(self) -> int:
+        if self.vths:
+            return len(self.vths[0])
+        return len(self.thetas[0]) if self.thetas else 0
+
+
+def sample_instance_stack(
+    net: PrintedNeuralNetwork,
+    spec: VariationSpec,
+    rngs: list[np.random.Generator],
+    base_thetas: list[np.ndarray] | None = None,
+) -> InstanceStack:
+    """Draw ``len(rngs)`` printed instances of ``net`` as one stack.
+
+    Per-instance draw order is exactly the serial loop's — all crossbars'
+    ``perturb_theta``, then per activation ``perturb_q`` followed by
+    ``perturb_model_card`` — and each instance consumes only its own
+    generator, so the stacked draws are bit-identical to the per-instance
+    path regardless of chunking.
+
+    ``base_thetas`` are the *effective* (mask-applied) conductance matrices
+    to perturb; they default to one materialization per crossbar.
+    Perturbing the effective θ equals masking the perturbed raw θ bitwise:
+    the lognormal noise is drawn full-shape either way, ``|θ·noise|`` and
+    ``|θ|·noise`` share magnitude bits, and keep-masked zeros are below any
+    prune threshold so they never vary.
+    """
+    threshold = net.config.pdk.prune_threshold_us
+    activations = net.activations()
+    if base_thetas is None:
+        base_thetas = [crossbar.effective_theta().data for crossbar in net.crossbars()]
+    nominal_qs = [activation.q_values() for activation in activations]
+    nominal_models = [activation.transfer.model for activation in activations]
+    count = len(rngs)
+    thetas = [np.empty((count, *base.shape)) for base in base_thetas]
+    varied_qs = [
+        np.empty((count, activation.space.dimension)) for activation in activations
+    ]
+    vths = [np.empty(count) for _ in activations]
+    ks = [np.empty(count) for _ in activations]
+    for j, rng in enumerate(rngs):
+        for stack, base in zip(thetas, base_thetas):
+            stack[j] = perturb_theta(base, spec, rng, prune_threshold=threshold)
+        for l, (activation, q0, model0) in enumerate(zip(activations, nominal_qs, nominal_models)):
+            varied_qs[l][j] = perturb_q(q0, activation.space, spec, rng)
+            card = perturb_model_card(model0, spec, rng)
+            vths[l][j] = card.vth
+            ks[l][j] = card.k
+    # The q → u inversion holds no randomness, so it batches over the whole
+    # stack after the draws (elementwise per design axis — same bits as the
+    # per-instance calls, amortizing the Python overhead across instances).
+    units = [
+        units_from_q(activation.space, varied)
+        for activation, varied in zip(activations, varied_qs)
+    ]
+    return InstanceStack(thetas=thetas, units=units, vths=vths, ks=ks)
+
+
+class EnsembleProgram:
+    """A fixed-shape instance-stacked forward+power program over one net.
+
+    Built for a fixed ``(instances, batch)`` shape; :meth:`load` copies a
+    sampled :class:`InstanceStack` into the leaf buffers (padding a short
+    chunk with the nominal base instance) and :meth:`run` replays the
+    captured kernel schedule.  Falls back to eager stacked execution when
+    the program cannot be captured (:class:`GraphCaptureError`).
+    """
+
+    def __init__(self, net: PrintedNeuralNetwork, x: np.ndarray, instances: int):
+        if instances < 1:
+            raise ValueError("instances must be positive")
+        self.net = net
+        self.instances = int(instances)
+        self._x = Tensor(np.asarray(x, dtype=np.float64))
+        count = self.instances
+
+        # θ leaves: one effective-θ materialization per crossbar for the
+        # whole program (the serial loop's satellite saving, taken further).
+        self._base_thetas = [
+            crossbar.effective_theta().data.copy() for crossbar in net.crossbars()
+        ]
+        self._theta_leaves = [
+            Tensor(np.broadcast_to(base, (count, *base.shape)).copy())
+            for base in self._base_thetas
+        ]
+
+        # Activation leaves: u stacks plus the dual-view model card.  The
+        # numpy card's arrays are the *same buffers* the Tensor card wraps
+        # (Tensor construction does not copy float64 arrays), so one
+        # in-place update refreshes both the Newton closures and the
+        # recorded graph expressions.
+        self._base_units: list[np.ndarray] = []
+        self._unit_leaves: list[list[Tensor]] = []
+        self._card_arrays: list[tuple[np.ndarray, np.ndarray]] = []
+        self._card_leaves: list[tuple[Tensor, Tensor]] = []
+        self._base_cards: list[EGTModel] = []
+        self._transfers: list[TransferModel] = []
+        for activation in net.activations():
+            dim = activation.space.dimension
+            u0 = np.array(
+                [float(getattr(activation, f"u_{i}").data) for i in range(dim)]
+            )
+            self._base_units.append(u0)
+            self._unit_leaves.append(
+                [Tensor(np.full((count, 1, 1), u0[i])) for i in range(dim)]
+            )
+            nominal = activation.transfer.model
+            vth_arr = np.full((count, 1, 1), nominal.vth)
+            k_arr = np.full((count, 1, 1), nominal.k)
+            vth_t, k_t = Tensor(vth_arr), Tensor(k_arr)
+            np_card = EGTModel(vth=vth_arr, k=k_arr, n=nominal.n, phi=nominal.phi)
+            tensor_card = EGTModel(vth=vth_t, k=k_t, n=nominal.n, phi=nominal.phi)
+            self._card_arrays.append((vth_arr, k_arr))
+            self._card_leaves.append((vth_t, k_t))
+            self._base_cards.append(nominal)
+            self._transfers.append(
+                TransferModel(
+                    activation.kind,
+                    pdk=activation.transfer.pdk,
+                    model=np_card,
+                    tensor_card=tensor_card,
+                    newton_iterations=activation.transfer.newton_iterations,
+                )
+            )
+
+        self._graph: CapturedGraph | None = None
+        self._eager = False
+        self._capture()
+
+    # ------------------------------------------------------------------
+    @property
+    def captured(self) -> bool:
+        """Whether the program replays a captured schedule (vs eager)."""
+        return self._graph is not None
+
+    def _leaves(self) -> list[Tensor]:
+        leaves: list[Tensor] = [self._x]
+        leaves.extend(self._theta_leaves)
+        for unit_leaves in self._unit_leaves:
+            leaves.extend(unit_leaves)
+        for vth_t, k_t in self._card_leaves:
+            leaves.extend((vth_t, k_t))
+        return leaves
+
+    def _capture(self) -> None:
+        try:
+            self._graph = capture_forward(lambda *_: self._forward(), *self._leaves())
+            self._eager = False
+        except GraphCaptureError:
+            logger.warning(
+                "ensemble program not capturable; falling back to eager stacked execution"
+            )
+            self._graph = None
+            self._eager = True
+
+    # ------------------------------------------------------------------
+    def load(self, stack: InstanceStack) -> int:
+        """Copy a sampled stack into the leaf buffers; returns its size.
+
+        A stack shorter than the program's instance count pads the tail
+        slots with the nominal base instance (never zeros — zero
+        conductances and geometries are unphysical and would poison the
+        shared Newton solves with non-finite intermediates).
+        """
+        k = stack.n_instances
+        if k < 1 or k > self.instances:
+            raise ValueError(
+                f"stack holds {k} instances; program is built for 1..{self.instances}"
+            )
+        for leaf, base, theta in zip(self._theta_leaves, self._base_thetas, stack.thetas):
+            leaf.data[:k] = theta
+            if k < self.instances:
+                leaf.data[k:] = base
+        for unit_leaves, base_u, units in zip(self._unit_leaves, self._base_units, stack.units):
+            for i, leaf in enumerate(unit_leaves):
+                leaf.data[:k] = units[:, i].reshape(k, 1, 1)
+                if k < self.instances:
+                    leaf.data[k:] = base_u[i]
+        for (vth_arr, k_arr), base, vths, ks in zip(
+            self._card_arrays, self._base_cards, stack.vths, stack.ks
+        ):
+            vth_arr[:k] = vths.reshape(k, 1, 1)
+            k_arr[:k] = ks.reshape(k, 1, 1)
+            if k < self.instances:
+                vth_arr[k:] = base.vth
+                k_arr[k:] = base.k
+        return k
+
+    def run(self) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluate the loaded instances; return ``(logits, total_power)``.
+
+        ``logits`` is the ``(instances, batch, out)`` buffer of the captured
+        program (valid until the next :meth:`run`); ``total_power`` is a
+        fresh ``(instances,)`` array assembled with the serial path's
+        association order ``(crossbar + activation) + negation``.
+        """
+        if not self._eager and (self._graph is None or not self._graph.is_valid()):
+            if self._graph is not None:
+                mark_recapture()
+            self._capture()
+        if self._eager:
+            with no_grad():
+                outputs = self._forward()
+            logits, crossbar_p, activation_p, negation_p = (o.data for o in outputs)
+        else:
+            self._graph.replay_forward()
+            logits, crossbar_p, activation_p, negation_p = (
+                o.data for o in self._graph.outputs
+            )
+        total = (crossbar_p + activation_p) + negation_p
+        return logits, np.asarray(total, dtype=np.float64).reshape(self.instances)
+
+    # ------------------------------------------------------------------
+    # Stacked mirror of PrintedNeuralNetwork._forward_with_power.  Every op
+    # either is elementwise over the instance axis or reduces a trailing
+    # axis per instance, so instance slices reproduce the 2-D path's bits.
+    # Training-only terms that do not feed logits or power (signal-health
+    # penalty, soft device count) are omitted.
+    # ------------------------------------------------------------------
+    def _forward(self) -> tuple[Tensor, Tensor, Tensor, Tensor]:
+        net = self.net
+        config = net.config
+        threshold = config.pdk.prune_threshold_us
+        straight = config.count_mode == "straight_through"
+        crossbar_power = Tensor(0.0)
+
+        per_layer: list[tuple[Tensor, Tensor, Tensor, list[Tensor], CrossbarLayer, PrintedActivation, int]] = []
+        signal: Tensor = self._x
+        for index, (crossbar, activation) in enumerate(zip(net.crossbars(), net.activations())):
+            theta = self._theta_leaves[index]
+            v_ext = self._extend_inputs(crossbar, signal)
+            numerator = v_ext @ theta
+            denominator = theta.abs().sum(axis=-2, keepdims=True) + _EPS_G
+            v_z = numerator / denominator
+            q_cols = [
+                q_tensor_from_u(activation.space, i, u)
+                for i, u in enumerate(self._unit_leaves[index])
+            ]
+            per_layer.append((v_ext, v_z, theta, q_cols, crossbar, activation, index))
+            v_out, _ = self._transfers[index].output_and_power(v_z, q_cols)
+            if activation.training and activation.GRADIENT_LEAK > 0.0:
+                v_out = v_out + (v_z - v_z.detach()) * activation.GRADIENT_LEAK
+            signal = v_out
+
+        row_activities: list[Tensor] = []
+        col_activities: list[Tensor] = []
+        for v_ext, v_z, theta, _q_cols, _crossbar, _activation, _index in per_layer:
+            matrix = crossbar_power_matrix_signed(theta, v_ext, -v_ext, v_z)
+            crossbar_power = crossbar_power + matrix.sum(axis=(-2, -1))
+            if straight:
+                row_activities.append(straight_through_row_negativity(theta, threshold=threshold))
+                col_activities.append(straight_through_column_activity(theta, threshold=threshold))
+            else:
+                row_activities.append(soft_row_negativity(theta, threshold=threshold))
+                col_activities.append(soft_column_activity(theta, threshold=threshold))
+
+        if config.power_mode == "surrogate":
+            activation_power, negation_power = self._surrogate_powers(
+                per_layer, row_activities, col_activities
+            )
+        else:
+            activation_power = Tensor(0.0)
+            negation_power = Tensor(0.0)
+            model = NegationModel(pdk=config.pdk)
+            neg_q = [Tensor(v) for v in net.neg_q]
+            for (v_ext, v_z, _theta, q_cols, _crossbar, _activation, index), row_activity, col_activity in zip(
+                per_layer, row_activities, col_activities
+            ):
+                v_sub = self._stacked(self._subsample_rows(v_ext))
+                _, per_sample = model.output_and_power(v_sub, neg_q)
+                per_row = per_sample.mean(axis=-2)
+                negation_power = negation_power + (row_activity * per_row).sum(axis=-1)
+                _, af_power = self._transfers[index].output_and_power(v_z, q_cols)
+                per_circuit = af_power.mean(axis=-2)
+                activation_power = activation_power + (col_activity * per_circuit).sum(axis=-1)
+
+        logits = signal * net.logit_scale
+        return logits, crossbar_power, activation_power, negation_power
+
+    def _surrogate_powers(
+        self,
+        per_layer: list,
+        row_activities: list[Tensor],
+        col_activities: list[Tensor],
+    ) -> tuple[Tensor, Tensor]:
+        net = self.net
+        limit = net.config.power_batch_limit
+        neg_q = [Tensor(v) for v in net.neg_q]
+
+        neg_groups: list[tuple[list[Tensor], Tensor]] = []
+        neg_shapes: list[tuple[int, int]] = []
+        for v_ext, _v_z, _theta, _q_cols, _crossbar, _activation, _index in per_layer:
+            v_sub = self._stacked(self._subsample_rows(v_ext))
+            batch, rows = v_sub.shape[-2], v_sub.shape[-1]
+            neg_groups.append((neg_q, v_sub.reshape(self.instances, batch * rows, 1)))
+            neg_shapes.append((batch, rows))
+        neg_outputs = net.neg_surrogate.predict_tensor_batched(neg_groups)
+        negation_power = Tensor(0.0)
+        for (batch, rows), output, row_activity in zip(neg_shapes, neg_outputs, row_activities):
+            per_row = output.reshape(self.instances, batch, rows).mean(axis=-2)
+            negation_power = negation_power + (row_activity * per_row).sum(axis=-1)
+
+        activations = [entry[5] for entry in per_layer]
+        shared = activations[0].surrogate
+        activation_power = Tensor(0.0)
+        if all(activation.surrogate is shared for activation in activations):
+            af_groups: list[tuple[list[Tensor], Tensor]] = []
+            af_shapes: list[tuple[int, int]] = []
+            for _v_ext, v_z, _theta, q_cols, _crossbar, _activation, _index in per_layer:
+                flat, batch, n = self._power_inputs(v_z, limit)
+                af_groups.append((q_cols, flat))
+                af_shapes.append((batch, n))
+            af_outputs = shared.predict_tensor_batched(af_groups)
+            for (batch, n), output, col_activity in zip(af_shapes, af_outputs, col_activities):
+                per_circuit = output.reshape(self.instances, batch, n).mean(axis=-2)
+                activation_power = activation_power + (col_activity * per_circuit).sum(axis=-1)
+        else:
+            for (_v_ext, v_z, _theta, q_cols, _crossbar, activation, _index), col_activity in zip(
+                per_layer, col_activities
+            ):
+                flat, batch, n = self._power_inputs(v_z, limit)
+                powers = activation.surrogate.predict_tensor(q_cols, flat)
+                per_circuit = powers.reshape(self.instances, batch, n).mean(axis=-2)
+                activation_power = activation_power + (col_activity * per_circuit).sum(axis=-1)
+        return activation_power, negation_power
+
+    # ------------------------------------------------------------------
+    def _extend_inputs(self, crossbar: CrossbarLayer, signal: Tensor) -> Tensor:
+        """Append bias/ground rails; the shared layer-0 input stays 2-D."""
+        if signal.ndim == 2:
+            return crossbar.extend_inputs(signal)
+        batch = signal.shape[-2]
+        bias = Tensor(np.full((self.instances, batch, 1), crossbar.bias_voltage))
+        ground = Tensor(np.zeros((self.instances, batch, 1)))
+        return concatenate([signal, bias, ground], axis=-1)
+
+    def _subsample_rows(self, v_ext: Tensor) -> Tensor:
+        """Deterministic stride subsample to the power batch limit."""
+        batch = v_ext.shape[-2]
+        limit = self.net.config.power_batch_limit
+        if batch <= limit:
+            return v_ext
+        stride = batch // limit
+        index = np.arange(0, batch, stride)[:limit]
+        if v_ext.ndim == 2:
+            return v_ext[(index, slice(None))]
+        return v_ext[(Ellipsis, index, slice(None))]
+
+    def _stacked(self, tensor: Tensor) -> Tensor:
+        """Broadcast an instance-shared 2-D tensor onto the instance axis.
+
+        Multiplying by an all-ones ``(instances, 1, 1)`` stack is a bitwise
+        identity per element (IEEE ``x * 1.0``), so the shared layer-0
+        voltages stay exact while gaining the lead axis the batched
+        surrogate evaluation needs.
+        """
+        if tensor.ndim >= 3:
+            return tensor
+        return tensor * Tensor(np.ones((self.instances, 1, 1)))
+
+    def _power_inputs(self, v_z: Tensor, limit: int) -> tuple[Tensor, int, int]:
+        """Stacked twin of :meth:`PrintedActivation.power_inputs`."""
+        v_z = self._subsample_rows(v_z)
+        batch, n = v_z.shape[-2], v_z.shape[-1]
+        return v_z.reshape(self.instances, batch * n, 1), batch, n

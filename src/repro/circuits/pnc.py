@@ -211,13 +211,25 @@ class PrintedNeuralNetwork(Module):
             return signal * self.logit_scale
 
     # ------------------------------------------------------------------
-    def forward_with_power(self, x: Tensor) -> tuple[Tensor, PowerBreakdown]:
-        """Run the signal path and assemble the differentiable power."""
+    def forward_with_power(
+        self, x: Tensor, thetas: list[Tensor] | None = None
+    ) -> tuple[Tensor, PowerBreakdown]:
+        """Run the signal path and assemble the differentiable power.
+
+        ``thetas`` optionally supplies one precomputed effective-θ tensor
+        per layer (e.g. a perturbed copy of a shared base materialization —
+        the Monte-Carlo loop's path), bypassing
+        :meth:`CrossbarLayer.effective_theta` entirely.
+        """
         _FORWARD_CALLS.inc()
         with span("pnc.forward_with_power"):
-            return self._forward_with_power(x)
+            return self._forward_with_power(x, thetas=thetas)
 
-    def _forward_with_power(self, x: Tensor) -> tuple[Tensor, PowerBreakdown]:
+    def _forward_with_power(
+        self, x: Tensor, thetas: list[Tensor] | None = None
+    ) -> tuple[Tensor, PowerBreakdown]:
+        if thetas is not None and len(thetas) != self.n_layers:
+            raise ValueError(f"expected {self.n_layers} theta tensors, got {len(thetas)}")
         threshold = self.config.pdk.prune_threshold_us
         straight = self.config.count_mode == "straight_through"
         crossbar_power = Tensor(0.0)
@@ -228,8 +240,8 @@ class PrintedNeuralNetwork(Module):
         # by every power/count term below (see effective_theta_computes).
         per_layer: list[tuple[Tensor, Tensor, Tensor, CrossbarLayer, PrintedActivation]] = []
         signal = x
-        for crossbar, activation in zip(self.crossbars(), self.activations()):
-            theta = crossbar.effective_theta()
+        for index, (crossbar, activation) in enumerate(zip(self.crossbars(), self.activations())):
+            theta = crossbar.effective_theta() if thetas is None else thetas[index]
             v_z = crossbar.forward(signal, theta=theta)
             per_layer.append((signal, v_z, theta, crossbar, activation))
             signal = activation(v_z)

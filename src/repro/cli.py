@@ -137,6 +137,13 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--budget-fraction", type=float, default=0.6)
     mc.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="worker processes for the Monte-Carlo instances (results identical to --jobs 1)")
+    mc.add_argument("--vectorized", action="store_true",
+                    help="evaluate instances as stacked chunks through the captured-graph "
+                         "ensemble engine (bit-identical to the serial loop)")
+    mc.add_argument("--instance-chunk", type=int, default=64, metavar="K",
+                    help="instances per stacked chunk when --vectorized (default 64)")
+    mc.add_argument("--json-out", default=None, metavar="FILE",
+                    help="write the per-instance accuracies/powers and summary to FILE as JSON")
     _add_abort_flag(mc)
     _add_common(mc)
 
@@ -462,8 +469,29 @@ def cmd_montecarlo(args, run_logger=None) -> int:
         seed=args.seed, power_budget=budget, accuracy_floor=0.5,
         n_jobs=args.jobs, progress=_task_progress(run_logger),
         on_error=args.on_task_error,
+        vectorized=args.vectorized, instance_chunk=args.instance_chunk,
+        run_logger=run_logger,
     )
     print(report.summary())
+    if args.json_out:
+        import json
+
+        payload = {
+            "dataset": args.dataset,
+            "seed": args.seed,
+            "vectorized": bool(args.vectorized),
+            "n_samples": report.n_samples,
+            "nominal_accuracy": report.nominal_accuracy,
+            "nominal_power": report.nominal_power,
+            "power_budget": report.power_budget,
+            "accuracy_floor": report.accuracy_floor,
+            "parametric_yield": report.parametric_yield,
+            "accuracies": report.accuracies.tolist(),
+            "powers": report.powers.tolist(),
+        }
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     return 0
 
 

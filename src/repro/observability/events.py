@@ -89,6 +89,16 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[type, ...]]] = {
         "message": (str,),
         "phase": (str,),
     },
+    # One evaluated chunk of Monte-Carlo instances (repro.evaluation
+    # .montecarlo): how many printed instances it held, its wall time, and
+    # whether the instance-stacked (vectorized) engine ran it.  Emitted by
+    # the in-process path and by pool workers alike, so a yield run's
+    # throughput shows up in the warehouse/dashboard like training epochs.
+    "montecarlo": {
+        "instances": (int,),
+        "duration_s": (float, int),
+        "vectorized": (bool,),
+    },
     # One HTTP request handled by the serving layer (repro.serving.server):
     # endpoint path, response status, number of feature rows processed and
     # wall time.  Offline `repro predict` emits the same shape with
@@ -112,6 +122,7 @@ OPTIONAL_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
     },
     "task": {"error": (str,), "worker_pid": (int,)},
     "task_end": {"error": (str,)},
+    "montecarlo": {"chunk_index": (int,), "start": (int,)},
     "serve": {"error": (str,), "batch_rows": (int,)},
     "alert": {"value": (float, int)},
     "run_end": {"metrics": (dict,)},

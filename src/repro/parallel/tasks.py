@@ -169,6 +169,12 @@ class MonteCarloChunkTask:
     :func:`repro.evaluation.montecarlo.picklable_network`); each instance
     gets its own pre-spawned :class:`numpy.random.SeedSequence`, so results
     do not depend on how instances are chunked across workers.
+
+    With ``vectorized=True`` the worker evaluates its shard as stacked
+    sub-chunks of ``instance_chunk`` instances through the captured-graph
+    ensemble engine — the process pool shards chunks of *stacks*, composing
+    process-level and tensor-level parallelism.  Per-instance results stay
+    bit-identical to the serial path either way.
     """
 
     net: Any  # PrintedNeuralNetwork (Any keeps the dataclass pickle-simple)
@@ -177,13 +183,41 @@ class MonteCarloChunkTask:
     variation: "VariationSpec"
     seed_seqs: tuple
     start: int
+    vectorized: bool = False
+    instance_chunk: int = 64
 
     @property
     def label(self) -> str:
-        return f"montecarlo:{self.start}+{len(self.seed_seqs)}"
+        mode = "vec" if self.vectorized else "loop"
+        return f"montecarlo:{self.start}+{len(self.seed_seqs)}:{mode}"
 
     def run(self) -> tuple[np.ndarray, np.ndarray]:
-        from repro.evaluation.montecarlo import evaluate_instances
+        import time
+
+        from repro.evaluation.montecarlo import (
+            _record_chunk,
+            evaluate_instances,
+            evaluate_instances_vectorized,
+        )
+        from repro.parallel.telemetry import worker_run_logger
 
         rngs = [np.random.default_rng(ss) for ss in self.seed_seqs]
-        return evaluate_instances(self.net, self.x, self.y, self.variation, rngs)
+        run_logger = worker_run_logger()
+        if self.vectorized:
+            return evaluate_instances_vectorized(
+                self.net, self.x, self.y, self.variation, rngs,
+                instance_chunk=self.instance_chunk,
+                run_logger=run_logger,
+                start=self.start,
+            )
+        t0 = time.perf_counter()
+        result = evaluate_instances(self.net, self.x, self.y, self.variation, rngs)
+        _record_chunk(
+            run_logger,
+            instances=len(rngs),
+            duration_s=time.perf_counter() - t0,
+            vectorized=False,
+            chunk_index=0,
+            start=self.start,
+        )
+        return result

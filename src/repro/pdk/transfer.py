@@ -202,6 +202,21 @@ class TransferModel:
     pdk: PDK = DEFAULT_PDK
     model: EGTModel = DEFAULT_NEGT
     newton_iterations: int = 60
+    #: Optional Tensor-valued twin of ``model`` for the graph-side EKV
+    #: expressions.  The instance-stacked Monte-Carlo engine
+    #: (:mod:`repro.circuits.ensemble`) perturbs V_th and K per printed
+    #: instance and updates them in place between captured-graph replays;
+    #: array-valued card fields entering ``ids_t`` as plain constants would
+    #: bake the capture-time values into derived buffers, so the stacked
+    #: card wraps the same arrays in :class:`Tensor` leaves (recorded ops
+    #: recompute from the fresh values on every replay).  ``None`` — the
+    #: default, and the whole training path — uses ``model`` for both the
+    #: numpy Newton closures and the tensor expressions, unchanged.
+    tensor_card: EGTModel | None = None
+
+    def _graph_model(self) -> EGTModel:
+        """The model card used in autograd (``ids_t``) expressions."""
+        return self.model if self.tensor_card is None else self.tensor_card
 
     # ------------------------------------------------------------------
     def output(self, v_in: Tensor, q: list[Tensor]) -> Tensor:
@@ -224,6 +239,7 @@ class TransferModel:
         if clamp:
             return self._clipped_follower(v_in, q)
         vdd, model = self.pdk.vdd, self.model
+        model_t = self._graph_model()
         r_s, w_1, l_1 = q
         vin_np = v_in.data
         rs_np, w1_np, l1_np = r_s.data, w_1.data, l_1.data
@@ -236,11 +252,11 @@ class TransferModel:
         v_star_t, inv_gp = _implicit_solve(
             g_np, v0, self.newton_iterations, (v_in, r_s, w_1, l_1)
         )
-        g_t = ids_t(v_in, _const(vdd), v_star_t, w_1, l_1, model) - v_star_t / r_s
+        g_t = ids_t(v_in, _const(vdd), v_star_t, w_1, l_1, model_t) - v_star_t / r_s
         v_out = _implicit_attach(v_star_t, g_t, inv_gp)
 
         # Analytic power with gradients: M1 drop + load.
-        i1_out = ids_t(v_in, _const(vdd), v_out, w_1, l_1, model)
+        i1_out = ids_t(v_in, _const(vdd), v_out, w_1, l_1, model_t)
         power = i1_out * (vdd - v_out) + v_out * v_out / r_s
         return v_out, power
 
@@ -254,6 +270,7 @@ class TransferModel:
         .. math:: g(V) = I_{M1}(v_{in}, V_{drain}(V), V) - I(V) = 0.
         """
         vdd, model = self.pdk.vdd, self.model
+        model_t = self._graph_model()
         r_d, r_s, w_1, l_1, w_c, l_c = q
         vin_np = v_in.data
         rd_np, rs_np = r_d.data, r_s.data
@@ -276,17 +293,17 @@ class TransferModel:
         v_star_t, inv_gp = _implicit_solve(
             g_np, v0, self.newton_iterations, (v_in, r_d, r_s, w_1, l_1, w_c, l_c)
         )
-        ic_t = ids_t(v_star_t, v_star_t, _const(0.0), w_c, l_c, model)
+        ic_t = ids_t(v_star_t, v_star_t, _const(0.0), w_c, l_c, model_t)
         i_total_t = v_star_t / r_s + ic_t
         v_drain_t = _const(vdd) - r_d * i_total_t
-        g_t = ids_t(v_in, v_drain_t, v_star_t, w_1, l_1, model) - i_total_t
+        g_t = ids_t(v_in, v_drain_t, v_star_t, w_1, l_1, model_t) - i_total_t
         v_out = _implicit_attach(v_star_t, g_t, inv_gp)
 
         # Power with gradients, recomputed at the attached output.
-        ic_out = ids_t(v_out, v_out, _const(0.0), w_c, l_c, model)
+        ic_out = ids_t(v_out, v_out, _const(0.0), w_c, l_c, model_t)
         i_total_out = v_out / r_s + ic_out
         v_drain_out = _const(vdd) - r_d * i_total_out
-        i1_out = ids_t(v_in, v_drain_out, v_out, w_1, l_1, model)
+        i1_out = ids_t(v_in, v_drain_out, v_out, w_1, l_1, model_t)
         power = (
             i_total_out * i_total_out * r_d  # R_d drop (I²R with I = total)
             + i1_out * (v_drain_out - v_out)  # M1 channel
@@ -312,6 +329,7 @@ class TransferModel:
         accounted for by the caller, not here.
         """
         vdd, model = self.pdk.vdd, self.model
+        model_t = self._graph_model()
         vg_np = v_gate.data
         r_np, w_np, l_np = r_load.data, width.data, length.data
         rsh_np = None if r_shunt is None else r_shunt.data
@@ -330,13 +348,13 @@ class TransferModel:
         if r_shunt is not None:
             inputs = inputs + (r_shunt,)
         v_star_t, inv_gp = _implicit_solve(g_np, v0, self.newton_iterations, inputs)
-        i_t = ids_t(v_gate, v_star_t, _const(vss), width, length, model)
+        i_t = ids_t(v_gate, v_star_t, _const(vss), width, length, model_t)
         g_t = (_const(vdd) - v_star_t) / r_load - i_t
         if r_shunt is not None:
             g_t = g_t - (v_star_t - vss) / r_shunt
         v_out = _implicit_attach(v_star_t, g_t, inv_gp)
 
-        i_out = ids_t(v_gate, v_out, _const(vss), width, length, model)
+        i_out = ids_t(v_gate, v_out, _const(vss), width, length, model_t)
         drop = _const(vdd) - v_out
         power = drop * drop / r_load + i_out * (v_out - vss)
         return v_out, power

@@ -102,9 +102,15 @@ def soft_column_activity(
     threshold: float = 0.0,
     sharpness: float = DEFAULT_SHARPNESS,
 ) -> Tensor:
-    """``(N,)`` soft activity of each activation circuit (column of θ)."""
+    """``(N,)`` soft activity of each activation circuit (column of θ).
+
+    The reduction runs over the *row* axis addressed from the right
+    (``axis=-2``), so θ may carry leading axes — an ``(instances, rows,
+    cols)`` Monte-Carlo stack yields an ``(instances, N)`` activity whose
+    slices match the per-instance 2-D call bit for bit.
+    """
     soft = ((theta.abs() - threshold) * sharpness).sigmoid()
-    return soft.max(axis=0)
+    return soft.max(axis=-2)
 
 
 def straight_through_column_activity(
@@ -120,7 +126,7 @@ def straight_through_column_activity(
     """
     soft = soft_column_activity(theta, threshold=threshold, sharpness=sharpness)
     correction = constant_of(
-        lambda th, sv: (np.abs(th) > threshold).any(axis=0).astype(np.float64) - sv,
+        lambda th, sv: (np.abs(th) > threshold).any(axis=-2).astype(np.float64) - sv,
         theta,
         soft,
     )
@@ -132,11 +138,15 @@ def soft_row_negativity(
     threshold: float = 0.0,
     sharpness: float = DEFAULT_SHARPNESS,
 ) -> Tensor:
-    """``(M+2,)`` soft need-a-negation-circuit score per input row."""
+    """``(M+2,)`` soft need-a-negation-circuit score per input row.
+
+    Reduces over the column axis addressed from the right (``axis=-1``);
+    instance-stacked θ broadcasts to a per-instance score stack.
+    """
     negative_mask = constant_of(lambda th: th < 0.0, theta)
     soft = ((theta.abs() - threshold) * sharpness).sigmoid()
     suppressed = soft.where(negative_mask, Tensor(np.zeros_like(theta.data)))
-    return suppressed.max(axis=1)
+    return suppressed.max(axis=-1)
 
 
 def straight_through_row_negativity(
@@ -147,7 +157,7 @@ def straight_through_row_negativity(
     """``(M+2,)`` per-row negation activity: hard forward, soft backward."""
     soft = soft_row_negativity(theta, threshold=threshold, sharpness=sharpness)
     correction = constant_of(
-        lambda th, sv: (th < -threshold).any(axis=1).astype(np.float64) - sv,
+        lambda th, sv: (th < -threshold).any(axis=-1).astype(np.float64) - sv,
         theta,
         soft,
     )

@@ -82,17 +82,28 @@ def crossbar_power_matrix_signed(
     per-element according to ``sign(θ)`` (the indicator masks of the paper).
     The sign mask is evaluated on data (no gradient through the routing,
     matching the indicator's zero a.e. derivative).
+
+    Both θ and the voltage tensors may carry broadcast-compatible *leading*
+    axes (e.g. an ``(instances, rows, cols)`` Monte-Carlo θ-stack against
+    ``(instances, batch, rows)`` voltages): the batch mean runs over the
+    third-from-last axis, so every instance slice equals the plain 2-D call
+    bit for bit.
     """
-    batch, rows = v_in_extended.shape
-    cols = theta.shape[1]
-    v_pos = v_in_extended.reshape(batch, rows, 1)
-    v_neg = v_in_negated.reshape(batch, rows, 1)
+    batch, rows = v_in_extended.shape[-2:]
+    cols = theta.shape[-1]
+    lead = np.broadcast_shapes(theta.shape[:-2], v_in_extended.shape[:-2])
+    v_pos = v_in_extended.reshape(*v_in_extended.shape[:-2], batch, rows, 1)
+    v_neg = v_in_negated.reshape(*v_in_negated.shape[:-2], batch, rows, 1)
     # The sign mask depends on the trained θ, so it is a replayable constant
     # node (re-evaluated each captured-graph replay), not a baked-in array.
     mask = constant_of(
-        lambda th: np.broadcast_to(th >= 0.0, (batch, rows, cols)), theta
+        lambda th: np.broadcast_to(
+            (th >= 0.0).reshape(*th.shape[:-2], 1, rows, cols),
+            (*lead, batch, rows, cols),
+        ),
+        theta,
     )
     driven = v_pos.where(mask, v_neg)
-    drop = driven - v_out.reshape(batch, 1, cols)
+    drop = driven - v_out.reshape(*v_out.shape[:-2], batch, 1, cols)
     conductance = theta.abs() * MICRO_SIEMENS
-    return (drop * drop).mean(axis=0) * conductance
+    return (drop * drop).mean(axis=-3) * conductance

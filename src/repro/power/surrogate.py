@@ -170,41 +170,53 @@ class SurrogatePowerModel:
             sizes: list[int] = []
             for q_columns, v_in in groups:
                 per_group.append(self._expand_columns(q_columns, v_in))
-                sizes.append(v_in.shape[0])
+                sizes.append(v_in.shape[-2])
             n_columns = len(per_group[0])
             if any(len(cols) != n_columns for cols in per_group):
                 raise ValueError("batched groups disagree on feature count")
             stacked = [
-                concatenate([cols[i] for cols in per_group], axis=0)
+                concatenate([cols[i] for cols in per_group], axis=-2)
                 for i in range(n_columns)
             ]
             normalized = self.normalization.apply_tensor_columns(stacked)
-            features = concatenate(normalized, axis=1)
+            features = concatenate(normalized, axis=-1)
             power = (self.network(features) * LN10).exp()
             outputs: list[Tensor] = []
             offset = 0
             for size in sizes:
-                outputs.append(power[(slice(offset, offset + size), slice(None))])
+                outputs.append(power[(Ellipsis, slice(offset, offset + size), slice(None))])
                 offset += size
             return outputs
 
     def _expand_columns(self, q_columns: list[Tensor], v_in: Tensor) -> list[Tensor]:
-        """The ``(n, 1)`` feature columns (q..., v) of one prediction group."""
-        n = v_in.shape[0]
-        ones = Tensor(np.ones((n, 1)))
+        """The ``(n, 1)`` feature columns (q..., v) of one prediction group.
+
+        ``v_in`` may carry leading axes (an ``(instances, n, 1)`` stack);
+        feature columns then get the same lead.  Instance-stacked q columns
+        arrive as ``(instances, 1, 1)`` tensors and broadcast against the
+        ones column — multiplying by 1.0 is a bitwise identity, so every
+        instance slice matches the scalar-q path exactly.
+        """
+        lead = v_in.shape[:-2]
+        n = v_in.shape[-2]
+        ones = Tensor(np.ones((*lead, n, 1)))
         expanded = []
         for col in q_columns:
-            if col.ndim == 0 or col.size == 1:
-                expanded.append(ones * col.reshape(1, 1) if col.ndim else ones * col)
+            if col.ndim == 0:
+                expanded.append(ones * col)
+            elif col.ndim >= 3:
+                expanded.append(ones * col)
+            elif col.size == 1:
+                expanded.append(ones * col.reshape(1, 1))
             else:
                 expanded.append(col.reshape(n, 1))
-        expanded.append(v_in.reshape(n, 1))
+        expanded.append(v_in.reshape(*lead, n, 1))
         return expanded
 
     def _predict_tensor(self, q_columns: list[Tensor], v_in: Tensor) -> Tensor:
         expanded = self._expand_columns(q_columns, v_in)
         normalized = self.normalization.apply_tensor_columns(expanded)
-        features = concatenate(normalized, axis=1)
+        features = concatenate(normalized, axis=-1)
         log_power = self.network(features)
         return (log_power * LN10).exp()
 

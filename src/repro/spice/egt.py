@@ -76,7 +76,11 @@ class EGTModel:
     phi: float = 0.04
 
     def __post_init__(self):
-        if self.k <= 0 or self.phi <= 0 or self.n < 1.0:
+        # vth/k may be instance-stacked arrays (or autograd tensors wrapping
+        # them) when the card models a whole Monte-Carlo ensemble at once —
+        # see repro.circuits.ensemble; validate elementwise in that case.
+        k = np.asarray(getattr(self.k, "data", self.k))
+        if np.any(k <= 0) or self.phi <= 0 or self.n < 1.0:
             raise ValueError("EGT model card out of physical range")
 
     def specific_current(self, width: float, length: float) -> float:

@@ -34,6 +34,18 @@ class TestParser:
     def test_montecarlo_args(self):
         args = build_parser().parse_args(["montecarlo", "iris", "--sigma-scale", "2.0"])
         assert args.sigma_scale == 2.0
+        assert args.vectorized is False
+        assert args.instance_chunk == 64
+        assert args.json_out is None
+
+    def test_montecarlo_vectorized_args(self):
+        args = build_parser().parse_args(
+            ["montecarlo", "iris", "--vectorized", "--instance-chunk", "16",
+             "--json-out", "mc.json"]
+        )
+        assert args.vectorized is True
+        assert args.instance_chunk == 16
+        assert args.json_out == "mc.json"
 
 
 class TestFastCommands:

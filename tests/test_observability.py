@@ -77,6 +77,10 @@ class TestEventSchema:
             "serve": {
                 "endpoint": "predict", "status": 200, "rows": 8, "duration_s": 0.004,
             },
+            "montecarlo": {
+                "instances": 64, "duration_s": 0.12, "vectorized": True,
+                "chunk_index": 2, "start": 128,
+            },
             "run_end": {"exit_code": 0, "duration_s": 1.5, "metrics": {"forward_calls": 3.0}},
         }
         return {"type": event_type, "ts": time.time(), **samples[event_type]}

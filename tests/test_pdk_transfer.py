@@ -97,6 +97,34 @@ class TestBroadcasting:
         np.testing.assert_allclose(np.broadcast_to(v_out.data, (4, 5))[0], v_row.data, atol=1e-9)
         np.testing.assert_allclose(power.data[0], p_row.data, rtol=1e-9)
 
+    @pytest.mark.parametrize("kind", ALL_ACTIVATIONS)
+    def test_instance_axis_bit_identical(self, kind, rng):
+        """Stacking a leading instance axis leaves every element's Newton
+        trajectory — and therefore its bits — unchanged.
+
+        Each element of the per-element Newton solve is a pure function of
+        its own inputs, so evaluating ``(I, batch)`` voltages against
+        ``(I, 1)`` parameter columns must reproduce each instance's 1-D
+        solve exactly (the contract the ensemble engine's padding and
+        chunking rely on)."""
+        space = design_space(kind)
+        model = TransferModel(kind)
+        instances = 3
+        q_samples = space.from_unit(rng.random((instances, space.dimension)))
+        vs = np.linspace(-0.5, 1.0, 5)
+        v_stack = np.broadcast_to(vs, (instances, len(vs))).copy()
+        q_cols = [
+            Tensor(q_samples[:, i].reshape(instances, 1)) for i in range(space.dimension)
+        ]
+        v_out, power = model.output_and_power(Tensor(v_stack), q_cols)
+        assert power.data.shape == (instances, len(vs))
+        for i in range(instances):
+            v_one, p_one = model.output_and_power(
+                Tensor(vs), [Tensor(x) for x in q_samples[i]]
+            )
+            np.testing.assert_array_equal(v_out.data[i], v_one.data)
+            np.testing.assert_array_equal(power.data[i], p_one.data)
+
 
 class TestNegationModel:
     def test_matches_spice(self, rng):
