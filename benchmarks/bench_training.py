@@ -24,7 +24,12 @@ Modes:
 - the measured step-time speedup falls below baseline/1.25 (a >25%
   relative wall-time regression; comparing *ratios* keeps the gate
   host-independent);
-- the eager and replay traces are not bit-identical.
+- the eager and replay traces are not bit-identical;
+- tracing misbehaves: an --trace training's traces differ from the
+  untraced run (bit-identity), the per-kernel interval scheme attributes
+  <95% of replay wall time, or the tracing-*disabled* replay path costs
+  >2% over the pre-tracing loop (measured as an interleaved min-of-trials
+  A/B on one captured graph — same-host ratio, so host-independent).
 """
 
 from __future__ import annotations
@@ -43,6 +48,10 @@ DATASET = "iris"
 EPOCHS = 40
 BUDGET_FRACTION = 0.4
 WALL_TIME_TOLERANCE = 1.25
+#: The tracing-disabled replay path may cost at most 2% over the bare loop.
+TRACING_OVERHEAD_TOLERANCE = 1.02
+#: The interval scheme must attribute at least this share of replay wall.
+KERNEL_COVERAGE_FLOOR = 0.95
 
 #: op-count gauges that must match the committed baseline exactly
 OP_GAUGES = ("graph_step_ops", "graph_eval_ops", "graph_val_ops")
@@ -115,6 +124,113 @@ def _train_once(capture: bool, data, split, af, neg, budget: float) -> dict:
             "test_accuracy": result.test_accuracy, "power_w": result.power}
 
 
+def _bench_disabled_overhead(pairs: int = 21, replays: int = 300) -> dict:
+    """A/B the tracing-disabled ``replay_forward`` against the bare loop.
+
+    The only cost tracing may add to an untraced replay is the
+    ``timings is None`` branch; this measures it directly by re-running
+    one captured graph's schedule through ``replay_forward()`` and through
+    an inlined copy of the pre-tracing loop.  Estimator: the two sides run
+    back to back in each pair, and the reported ratio is the *median* of
+    the per-pair ratios — adjacent-in-time pairing cancels the machine
+    noise (frequency scaling, co-tenants) that makes min-of-trials flaky.
+    """
+    import statistics
+
+    import numpy as np
+
+    from repro.autograd.graph import _MODE_UFUNC, capture_forward
+    from repro.autograd.tensor import Tensor
+
+    rng = np.random.default_rng(0)
+    w1 = Tensor(rng.normal(size=(16, 24)))
+    w2 = Tensor(rng.normal(size=(24, 8)))
+    x = Tensor(rng.normal(size=(64, 16)))
+
+    def forward(inp):
+        return ((inp @ w1).tanh() @ w2).sum()
+
+    graph = capture_forward(forward, x)
+    replay = graph.replay_forward
+
+    def bare_replay(g):
+        # Verbatim copy of the pre-tracing replay_forward body: same
+        # attribute lookup, same loop — minus the ``timings`` branch.
+        for mode, fwd, srcs, out in g._schedule:
+            if mode == _MODE_UFUNC:
+                fwd(*[s.data for s in srcs], out=out)
+            else:
+                result = fwd(*[s.data for s in srcs])
+                if result is not out:
+                    np.copyto(out, result, casting="unsafe")
+
+    def bare_loop():
+        bare_replay(graph)
+
+    def timed(fn) -> float:
+        t0 = time.perf_counter()
+        for _ in range(replays):
+            fn()
+        return time.perf_counter() - t0
+
+    def paired_trial() -> float:
+        """One trial: single calls alternated A/B/A/B in a tight loop.
+
+        Pairing at the single-call level (~tens of µs apart) means both
+        sides see the same instantaneous machine state; summing over many
+        alternations averages out the per-call timer jitter.
+        """
+        t_bare = t_disabled = 0.0
+        clock = time.perf_counter
+        for _ in range(replays):
+            t0 = clock()
+            bare_loop()
+            t1 = clock()
+            replay()
+            t2 = clock()
+            replay()
+            t3 = clock()
+            bare_loop()
+            t4 = clock()
+            t_bare += (t1 - t0) + (t4 - t3)
+            t_disabled += (t2 - t1) + (t3 - t2)
+        return t_disabled / t_bare
+
+    timed(bare_loop), timed(replay)  # warm up
+    ratios = [paired_trial() for _ in range(pairs)]
+    return {
+        "pairs": pairs,
+        "replays": replays,
+        "n_ops": graph.n_ops,
+        "disabled_overhead_ratio": statistics.median(ratios),
+    }
+
+
+def _train_traced(data, split, af, neg, budget: float) -> tuple[dict, float | None]:
+    """One replay-mode training under --trace; returns (run, min coverage)."""
+    from repro.observability.tracing import (
+        disable_tracing,
+        enable_tracing,
+        get_kernel_profiler,
+        get_tracer,
+    )
+
+    enable_tracing()
+    try:
+        traced = _train_once(True, data, split, af, neg, budget)
+        kernels = get_kernel_profiler().as_json()
+    finally:
+        disable_tracing()
+        get_tracer().reset()
+        get_kernel_profiler().reset()
+    coverages = [
+        entry["attributed_s"] / entry["wall_s"]
+        for entry in kernels["labels"].values()
+        if entry["wall_s"] > 0
+    ]
+    return traced, (min(coverages) if coverages else None)
+
+
 def measure() -> dict:
     from repro.training import TrainerSettings, train_unconstrained
 
@@ -127,6 +243,7 @@ def measure() -> dict:
 
     eager = _train_once(False, data, split, af, neg, budget)
     replay = _train_once(True, data, split, af, neg, budget)
+    traced, kernel_coverage = _train_traced(data, split, af, neg, budget)
 
     identical = eager["traces"] == replay["traces"]
     eager_ms = eager["stats"]["step_time_mean_ms"]
@@ -150,6 +267,11 @@ def measure() -> dict:
             if replay["stats"]["eval_time_mean_ms"] else None
         ),
         "traces_bit_identical": identical,
+        "tracing": {
+            "traced_traces_bit_identical": replay["traces"] == traced["traces"],
+            "kernel_coverage_min": kernel_coverage,
+            "disabled_overhead": _bench_disabled_overhead(),
+        },
     }
 
 
@@ -168,6 +290,27 @@ def check(fresh: dict) -> int:
         was, now = baseline["replay"].get(gauge), fresh["replay"].get(gauge)
         if was is not None and now != was:
             failures.append(f"op-count regression: {gauge} {was} -> {now}")
+
+    tracing = fresh.get("tracing") or {}
+    if not tracing.get("traced_traces_bit_identical", True):
+        failures.append("--trace training diverged from the untraced run (bit-identity broken)")
+    coverage = tracing.get("kernel_coverage_min")
+    if coverage is not None and coverage < KERNEL_COVERAGE_FLOOR:
+        failures.append(
+            f"kernel attribution covers {coverage:.1%} of replay wall "
+            f"(< {KERNEL_COVERAGE_FLOOR:.0%} floor)"
+        )
+    overhead = (tracing.get("disabled_overhead") or {}).get("disabled_overhead_ratio")
+    if overhead is not None:
+        if overhead > TRACING_OVERHEAD_TOLERANCE:
+            failures.append(
+                f"tracing-disabled replay path costs {(overhead - 1):.1%} over the "
+                f"bare loop (> {TRACING_OVERHEAD_TOLERANCE - 1:.0%} gate)"
+            )
+        else:
+            suffix = f", kernel coverage {coverage:.1%}" if coverage is not None else ""
+            print(f"tracing-disabled overhead {(overhead - 1):+.1%} "
+                  f"(gate {TRACING_OVERHEAD_TOLERANCE - 1:.0%}){suffix} — ok")
 
     base_speedup, now_speedup = baseline.get("step_time_speedup"), fresh.get("step_time_speedup")
     if base_speedup and now_speedup:

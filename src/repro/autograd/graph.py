@@ -26,12 +26,14 @@ boundary), and the recorded leaf shapes.  Value-only changes — LR halving,
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor, _run_backward, _topo_order
 from repro.observability.metrics import get_registry
+from repro.observability.tracing import kernel_name
 
 _REPLAY_EPOCHS = get_registry().counter(
     "graph_replay_epochs", "training epochs executed by captured-graph replay"
@@ -99,6 +101,7 @@ class CapturedGraph:
         if backward_root is not None:
             self.backward_order = _topo_order(backward_root)
         self._schedule: list[tuple[int, Callable, tuple[Tensor, ...], np.ndarray]] = []
+        self._kernel_names: list[str] = []
         self.n_leaves = 0
         self.n_view_nodes = 0
         self._leaf_shapes: list[tuple[Tensor, tuple[int, ...]]] = []
@@ -138,6 +141,7 @@ class CapturedGraph:
                 except (TypeError, ValueError):  # pragma: no cover - exotic shapes
                     mode = _MODE_COPY
             self._schedule.append((mode, fwd, preds, node.data))
+            self._kernel_names.append(kernel_name(fwd))
 
     def _forward_order(self) -> list[Tensor]:
         """Topo order (ancestors first) over ``_parents`` + ``_deps``."""
@@ -170,22 +174,64 @@ class CapturedGraph:
                 return False
         return True
 
-    def replay_forward(self) -> None:
-        """Re-execute the recorded kernels into the captured buffers."""
-        for mode, fwd, srcs, out in self._schedule:
+    def kernel_names(self) -> list[str]:
+        """Per-schedule-index kernel names (parallel to the forward schedule)."""
+        return list(self._kernel_names)
+
+    def backward_kernel_names(self) -> list[str]:
+        """Names for the timed backward walk, indexed by reversed-topo position."""
+        if self.backward_order is None:
+            return []
+        names: list[str] = []
+        for node in reversed(self.backward_order):
+            if node._backward is not None:
+                base = kernel_name(node._fwd) if node._fwd is not None else "op"
+                names.append(f"grad.{base}")
+            else:
+                names.append("accumulate")
+        return names
+
+    def replay_forward(self, timings: list[float] | None = None) -> None:
+        """Re-execute the recorded kernels into the captured buffers.
+
+        With ``timings`` (a list of length :attr:`n_ops`), one
+        ``perf_counter()`` reading is taken per kernel and the full
+        inter-reading interval is accumulated into ``timings[i]`` — the
+        kernel's self time plus its share of loop overhead, so the totals
+        account for essentially all of the replay wall time.  The kernel
+        execution itself is byte-identical to the untimed path.
+        """
+        if timings is None:
+            for mode, fwd, srcs, out in self._schedule:
+                if mode == _MODE_UFUNC:
+                    fwd(*[s.data for s in srcs], out=out)
+                else:
+                    result = fwd(*[s.data for s in srcs])
+                    if result is not out:
+                        np.copyto(out, result, casting="unsafe")
+            return
+        t_prev = perf_counter()
+        for i, (mode, fwd, srcs, out) in enumerate(self._schedule):
             if mode == _MODE_UFUNC:
                 fwd(*[s.data for s in srcs], out=out)
             else:
                 result = fwd(*[s.data for s in srcs])
                 if result is not out:
                     np.copyto(out, result, casting="unsafe")
+            t_now = perf_counter()
+            timings[i] += t_now - t_prev
+            t_prev = t_now
 
-    def replay_backward(self) -> None:
-        """Re-run the captured backward pass along the cached topo order."""
+    def replay_backward(self, timings: list[float] | None = None) -> None:
+        """Re-run the captured backward pass along the cached topo order.
+
+        ``timings`` works as in :meth:`replay_forward`, indexed by position
+        in the reversed topo order (see :meth:`backward_kernel_names`).
+        """
         root = self.backward_root
         if root is None or self.backward_order is None:
             raise RuntimeError("graph was captured without a backward root")
-        _run_backward(root, self.backward_order, np.ones_like(root.data))
+        _run_backward(root, self.backward_order, np.ones_like(root.data), timings)
 
 
 def capture_forward(fn: Callable[..., "Tensor | Sequence[Tensor]"], *leaves: Tensor) -> CapturedGraph:

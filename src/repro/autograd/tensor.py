@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
+from time import perf_counter
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -152,23 +153,48 @@ def _topo_order(root: "Tensor") -> list["Tensor"]:
     return order
 
 
-def _run_backward(root: "Tensor", order: Sequence["Tensor"], grad: np.ndarray) -> None:
+def _run_backward(
+    root: "Tensor",
+    order: Sequence["Tensor"],
+    grad: np.ndarray,
+    timings: list[float] | None = None,
+) -> None:
     """Propagate ``grad`` from ``root`` along a precomputed topo ``order``.
 
     Shared by :meth:`Tensor.backward` (fresh order per call) and
     :class:`~repro.autograd.graph.CapturedGraph` (cached order), so replayed
     backward passes accumulate in exactly the eager order.
+
+    With ``timings`` (len(order) floats), the inter-reading interval per
+    visited node is accumulated into ``timings[i]``, ``i`` being the
+    position in the reversed order — the per-kernel attribution used by
+    ``repro profile --kernels``.  Skipped nodes (no gradient reached them)
+    fold into the next visited kernel's interval.
     """
     grads: dict[int, np.ndarray] = {id(root): grad}
-    for node in reversed(order):
+    if timings is None:
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: accumulate into .grad
+                node._accumulate(node_grad)
+            if node._backward is not None:
+                node._push_parent_grads(node_grad, grads)
+        return
+    t_prev = perf_counter()
+    for i, node in enumerate(reversed(order)):
         node_grad = grads.pop(id(node), None)
         if node_grad is None:
             continue
         if node.requires_grad and node._backward is None:
-            # Leaf tensor: accumulate into .grad
             node._accumulate(node_grad)
         if node._backward is not None:
             node._push_parent_grads(node_grad, grads)
+        t_now = perf_counter()
+        timings[i] += t_now - t_prev
+        t_prev = t_now
 
 
 class Tensor:

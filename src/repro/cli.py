@@ -29,6 +29,10 @@ Observability flags (available on every subcommand)::
     --health-abort      let critical training-health watchdogs abort the
                         run (exit code 3 + diagnostic.json)
     --profile           enable span profiling; prints the breakdown at exit
+    --trace             record spans + per-kernel replay timings (needs
+                        --run-dir or --trace-out to persist anything)
+    --trace-out PATH    export the trace as Chrome trace-event JSON
+                        (load in Perfetto / chrome://tracing)
     --metrics-out PATH  write a Prometheus textfile of the metrics registry
     -v / -q             raise / lower log verbosity (INFO / ERROR; -vv DEBUG)
 
@@ -61,6 +65,12 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                        help="abort on critical training-health alerts (exit 3 + diagnostic dump)")
     group.add_argument("--profile", action="store_true",
                        help="time instrumented spans; print the breakdown at exit")
+    group.add_argument("--trace", action="store_true",
+                       help="record trace spans and per-kernel replay timings "
+                            "(written to the run directory; see also --trace-out)")
+    group.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write the trace as Chrome trace-event JSON "
+                            "(implies --trace; open in Perfetto or chrome://tracing)")
     group.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="write a Prometheus textfile of the metrics registry at exit")
     group.add_argument("-v", "--verbose", action="count", default=0,
@@ -148,7 +158,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(mc)
 
     report = sub.add_parser("report", help="render the summary of a recorded run (JSONL)")
-    report.add_argument("run_file", help="event log written by --log-json")
+    report.add_argument("run_file",
+                        help="event log written by --log-json, or a --run-dir run directory")
+
+    profile_cmd = sub.add_parser(
+        "profile", help="hot-kernel attribution of a traced run (requires --trace data)"
+    )
+    profile_cmd.add_argument("--kernels", action="store_true",
+                             help="per-kernel self-time table of the captured-graph replays")
+    profile_cmd.add_argument("--run", default="latest",
+                             help="run directory, run id, unique id prefix, or 'latest'")
+    profile_cmd.add_argument("--diff", default=None, metavar="RUN_B",
+                             help="compare against a second traced run and name the kernel "
+                                  "driving the step-time regression")
+    profile_cmd.add_argument("--dir", default="runs", metavar="BASE",
+                             help="run registry base directory (default: runs)")
+    profile_cmd.add_argument("--top", type=int, default=15, metavar="N",
+                             help="rows in the hot-kernel table (default 15)")
 
     runs = sub.add_parser("runs", help="inspect run directories recorded with --run-dir")
     runs_sub = runs.add_subparsers(dest="runs_command", required=True)
@@ -247,7 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--format", choices=("auto", "csv", "json"), default="auto",
                          help="input format (auto sniffs JSON by a leading '[' or '{')")
 
-    for subparser in (datasets, train, sweep, grid, circuits, mc, report,
+    for subparser in (datasets, train, sweep, grid, circuits, mc, report, profile_cmd,
                       runs_list, runs_index, runs_query, runs_show, runs_compare, runs_prune,
                       export, serve, predict, dashboard):
         _add_obs_flags(subparser)
@@ -272,7 +298,7 @@ def _git_sha() -> str:
 def _run_config(args) -> dict:
     """JSON-safe view of the parsed arguments (observability flags excluded)."""
     skip = {"command", "log_json", "run_dir", "health_abort", "profile",
-            "metrics_out", "verbose", "quiet"}
+            "trace", "trace_out", "metrics_out", "verbose", "quiet"}
     return {k: v for k, v in vars(args).items() if k not in skip}
 
 
@@ -496,15 +522,63 @@ def cmd_montecarlo(args, run_logger=None) -> int:
 
 
 def cmd_report(args) -> int:
-    from repro.observability import render_report_file
+    from repro.observability import (
+        load_run_kernels,
+        read_run_events,
+        render_report,
+        render_report_file,
+    )
 
     try:
-        print(render_report_file(args.run_file))
+        path = Path(args.run_file)
+        if path.is_dir():
+            # A --run-dir run directory: merged event timeline, plus the
+            # hot-kernel section when the run was traced.
+            print(render_report(
+                read_run_events(path), source=str(path), kernels=load_run_kernels(path)
+            ))
+        else:
+            print(render_report_file(args.run_file))
     except OSError as exc:
         print(f"error: cannot read {args.run_file}: {exc.strerror or exc}", file=sys.stderr)
         return 2
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.observability import (
+        load_run_kernels,
+        render_kernel_diff,
+        render_kernel_report,
+        resolve_run,
+    )
+
+    def _kernels(ref: str):
+        run_dir = resolve_run(ref, args.dir)
+        kernels = load_run_kernels(run_dir)
+        if kernels is None:
+            raise ValueError(
+                f"{run_dir} has no kernel trace data — re-run with --trace"
+            )
+        return run_dir, kernels
+
+    try:
+        run_dir, kernels = _kernels(args.run)
+        if args.diff:
+            other_dir, after = _kernels(args.diff)
+            print(f"kernel diff: {run_dir.name} -> {other_dir.name}")
+            print(render_kernel_diff(kernels, after, top=args.top))
+        else:
+            print(f"run: {run_dir.name}")
+            print(render_kernel_report(kernels, top=args.top))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot read run data: {exc}", file=sys.stderr)
         return 2
     return 0
 
@@ -779,6 +853,8 @@ def _dispatch(args, run_logger, run_ctx=None) -> int:
         return cmd_montecarlo(args, run_logger)
     if args.command == "report":
         return cmd_report(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     if args.command == "runs":
         return cmd_runs(args)
     if args.command == "export":
@@ -809,6 +885,12 @@ def main(argv: list[str] | None = None) -> int:
 
     configure_logging(args.verbose - args.quiet)
 
+    trace_enabled = bool(args.trace or args.trace_out)
+    if trace_enabled:
+        from repro.observability import enable_tracing
+
+        enable_tracing()
+
     run_ctx: RunContext | None = None
     if args.run_dir:
         run_ctx = RunContext.create(
@@ -827,7 +909,9 @@ def main(argv: list[str] | None = None) -> int:
         # next to the parent timeline; finalize() merges them.
         from repro.parallel.telemetry import WorkerTelemetry, set_default_telemetry
 
-        set_default_telemetry(WorkerTelemetry(run_dir=str(run_ctx.directory)))
+        set_default_telemetry(
+            WorkerTelemetry(run_dir=str(run_ctx.directory), trace=trace_enabled)
+        )
     else:
         run_logger = RunLogger(JsonlSink(args.log_json)) if args.log_json else RunLogger()
     if args.profile:
@@ -869,9 +953,36 @@ def main(argv: list[str] | None = None) -> int:
             metrics=get_registry().snapshot(),
         )
         run_logger.close()
+        if trace_enabled:
+            # Drain the in-process tracer before finalize() so the merged
+            # trace.jsonl (parent records + worker shards, deduped by span
+            # id) is complete when the manifest counts it.
+            from repro.observability.tracing import (
+                KERNELS_NAME,
+                TRACE_NAME,
+                disable_tracing,
+                get_tracer,
+                read_trace,
+                write_chrome_trace,
+                write_kernels_json,
+                write_trace_jsonl,
+            )
+
+            records = get_tracer().drain()
+            if run_ctx is not None:
+                write_trace_jsonl(run_ctx.directory / TRACE_NAME, records, append=True)
+                write_kernels_json(run_ctx.directory / KERNELS_NAME)
         if run_ctx is not None:
             run_ctx.finalize(code, perf_counter() - started)
             set_default_telemetry(None)
+        if trace_enabled:
+            if args.trace_out:
+                if run_ctx is not None:
+                    # Export the merged timeline (includes worker shards).
+                    records = read_trace(run_ctx.directory / TRACE_NAME)
+                n = write_chrome_trace(args.trace_out, records)
+                print(f"chrome trace: {args.trace_out} ({n} events)")
+            disable_tracing()
 
 
 if __name__ == "__main__":

@@ -34,6 +34,7 @@ from repro.autograd.tensor import Tensor, no_grad
 from repro.autograd import functional as F
 from repro.circuits.pnc import PrintedNeuralNetwork
 from repro.observability.metrics import get_registry
+from repro.observability.tracing import trace_span
 from repro.pdk.variation import VariationSpec, perturb_q, perturb_theta, perturb_model_card
 
 logger = logging.getLogger(__name__)
@@ -313,12 +314,17 @@ def evaluate_instances_vectorized(
     base_thetas = program._base_thetas
     for chunk_index, chunk_start in enumerate(range(0, n, chunk)):
         t0 = time.perf_counter()
-        chunk_rngs = rngs[chunk_start:chunk_start + chunk]
-        stack = sample_instance_stack(net, spec, chunk_rngs, base_thetas=base_thetas)
-        k = program.load(stack)
-        logits, total = program.run()
-        accuracies[chunk_start:chunk_start + k] = F.instance_accuracy(logits[:k], y)
-        powers[chunk_start:chunk_start + k] = total[:k]
+        with trace_span(
+            "montecarlo.chunk",
+            "montecarlo",
+            args={"chunk_index": chunk_index, "start": start + chunk_start},
+        ):
+            chunk_rngs = rngs[chunk_start:chunk_start + chunk]
+            stack = sample_instance_stack(net, spec, chunk_rngs, base_thetas=base_thetas)
+            k = program.load(stack)
+            logits, total = program.run()
+            accuracies[chunk_start:chunk_start + k] = F.instance_accuracy(logits[:k], y)
+            powers[chunk_start:chunk_start + k] = total[:k]
         _record_chunk(
             run_logger,
             instances=k,
@@ -380,7 +386,8 @@ def run_monte_carlo(
             )
         else:
             t0 = time.perf_counter()
-            accuracies, powers = evaluate_instances(net, x, y, spec, rngs)
+            with trace_span("montecarlo.serial", "montecarlo", args={"instances": len(rngs)}):
+                accuracies, powers = evaluate_instances(net, x, y, spec, rngs)
             _record_chunk(
                 run_logger,
                 instances=len(rngs),

@@ -71,6 +71,8 @@ from repro.observability.runs import (
     list_runs,
     load_manifest,
     load_manifest_safe,
+    load_run_kernels,
+    load_run_trace,
     merge_worker_shards,
     parse_age,
     prune_runs,
@@ -83,6 +85,26 @@ from repro.observability.runs import (
     summarize_run,
     tail_run_events,
     validate_run_events,
+)
+from repro.observability.tracing import (
+    KernelProfiler,
+    Tracer,
+    chrome_trace,
+    disable_tracing,
+    enable_tracing,
+    get_kernel_profiler,
+    get_tracer,
+    hot_kernels,
+    merge_trace_shards,
+    new_trace_id,
+    read_trace,
+    render_kernel_diff,
+    render_kernel_report,
+    trace_context,
+    trace_span,
+    write_chrome_trace,
+    write_kernels_json,
+    write_trace_jsonl,
 )
 
 # The warehouse is stdlib-only (sqlite3) and safe to import eagerly; the
@@ -135,4 +157,24 @@ __all__ = [
     "config_fingerprint",
     "load_summaries",
     "summary_to_dict",
+    "KernelProfiler",
+    "Tracer",
+    "chrome_trace",
+    "disable_tracing",
+    "enable_tracing",
+    "get_kernel_profiler",
+    "get_tracer",
+    "hot_kernels",
+    "load_run_kernels",
+    "load_run_trace",
+    "merge_trace_shards",
+    "new_trace_id",
+    "read_trace",
+    "render_kernel_diff",
+    "render_kernel_report",
+    "trace_context",
+    "trace_span",
+    "write_chrome_trace",
+    "write_kernels_json",
+    "write_trace_jsonl",
 ]

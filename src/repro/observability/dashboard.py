@@ -21,6 +21,11 @@ from the tree, never the reverse.
 ``GET /api/runs/<ref>/events?offset=N``         live tail of the merged
                                                 timeline (in-flight worker
                                                 shards included)
+``GET /api/runs/<ref>/trace``                   Chrome trace-event JSON of a
+                                                traced run (open in Perfetto /
+                                                ``chrome://tracing``)
+``GET /api/runs/<ref>/kernels``                 per-kernel replay attribution
+                                                (``kernels.json`` + hot table)
 ``GET /api/compare?a=<ref>&b=<ref>``            config diff + both summaries
                                                 and trajectories
 ``GET /api/pareto``                             accuracy-vs-power front
@@ -44,11 +49,14 @@ from repro.observability.metrics import get_registry
 from repro.observability.runs import (
     _config_diff,
     load_manifest_safe,
+    load_run_kernels,
+    load_run_trace,
     read_run_events,
     resolve_run,
     summarize_run,
     tail_run_events,
 )
+from repro.observability.tracing import chrome_trace, hot_kernels
 from repro.observability.warehouse import (
     Warehouse,
     accuracy_power_front,
@@ -221,6 +229,38 @@ class _Handler(JsonHandler):
                 "compare",
                 started,
             )
+        elif path.startswith("/api/runs/") and path.endswith("/trace"):
+            ref = path[len("/api/runs/"):-len("/trace")]
+            run_dir = ctx.resolve(ref)
+            records = load_run_trace(run_dir)
+            if not records:
+                self._respond(
+                    404,
+                    {"error": f"run {run_dir.name} has no trace data (record with --trace)"},
+                    "trace", started,
+                )
+                return
+            payload = chrome_trace(records)
+            payload["run_id"] = run_dir.name
+            self._respond(200, payload, "trace", started)
+        elif path.startswith("/api/runs/") and path.endswith("/kernels"):
+            ref = path[len("/api/runs/"):-len("/kernels")]
+            run_dir = ctx.resolve(ref)
+            kernels = load_run_kernels(run_dir)
+            if kernels is None:
+                self._respond(
+                    404,
+                    {"error": f"run {run_dir.name} has no kernel data (record with --trace)"},
+                    "kernels", started,
+                )
+                return
+            top = _int_or_none(_first(query, "top"), "top") or 15
+            self._respond(
+                200,
+                {"run_id": run_dir.name, "kernels": kernels,
+                 "hot": hot_kernels(kernels, top=top)},
+                "kernels", started,
+            )
         elif path.startswith("/api/runs/") and path.endswith("/events"):
             ref = path[len("/api/runs/"):-len("/events")]
             run_dir = ctx.resolve(ref)
@@ -346,6 +386,11 @@ _PAGE = r"""<!doctype html>
   #detail, #compare, #pareto { display: none; }
   pre { background: #f6f6f6; padding: .6rem; overflow-x: auto; }
   .muted { color: #777; } input { width: 22rem; }
+  .tl { position: relative; height: 16px; border-bottom: 1px solid #eee; }
+  .tl b { position: absolute; top: 3px; height: 10px; background: #4c7bd9;
+          border-radius: 2px; opacity: .75; }
+  .tl i { position: absolute; left: .2rem; top: 0; font-size: .75em;
+          color: #444; font-style: normal; white-space: nowrap; }
 </style>
 </head>
 <body>
@@ -416,8 +461,11 @@ async function loadDetail(ref) {
     ${d.alerts.length ? "<ul>" + d.alerts.map(a =>
         `<li><b>${esc(a.kind)}</b> @ epoch ${a.epoch}: ${esc(a.message)}</li>`
       ).join("") + "</ul>" : "<p class='muted'>(none)</p>"}
+    <h2>hot kernels</h2><div id="kernels" class="muted">loading…</div>
+    <h2>trace timeline</h2><div id="timeline" class="muted">loading…</div>
     <h2>live tail</h2><pre id="tail"></pre>`;
   show("detail");
+  loadTrace(ref);
   let offset = 0;
   const tail = async () => {
     const t = await api(`/api/runs/${encodeURIComponent(ref)}/events?offset=${offset}`);
@@ -428,6 +476,36 @@ async function loadDetail(ref) {
   };
   await tail();
   tailTimer = setInterval(tail, 2000);
+}
+async function loadTrace(ref) {
+  const enc = encodeURIComponent(ref);
+  try {
+    const k = await api(`/api/runs/${enc}/kernels`);
+    $("kernels").className = "";
+    $("kernels").innerHTML = `<table><thead><tr><th>#</th><th>kernel</th>
+      <th>label</th><th>idx</th><th>total_ms</th><th>per-replay_µs</th><th>share</th>
+      </tr></thead><tbody>` + k.hot.map((r, i) => `<tr><td>${i + 1}</td>
+        <td>${esc(r.name)}</td><td>${esc(r.label)}</td><td>${r.index}</td>
+        <td>${(r.total_s * 1e3).toFixed(3)}</td>
+        <td>${(r.per_replay_s * 1e6).toFixed(1)}</td>
+        <td>${(r.share * 100).toFixed(1)}%</td></tr>`).join("") + "</tbody></table>";
+  } catch (e) { $("kernels").textContent = `(no kernel data — ${e.message})`; }
+  try {
+    const t = await api(`/api/runs/${enc}/trace`);
+    const evs = t.traceEvents;
+    const span = Math.max(1, ...evs.map(e => e.ts + e.dur));
+    $("timeline").className = "";
+    $("timeline").innerHTML =
+      `<p><a href="/api/runs/${enc}/trace" download="${esc(ref)}-trace.json">
+         download Chrome trace JSON</a> (${evs.length} events — open in Perfetto
+         or chrome://tracing)</p>` +
+      evs.slice(0, 400).map(e => `<div class="tl"
+        title="${esc(e.name)} ${(e.dur / 1e3).toFixed(3)}ms @ ${(e.ts / 1e3).toFixed(3)}ms">
+        <b style="left:${(e.ts / span * 100).toFixed(3)}%;
+                  width:${Math.max(e.dur / span * 100, 0.15).toFixed(3)}%"></b>
+        <i>${esc(e.name)} ${(e.dur / 1e3).toFixed(2)}ms</i></div>`).join("") +
+      (evs.length > 400 ? `<p class="muted">(first 400 of ${evs.length} events)</p>` : "");
+  } catch (e) { $("timeline").textContent = `(no trace — ${e.message})`; }
 }
 async function loadCompare() {
   const [a, b] = $("cmp").value.trim().split(/\s+/);

@@ -34,6 +34,51 @@ DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
 _PROM_PREFIX = "repro_"
 
 
+def estimate_quantile(
+    bounds: tuple[float, ...] | list[float],
+    cumulative: list[int],
+    count: int,
+    q: float,
+) -> float:
+    """Prometheus-style quantile estimate over cumulative bucket counts.
+
+    Linear interpolation inside the bucket containing the target rank;
+    observations beyond the last finite bound clamp to that bound (the
+    same convention as ``histogram_quantile`` over ``+Inf``).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if count <= 0 or not bounds:
+        return math.nan
+    target = q * count
+    lower = 0.0
+    prev_cum = 0
+    for bound, cum in zip(bounds, cumulative):
+        if cum >= target:
+            in_bucket = cum - prev_cum
+            if in_bucket <= 0:
+                return bound
+            frac = (target - prev_cum) / in_bucket
+            return lower + (bound - lower) * frac
+        lower = bound
+        prev_cum = cum
+    return float(bounds[-1])
+
+
+def quantiles_from_snapshot(hist: dict, qs=(0.5, 0.95, 0.99)) -> dict[float, float] | None:
+    """Quantiles for a histogram snapshot dict, or None without bounds.
+
+    Snapshots written before bucket bounds were recorded (no ``"le"`` key)
+    return None so renderers can fall back to mean-only output.
+    """
+    bounds = hist.get("le")
+    if not bounds:
+        return None
+    count = int(hist.get("count", 0))
+    cumulative = [int(c) for c in hist.get("buckets") or []]
+    return {q: estimate_quantile(bounds, cumulative, count, q) for q in qs}
+
+
 @dataclass
 class Counter:
     """Monotonically increasing count."""
@@ -95,6 +140,10 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile from the cumulative buckets."""
+        return estimate_quantile(self.buckets, self.bucket_counts, self.count, q)
 
     def _reset(self) -> None:
         self.bucket_counts = [0] * len(self.buckets)
@@ -163,6 +212,7 @@ class MetricsRegistry:
                     "count": metric.count,
                     "sum": metric.sum,
                     "buckets": list(metric.bucket_counts),
+                    "le": list(metric.buckets),
                 }
             else:
                 out[metric.name] = metric.value
@@ -231,6 +281,12 @@ class MetricsRegistry:
         for metric in self._metrics.values():
             if isinstance(metric, Histogram):
                 value = f"n={metric.count} sum={metric.sum:.4g} mean={metric.mean:.4g}"
+                if metric.count:
+                    value += (
+                        f" p50={metric.quantile(0.5):.4g}"
+                        f" p95={metric.quantile(0.95):.4g}"
+                        f" p99={metric.quantile(0.99):.4g}"
+                    )
                 kind = "histogram"
             else:
                 value = f"{metric.value:g}"
@@ -268,6 +324,8 @@ def snapshot_delta(before: dict, after: dict) -> dict:
             buckets = [int(a) - int(b) for a, b in zip(after_buckets, prev_buckets)]
             if count or total:
                 delta[name] = {"count": count, "sum": total, "buckets": buckets}
+                if after_value.get("le"):
+                    delta[name]["le"] = list(after_value["le"])
             continue
         base = float(before_value) if isinstance(before_value, (int, float)) else 0.0
         diff = float(after_value) - base

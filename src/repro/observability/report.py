@@ -20,6 +20,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.observability.events import read_events
+from repro.observability.metrics import quantiles_from_snapshot
 
 logger = logging.getLogger(__name__)
 
@@ -86,8 +87,12 @@ def _table(header: tuple[str, ...], rows: list[tuple[str, ...]]) -> str:
     return "\n".join(lines)
 
 
-def render_report(events: list[dict], source: str = "") -> str:
-    """Human-readable multi-section summary of one recorded run."""
+def render_report(events: list[dict], source: str = "", kernels: dict | None = None) -> str:
+    """Human-readable multi-section summary of one recorded run.
+
+    ``kernels`` is the parsed ``kernels.json`` of a traced run, when the
+    run directory contains one — it adds a "hottest kernels" section.
+    """
     sections: list[str] = []
     title = f"run report{f' — {source}' if source else ''}"
     sections.append(title + "\n" + "=" * len(title))
@@ -212,6 +217,11 @@ def render_report(events: list[dict], source: str = "") -> str:
             )
         sections.append("\n".join(lines))
 
+    if kernels is not None:
+        from repro.observability.tracing import render_kernel_report
+
+        sections.append(render_kernel_report(kernels, top=10))
+
     run_end = next((e for e in reversed(events) if e.get("type") == "run_end"), None)
     if run_end is not None:
         lines = [
@@ -222,7 +232,13 @@ def render_report(events: list[dict], source: str = "") -> str:
             for name in sorted(metrics):
                 value = metrics[name]
                 if isinstance(value, dict):
-                    lines.append(f"  {name}: n={value.get('count')} sum={value.get('sum'):.4g}")
+                    row = f"  {name}: n={value.get('count')} sum={value.get('sum'):.4g}"
+                    quantiles = quantiles_from_snapshot(value)
+                    if quantiles and value.get("count"):
+                        row += "".join(
+                            f" p{int(q * 100)}={est:.4g}" for q, est in sorted(quantiles.items())
+                        )
+                    lines.append(row)
                 else:
                     lines.append(f"  {name}: {value:g}")
         sections.append("\n".join(lines))

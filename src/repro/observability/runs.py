@@ -39,6 +39,12 @@ from pathlib import Path
 from repro.observability.events import JsonlSink, RunLogger, read_events, validate_event
 from repro.observability.metrics import get_registry
 from repro.observability.profiling import get_profiler
+from repro.observability.tracing import (
+    KERNELS_NAME,
+    TRACE_NAME,
+    merge_trace_shards,
+    read_trace,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -162,6 +168,10 @@ class RunContext:
             finished=datetime.now(timezone.utc).isoformat(timespec="seconds"),
             worker_events_merged=merged,
         )
+        trace_path = self.directory / TRACE_NAME
+        if trace_path.exists():
+            with open(trace_path, "r", encoding="utf-8") as fh:
+                self.manifest["trace_events"] = sum(1 for line in fh if line.strip())
         _write_json(self.directory / MANIFEST_NAME, self.manifest)
 
 
@@ -182,8 +192,14 @@ def merge_worker_shards(run_dir: str | Path) -> int:
     ``events.jsonl`` is rewritten atomically.  Shard files stay on disk —
     they are the per-worker forensic record.  Returns the number of worker
     events merged (0 when the run had no worker telemetry).
+
+    Per-pid ``trace.worker-<pid>.jsonl`` shards (written by traced pool
+    workers) are folded into the run's ``trace.jsonl`` the same way; their
+    merge de-duplicates by span id, so re-merging a finalized run never
+    double counts trace records.
     """
     run_dir = Path(run_dir)
+    merge_trace_shards(run_dir)
     shards = sorted(run_dir.glob("events.worker-*.jsonl"))
     if not shards:
         return 0
@@ -406,6 +422,51 @@ def tail_run_events(run_dir: str | Path, offset: int = 0) -> tuple[list[dict], i
     return merged[offset:], len(merged)
 
 
+def load_run_trace(run_dir: str | Path) -> list[dict]:
+    """A run's merged trace records, time-ordered, de-duplicated by span id.
+
+    Mirrors :func:`tail_run_events`: a finalized run's ``trace.jsonl`` is
+    authoritative; while the run is still in flight, live
+    ``trace.worker-*.jsonl`` shards are merged in on the fly.  Returns
+    ``[]`` when the run was not traced.
+    """
+    run_dir = Path(run_dir)
+    trace_path = run_dir / TRACE_NAME
+    records: list[dict] = []
+    if trace_path.exists():
+        records.extend(read_trace(trace_path))
+    if load_manifest_safe(run_dir).get("status", "running") == "running":
+        seen = {rec.get("span") for rec in records if rec.get("span")}
+        for shard in sorted(run_dir.glob("trace.worker-*.jsonl")):
+            try:
+                shard_records = read_trace(shard)
+            except (OSError, ValueError) as exc:
+                logger.warning("unreadable trace shard %s: %s", shard, exc)
+                continue
+            for rec in shard_records:
+                span = rec.get("span")
+                if span is not None and span in seen:
+                    continue
+                if span is not None:
+                    seen.add(span)
+                records.append(rec)
+    records.sort(key=lambda rec: rec.get("ts", 0.0))
+    return records
+
+
+def load_run_kernels(run_dir: str | Path) -> dict | None:
+    """The parsed ``kernels.json`` of a traced run, or None."""
+    path = Path(run_dir) / KERNELS_NAME
+    if not path.is_file():
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        logger.warning("unreadable kernel table %s: %s", path, exc)
+        return None
+
+
 # ----------------------------------------------------------------------
 # Retention GC (the `repro runs prune` CLI)
 # ----------------------------------------------------------------------
@@ -625,7 +686,9 @@ def render_run_show(run_dir: str | Path) -> str:
     events_path = run_dir / EVENTS_NAME
     if events_path.exists():
         events = read_events(events_path, strict=False)
-        return "\n".join(lines) + "\n\n" + render_report(events, source=str(events_path))
+        return "\n".join(lines) + "\n\n" + render_report(
+            events, source=str(events_path), kernels=load_run_kernels(run_dir)
+        )
     return "\n".join(lines) + "\n\n(no events recorded)"
 
 

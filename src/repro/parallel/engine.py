@@ -34,7 +34,14 @@ from time import perf_counter
 from typing import Any, Callable, Protocol, Sequence
 
 from repro.observability.metrics import get_registry, snapshot_delta
-from repro.parallel.telemetry import WorkerTelemetry, bind_task, default_telemetry, unbind_task
+from repro.parallel.telemetry import (
+    WorkerTelemetry,
+    bind_task,
+    default_telemetry,
+    unbind_task,
+    worker_trace_begin,
+    worker_trace_flush,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -128,6 +135,7 @@ def _execute(
     if telemetry is not None:
         try:
             worker_log = bind_task(telemetry, task_id=label)
+            worker_trace_begin(telemetry)
             metrics_before = get_registry().snapshot()
             worker_log.emit("task_start", index=index, label=label)
         except Exception:
@@ -160,6 +168,7 @@ def _execute(
                     fields["error"] = str(error)
                 worker_log.emit("task_end", **fields)
                 metrics = snapshot_delta(metrics_before, get_registry().snapshot())
+                worker_trace_flush(telemetry)
             except Exception:
                 logger.exception("worker telemetry teardown failed for %s", label)
             unbind_task()

@@ -43,12 +43,21 @@ logger = logging.getLogger(__name__)
 
 @dataclass(frozen=True)
 class WorkerTelemetry:
-    """Picklable recipe for worker-side telemetry (just the run directory)."""
+    """Picklable recipe for worker-side telemetry.
+
+    ``trace=True`` (the CLI's ``--trace``) additionally enables the span
+    tracer inside each worker; drained spans land in a per-pid
+    ``trace.worker-<pid>.jsonl`` shard merged at finalization.
+    """
 
     run_dir: str
+    trace: bool = False
 
     def shard_path(self, worker_id: int) -> Path:
         return Path(self.run_dir) / f"events.worker-{worker_id}.jsonl"
+
+    def trace_shard_path(self, worker_id: int) -> Path:
+        return Path(self.run_dir) / f"trace.worker-{worker_id}.jsonl"
 
 
 class WorkerRunLogger(RunLogger):
@@ -114,6 +123,31 @@ def unbind_task() -> None:
 def worker_run_logger() -> WorkerRunLogger | None:
     """The logger of the task currently executing in this process, if any."""
     return _ACTIVE_LOGGER
+
+
+def worker_trace_begin(telemetry: WorkerTelemetry) -> None:
+    """Enable span tracing in this worker process (engine-internal).
+
+    Idempotent; re-enabling re-anchors the clock pair.  Fork-inherited
+    parent spans are dropped by ``Tracer.enable`` so the worker shard only
+    ever holds this process's records.
+    """
+    if not telemetry.trace:
+        return
+    from repro.observability.tracing import enable_tracing
+
+    enable_tracing()
+
+
+def worker_trace_flush(telemetry: WorkerTelemetry) -> None:
+    """Drain this process's spans into its ``trace.worker-<pid>.jsonl`` shard."""
+    if not telemetry.trace:
+        return
+    from repro.observability.tracing import get_tracer, write_trace_jsonl
+
+    records = get_tracer().drain()
+    if records:
+        write_trace_jsonl(telemetry.trace_shard_path(os.getpid()), records, append=True)
 
 
 def worker_callbacks(phase: str = "train") -> list:

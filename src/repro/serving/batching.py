@@ -28,6 +28,12 @@ from typing import Callable
 import numpy as np
 
 from repro.observability.metrics import get_registry
+from repro.observability.tracing import (
+    current_trace_context,
+    get_tracer,
+    trace_context,
+    trace_span,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -79,12 +85,18 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
     def submit(self, rows: np.ndarray) -> Future:
-        """Enqueue ``rows``; the future resolves to their logits."""
+        """Enqueue ``rows``; the future resolves to their logits.
+
+        The caller's trace context crosses the queue with the request
+        (contextvars do not follow work across threads), so queue-wait and
+        replay spans recorded by the batcher thread join the right trace.
+        """
         if self._closed:
             raise RuntimeError("micro-batcher is closed")
         rows = np.asarray(rows, dtype=np.float64)
         future: Future = Future()
-        self._queue.put((rows, future))
+        ctx = current_trace_context() if get_tracer().enabled else None
+        self._queue.put((rows, future, time.perf_counter(), ctx))
         return future
 
     def predict(self, rows: np.ndarray) -> np.ndarray:
@@ -120,20 +132,46 @@ class MicroBatcher:
                 return
 
     def _flush(self, pending: list) -> None:
-        batch = np.concatenate([rows for rows, _ in pending], axis=0)
+        tracer = get_tracer()
+        if tracer.enabled:
+            # One queue-wait span per request, attributed to its own trace.
+            t_flush = time.perf_counter()
+            for rows, _, t_submit, ctx in pending:
+                trace_id, parent_id = ctx if ctx is not None else (None, None)
+                tracer.record(
+                    "serving.queue_wait", "serving", t_submit, t_flush - t_submit,
+                    trace_id=trace_id, parent_id=parent_id, args={"rows": len(rows)},
+                )
+            # Batch-level spans run under the lead request's trace so the
+            # timeline shows which request's flush carried the others.
+            lead = next((ctx for _, _, _, ctx in pending if ctx is not None), (None, None))
+            with trace_context(lead[0], lead[1]):
+                with trace_span(
+                    "serving.batch", "serving",
+                    args={"requests": len(pending), "rows": sum(len(p[0]) for p in pending)},
+                ):
+                    self._flush_inner(pending)
+        else:
+            self._flush_inner(pending)
+
+    def _flush_inner(self, pending: list) -> None:
+        with trace_span("serving.batch_assembly", "serving"):
+            batch = np.concatenate([item[0] for item in pending], axis=0)
         _LAST_BATCH_ROWS.set(len(batch))
         _BATCHES.inc()
         _COALESCED.inc(len(pending))
         if len(pending) > 1:
             logger.debug("coalesced %d requests into a %d-row batch", len(pending), len(batch))
         try:
-            outputs = self._run(batch)
+            with trace_span("serving.replay", "serving", args={"rows": len(batch)}):
+                outputs = self._run(batch)
         except Exception as exc:
-            for _, future in pending:
-                future.set_exception(exc)
+            for item in pending:
+                item[1].set_exception(exc)
             return
         offset = 0
-        for rows, future in pending:
+        for item in pending:
+            rows, future = item[0], item[1]
             future.set_result(outputs[offset:offset + len(rows)])
             offset += len(rows)
 

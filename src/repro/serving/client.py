@@ -15,6 +15,13 @@ import urllib.request
 
 import numpy as np
 
+from repro.observability.tracing import (
+    current_trace_id,
+    new_trace_id,
+    trace_context,
+    trace_span,
+)
+
 
 class ServingClientError(RuntimeError):
     """The server answered with an error status (the body is included)."""
@@ -38,19 +45,28 @@ class ServingClient:
     def __init__(self, base_url: str, timeout: float = 10.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: X-Trace-Id the server echoed on the most recent request, if any.
+        self.last_trace_id: str | None = None
 
     # ------------------------------------------------------------------
-    def _request(self, path: str, payload: dict | None = None) -> bytes:
+    def _request(
+        self, path: str, payload: dict | None = None, headers: dict | None = None
+    ) -> bytes:
+        request_headers = {"Content-Type": "application/json"}
+        if headers:
+            request_headers.update(headers)
         request = urllib.request.Request(
             self.base_url + path,
             data=None if payload is None else json.dumps(payload).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
+            headers=request_headers,
             method="GET" if payload is None else "POST",
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                self.last_trace_id = response.headers.get("X-Trace-Id")
                 return response.read()
         except urllib.error.HTTPError as exc:
+            self.last_trace_id = exc.headers.get("X-Trace-Id") if exc.headers else None
             body = exc.read().decode("utf-8", errors="replace")
             try:
                 message = json.loads(body).get("error", body)
@@ -58,16 +74,29 @@ class ServingClient:
                 message = body
             raise ServingClientError(exc.code, message) from exc
 
-    def _request_json(self, path: str, payload: dict | None = None) -> dict:
-        return json.loads(self._request(path, payload).decode("utf-8"))
+    def _request_json(
+        self, path: str, payload: dict | None = None, headers: dict | None = None
+    ) -> dict:
+        return json.loads(self._request(path, payload, headers).decode("utf-8"))
 
     # ------------------------------------------------------------------
-    def predict(self, rows) -> dict:
-        """Full ``/predict`` response: predictions, logits, row count."""
+    def predict(self, rows, trace_id: str | None = None) -> dict:
+        """Full ``/predict`` response: predictions, logits, row count.
+
+        Every request carries an ``X-Trace-Id`` — ``trace_id`` if given,
+        else the ambient trace context, else a freshly generated id — and
+        the server echoes it back (readable as :attr:`last_trace_id`), so
+        client- and server-side spans of one call share a trace.
+        """
         rows = np.asarray(rows, dtype=np.float64)
         if rows.ndim == 1:
             rows = rows.reshape(1, -1)
-        return self._request_json("/predict", {"rows": rows.tolist()})
+        tid = trace_id or current_trace_id() or new_trace_id()
+        with trace_context(tid):
+            with trace_span("serving.client.predict", "serving", args={"rows": len(rows)}):
+                return self._request_json(
+                    "/predict", {"rows": rows.tolist()}, headers={"X-Trace-Id": tid}
+                )
 
     def predict_logits(self, rows) -> np.ndarray:
         """Logits ``(n, n_classes)`` — bitwise the server engine's output."""

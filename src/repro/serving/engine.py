@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import logging
 import threading
+from time import perf_counter
 
 import numpy as np
 
@@ -36,6 +37,7 @@ from repro.autograd.graph import CapturedGraph, GraphCaptureError, capture_forwa
 from repro.autograd.tensor import Tensor, no_grad
 from repro.circuits.pnc import PrintedNeuralNetwork
 from repro.observability.metrics import get_registry
+from repro.observability.tracing import get_kernel_profiler
 
 logger = logging.getLogger(__name__)
 
@@ -93,6 +95,14 @@ class InferenceEngine:
             logger.warning("inference capture failed (%s); running eager at fixed shape", exc)
             self._graph = None
             self._eager = True
+        # Per-kernel attribution for traced serving processes: one timing
+        # reading per kernel under --trace, nothing otherwise.
+        profiler = get_kernel_profiler()
+        self._kernel_rec = (
+            profiler.recording("serving.replay", self._graph.kernel_names())
+            if self._graph is not None and profiler.enabled
+            else None
+        )
 
     @property
     def n_ops(self) -> int:
@@ -122,7 +132,13 @@ class InferenceEngine:
             if self._eager:  # recapture itself failed
                 return self._forward_chunk(chunk)
             graph = self._graph
-        graph.replay_forward()
+        rec = self._kernel_rec
+        if rec is None:
+            graph.replay_forward()
+        else:
+            t0 = perf_counter()
+            graph.replay_forward(rec.times)
+            rec.note_replay(perf_counter() - t0)
         _ENGINE_REPLAYS.inc()
         return graph.outputs[0].data[:n].copy()
 

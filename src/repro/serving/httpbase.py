@@ -39,17 +39,32 @@ class JsonHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         logger.debug("%s - %s", self.address_string(), format % args)
 
-    def _send(self, status: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if headers:
+            for name, value in headers.items():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _respond(
-        self, status: int, payload: dict, endpoint: str, started: float, rows: int = 0
+        self,
+        status: int,
+        payload: dict,
+        endpoint: str,
+        started: float,
+        rows: int = 0,
+        headers: dict[str, str] | None = None,
     ) -> None:
-        self._send(status, json.dumps(payload).encode("utf-8"), "application/json")
+        self._send(status, json.dumps(payload).encode("utf-8"), "application/json", headers)
         error = payload.get("error") if isinstance(payload, dict) else None
         self.app._account(endpoint, status, time.monotonic() - started, rows, error)
 

@@ -25,12 +25,14 @@ from __future__ import annotations
 
 import json
 import logging
+import re
 import threading
 import time
 
 import numpy as np
 
 from repro.observability.metrics import get_registry
+from repro.observability.tracing import new_trace_id, trace_context, trace_span
 from repro.serving.artifact import InferenceModel
 from repro.serving.batching import MicroBatcher
 from repro.serving.httpbase import AppServer, JsonHandler
@@ -40,7 +42,27 @@ logger = logging.getLogger(__name__)
 _REQUESTS = get_registry().counter("serving_requests_total", "HTTP requests handled")
 _ERRORS = get_registry().counter("serving_request_errors", "HTTP requests answered with 4xx/5xx")
 _ROWS = get_registry().counter("serving_rows_total", "feature rows served over HTTP")
-_LATENCY = get_registry().histogram("serving_request_latency_s", "request wall time (seconds)")
+#: Sub-millisecond-resolved buckets: single-row pNC inference sits in the
+#: hundreds of microseconds, so the default seconds-flavoured bounds would
+#: collapse p50/p95/p99 into the first bucket.
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+_LATENCY = get_registry().histogram(
+    "serving_request_latency_s", "request wall time (seconds)", buckets=LATENCY_BUCKETS
+)
+
+#: Accepted X-Trace-Id shape — anything else is replaced, never echoed
+#: (header values flow into logs and trace files verbatim).
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+
+def _request_trace_id(headers) -> str:
+    """The request's X-Trace-Id, sanitized, or a freshly generated one."""
+    candidate = headers.get("X-Trace-Id", "")
+    if candidate and _TRACE_ID_RE.match(candidate):
+        return candidate
+    return new_trace_id()
 
 #: Refuse absurd request bodies before json.loads touches them.
 MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -81,48 +103,65 @@ class _Handler(JsonHandler):
         if self.path != "/predict":
             self._respond(404, {"error": f"unknown path {self.path}"}, "unknown", started)
             return
-        try:
-            length = int(self.headers.get("Content-Length", 0))
-            if length <= 0 or length > MAX_BODY_BYTES:
-                raise ValueError(f"invalid Content-Length {length}")
-            payload = json.loads(self.rfile.read(length).decode("utf-8"))
-            rows = np.asarray(payload["rows"], dtype=np.float64)
-            if rows.ndim == 1:
-                rows = rows.reshape(1, -1)
-            model = self._ctx.model
-            if rows.ndim != 2 or rows.shape[1] != model.in_features:
-                raise ValueError(
-                    f"expected rows of {model.in_features} features, got shape {tuple(rows.shape)}"
-                )
-            if not np.all(np.isfinite(rows)):
-                raise ValueError("feature rows must be finite")
-        except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
-            self._respond(400, {"error": f"bad request: {exc}"}, "predict", started)
-            return
-        try:
-            logits = self._ctx.batcher.predict(rows)
-        except Exception as exc:  # engine/batcher failure — a server error
-            logger.exception("predict failed")
-            self._respond(500, {"error": f"inference failed: {exc}"}, "predict", started)
-            return
-        labels = np.argmax(logits, axis=1)
-        shifted = np.exp(logits - logits.max(axis=1, keepdims=True))
-        probabilities = shifted / shifted.sum(axis=1, keepdims=True)
-        confidence = probabilities[np.arange(len(labels)), labels]
-        self._respond(
-            200,
-            {
-                "predictions": [
-                    {"label": int(label), "confidence": float(conf)}
-                    for label, conf in zip(labels, confidence)
-                ],
-                "logits": logits.tolist(),
-                "rows": len(rows),
-            },
-            "predict",
-            started,
-            rows=len(rows),
-        )
+        # The request's trace id is echoed on every /predict response —
+        # even untraced servers keep the round trip intact — and bound as
+        # the ambient trace context so batcher/engine spans join it.
+        trace_id = _request_trace_id(self.headers)
+        headers = {"X-Trace-Id": trace_id}
+        with trace_context(trace_id):
+            with trace_span("serving.request", "serving"):
+                try:
+                    length = int(self.headers.get("Content-Length", 0))
+                    if length <= 0 or length > MAX_BODY_BYTES:
+                        raise ValueError(f"invalid Content-Length {length}")
+                    payload = json.loads(self.rfile.read(length).decode("utf-8"))
+                    rows = np.asarray(payload["rows"], dtype=np.float64)
+                    if rows.ndim == 1:
+                        rows = rows.reshape(1, -1)
+                    model = self._ctx.model
+                    if rows.ndim != 2 or rows.shape[1] != model.in_features:
+                        raise ValueError(
+                            f"expected rows of {model.in_features} features, "
+                            f"got shape {tuple(rows.shape)}"
+                        )
+                    if not np.all(np.isfinite(rows)):
+                        raise ValueError("feature rows must be finite")
+                except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
+                    self._respond(
+                        400, {"error": f"bad request: {exc}"}, "predict", started,
+                        headers=headers,
+                    )
+                    return
+                try:
+                    logits = self._ctx.batcher.predict(rows)
+                except Exception as exc:  # engine/batcher failure — a server error
+                    logger.exception("predict failed")
+                    self._respond(
+                        500, {"error": f"inference failed: {exc}"}, "predict", started,
+                        headers=headers,
+                    )
+                    return
+                with trace_span("serving.serialize", "serving"):
+                    labels = np.argmax(logits, axis=1)
+                    shifted = np.exp(logits - logits.max(axis=1, keepdims=True))
+                    probabilities = shifted / shifted.sum(axis=1, keepdims=True)
+                    confidence = probabilities[np.arange(len(labels)), labels]
+                    self._respond(
+                        200,
+                        {
+                            "predictions": [
+                                {"label": int(label), "confidence": float(conf)}
+                                for label, conf in zip(labels, confidence)
+                            ],
+                            "logits": logits.tolist(),
+                            "rows": len(rows),
+                            "trace_id": trace_id,
+                        },
+                        "predict",
+                        started,
+                        rows=len(rows),
+                        headers=headers,
+                    )
 
 
 class ServingServer(AppServer):

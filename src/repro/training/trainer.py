@@ -49,6 +49,7 @@ from repro.datasets.splits import DataSplit
 from repro.observability.callbacks import EpochEvent, TraceRecorder, TrainerCallback
 from repro.observability.metrics import get_registry
 from repro.observability.profiling import span
+from repro.observability.tracing import get_kernel_profiler, trace_span
 
 logger = logging.getLogger(__name__)
 
@@ -196,6 +197,11 @@ class _GraphEngine:
         self._step_outputs: tuple[Tensor, Tensor] | None = None
         self._eval_outputs: tuple[Tensor, Tensor] | None = None
         self._val_logits: Tensor | None = None
+        # Per-kernel attribution (repro profile --kernels): one pair of
+        # KernelRecordings per captured graph, None while tracing is off.
+        self._step_rec = None
+        self._eval_rec = None
+        self._val_rec = None
 
     # ------------------------------------------------------------------
     def _forward_step(self, epoch: int) -> tuple[Tensor, Tensor]:
@@ -210,6 +216,29 @@ class _GraphEngine:
         logger.debug("graph capture unavailable; running eagerly", exc_info=True)
         self.enabled = False
         self._step = self._eval = self._val = None
+        self._step_rec = self._eval_rec = self._val_rec = None
+
+    @staticmethod
+    def _kernel_recordings(graph: CapturedGraph | None, label: str):
+        """Fresh (forward, backward) recordings, or None while tracing is off."""
+        profiler = get_kernel_profiler()
+        if graph is None or not profiler.enabled:
+            return None
+        fwd = profiler.recording(f"{label}.forward", graph.kernel_names())
+        bwd = None
+        if graph.backward_order is not None:
+            bwd = profiler.recording(f"{label}.backward", graph.backward_kernel_names())
+        return fwd, bwd
+
+    @staticmethod
+    def _replay_forward(graph: CapturedGraph, rec) -> None:
+        if rec is None:
+            graph.replay_forward()
+            return
+        fwd_rec = rec[0]
+        t0 = perf_counter()
+        graph.replay_forward(fwd_rec.times)
+        fwd_rec.note_replay(perf_counter() - t0)
 
     def run_step(self, epoch: int) -> tuple[Tensor, Tensor]:
         """One epoch's forward + backward; returns ``(task_loss, total)``.
@@ -229,8 +258,18 @@ class _GraphEngine:
         key = self.objective.graph_epoch_key(epoch)
         if self._step is not None and self._step.is_valid(key):
             with span("trainer.step.replay"):
-                self._step.replay_forward()
-                self._step.replay_backward()
+                rec = self._step_rec
+                if rec is None:
+                    self._step.replay_forward()
+                    self._step.replay_backward()
+                else:
+                    fwd_rec, bwd_rec = rec
+                    t0 = perf_counter()
+                    self._step.replay_forward(fwd_rec.times)
+                    t1 = perf_counter()
+                    self._step.replay_backward(bwd_rec.times)
+                    fwd_rec.note_replay(t1 - t0)
+                    bwd_rec.note_replay(perf_counter() - t1)
             mark_replay_epoch()
             return self._step_outputs
         if self._step is not None:
@@ -244,6 +283,7 @@ class _GraphEngine:
                 )
             except GraphCaptureError:
                 self._abandon_capture()
+        self._step_rec = self._kernel_recordings(self._step, "train.step")
         self._step_outputs = (task_loss, total)
         with span("trainer.backward"):
             if self._step is not None:
@@ -257,7 +297,7 @@ class _GraphEngine:
     def run_eval(self) -> tuple[Tensor, float]:
         """Post-step training-set forward; returns ``(logits, power_W)``."""
         if self.enabled and self._eval is not None and self._eval.is_valid():
-            self._eval.replay_forward()
+            self._replay_forward(self._eval, self._eval_rec)
             logits, power = self._eval_outputs
             return logits, float(power.data)
         if not self.enabled:
@@ -274,6 +314,7 @@ class _GraphEngine:
             _GRAPH_EVAL_OPS.set(self._eval.n_ops)
         except GraphCaptureError:
             self._abandon_capture()
+        self._eval_rec = self._kernel_recordings(self._eval, "train.eval")
         self._eval_outputs = (logits, power)
         return logits, float(power.data)
 
@@ -282,7 +323,7 @@ class _GraphEngine:
         if self.x_val is None:
             return F.accuracy(post_logits, self.split.y_val)
         if self.enabled and self._val is not None and self._val.is_valid():
-            self._val.replay_forward()
+            self._replay_forward(self._val, self._val_rec)
             return F.accuracy(self._val_logits, self.split.y_val)
         if not self.enabled:
             return _accuracy_only(self.net, self.split.x_val, self.split.y_val)
@@ -295,6 +336,7 @@ class _GraphEngine:
             _GRAPH_VAL_OPS.set(self._val.n_ops)
         except GraphCaptureError:
             self._abandon_capture()
+        self._val_rec = self._kernel_recordings(self._val, "train.val")
         self._val_logits = logits
         return F.accuracy(logits, self.split.y_val)
 
@@ -344,10 +386,10 @@ def train_model(
 
     epoch = 0
     for epoch in range(settings.epochs):
-        with span("trainer.epoch"):
+        with span("trainer.epoch"), trace_span("trainer.epoch", "train"):
             epoch_start = perf_counter()
             optimizer.zero_grad()
-            with span("trainer.step"):
+            with span("trainer.step"), trace_span("trainer.step", "train"):
                 task_loss, _ = engine.run_step(epoch)
                 optimizer.step()
                 net.project_()
@@ -359,7 +401,7 @@ def train_model(
             # the training-distribution power: the budget is defined over the
             # deployment input distribution; val power differs only by
             # sampling.
-            with span("trainer.eval"):
+            with span("trainer.eval"), trace_span("trainer.eval", "train"):
                 eval_start = perf_counter()
                 post_logits, power_value = engine.run_eval()
                 objective.on_epoch_end(power_value, epoch)

@@ -298,7 +298,12 @@ class TestMetrics:
         h.observe(0.05)
         h.observe(0.5)
         snap = reg.snapshot()
-        assert snap["lat"] == {"count": 2, "sum": pytest.approx(0.55), "buckets": [1, 2]}
+        assert snap["lat"] == {
+            "count": 2,
+            "sum": pytest.approx(0.55),
+            "buckets": [1, 2],
+            "le": [0.1, 1.0],
+        }
 
     def test_snapshot_delta_only_reports_change(self):
         reg = MetricsRegistry()
@@ -312,7 +317,7 @@ class TestMetrics:
         delta = snapshot_delta(before, reg.snapshot())
         assert delta == {
             "calls": 3.0,
-            "lat": {"count": 1, "sum": 0.5, "buckets": [1]},
+            "lat": {"count": 1, "sum": 0.5, "buckets": [1], "le": [1.0]},
         }
         assert snapshot_delta(before, before) == {}
 
