@@ -96,6 +96,45 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     return Tensor._make(fwd(source), (logits,), backward, fwd=fwd)
 
 
+def instance_cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Per-instance cross-entropy over ``(instances, batch, classes)`` logits.
+
+    The instance-axis twin of :func:`cross_entropy`: one fused node whose
+    output is an ``(instances, 1, 1)`` loss stack.  Every per-element
+    operation (max-shift, exp, sum over the batch, closed-form backward)
+    runs the same numpy sequence as the 2-D kernel does on each slice, so
+    slice ``i`` of the result is bit-identical to
+    ``cross_entropy(logits[i], targets)``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 3:
+        raise ValueError("instance_cross_entropy expects 3-D logits (instances, batch, classes)")
+    if targets.ndim != 1 or targets.shape[0] != logits.shape[1]:
+        raise ValueError("targets must be 1-D and match the batch dimension")
+    batch = np.arange(targets.shape[0])
+    inv_n = 1.0 / targets.shape[0]
+    source = logits.data
+
+    def fwd(a: np.ndarray) -> np.ndarray:
+        shifted = a - a.max(axis=-1, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        # The fancy-indexed pick is not C-contiguous; the strided row sum
+        # would skip numpy's pairwise accumulation and drift from the 2-D
+        # kernel's flat sum in the last ulp.  A contiguous copy restores
+        # the exact per-row pairwise order.
+        picked = np.ascontiguousarray((shifted - log_norm)[:, batch, targets])
+        return (-(picked.sum(axis=-1) * inv_n)).reshape(-1, 1, 1)
+
+    def backward(g: np.ndarray):
+        shifted = source - source.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=-1, keepdims=True)
+        probs[:, batch, targets] -= 1.0
+        return (probs * (g * inv_n),)
+
+    return Tensor._make(fwd(source), (logits,), backward, fwd=fwd)
+
+
 def mse_loss(prediction: Tensor, target: np.ndarray | Tensor) -> Tensor:
     """Mean squared error; used when fitting surrogate power models."""
     target_t = target if isinstance(target, Tensor) else Tensor(target)

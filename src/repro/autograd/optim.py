@@ -141,7 +141,11 @@ class Adam(Optimizer):
         for i, p, n in zip(active, params, sizes):
             m_flat[offset : offset + n] = self._m[i].ravel()
             v_flat[offset : offset + n] = self._v[i].ravel()
-            scale[offset : offset + n] = getattr(p, "lr_scale", 1.0)
+            # lr_scale may be a scalar (single-instance nets) or an array
+            # broadcastable to the parameter shape (fleet training keeps one
+            # learning rate per instance slice in a stacked parameter).
+            lr_scale = np.asarray(getattr(p, "lr_scale", 1.0), dtype=np.float64)
+            scale[offset : offset + n] = np.broadcast_to(lr_scale, p.data.shape).ravel()
             # Re-point the per-param moments at views of the flat buffers so
             # both layouts always agree (and survive future rebuilds).
             self._m[i] = m_flat[offset : offset + n].reshape(p.data.shape)
@@ -191,6 +195,20 @@ class Adam(Optimizer):
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         self.lr = float(lr)
+
+    def refresh_lr_scales(self) -> None:
+        """Re-read every parameter's ``lr_scale`` into the fused layout.
+
+        Fleet training mutates per-instance ``lr_scale`` arrays in place when
+        an instance's plateau scheduler fires; the flat ``scale`` buffer is a
+        copy, so it must be refreshed for the next fused step.
+        """
+        if self._flat is None:
+            return
+        scale = self._flat["scale"]
+        for p, (offset, n) in zip(self._fused_params, self._offsets):
+            lr_scale = np.asarray(getattr(p, "lr_scale", 1.0), dtype=np.float64)
+            scale[offset : offset + n] = np.broadcast_to(lr_scale, p.data.shape).ravel()
 
 
 class ReduceLROnPlateau:

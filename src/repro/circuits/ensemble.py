@@ -138,6 +138,54 @@ def sample_instance_stack(
     return InstanceStack(thetas=thetas, units=units, vths=vths, ks=ks)
 
 
+def stacked_extend_inputs(crossbar: CrossbarLayer, signal: Tensor, instances: int) -> Tensor:
+    """Append bias/ground rails; an instance-shared 2-D input stays 2-D.
+
+    The 2-D path delegates to :meth:`CrossbarLayer.extend_inputs` so the
+    shared layer-0 extension is the exact serial node; the 3-D path builds
+    per-instance rails (values identical per slice, so concatenation is a
+    pure layout op and each slice matches the serial extension bitwise).
+    """
+    if signal.ndim == 2:
+        return crossbar.extend_inputs(signal)
+    batch = signal.shape[-2]
+    bias = Tensor(np.full((instances, batch, 1), crossbar.bias_voltage))
+    ground = Tensor(np.zeros((instances, batch, 1)))
+    return concatenate([signal, bias, ground], axis=-1)
+
+
+def stacked_subsample_rows(v_ext: Tensor, limit: int) -> Tensor:
+    """Deterministic stride subsample to the power batch limit."""
+    batch = v_ext.shape[-2]
+    if batch <= limit:
+        return v_ext
+    stride = batch // limit
+    index = np.arange(0, batch, stride)[:limit]
+    if v_ext.ndim == 2:
+        return v_ext[(index, slice(None))]
+    return v_ext[(Ellipsis, index, slice(None))]
+
+
+def stacked_broadcast(tensor: Tensor, instances: int) -> Tensor:
+    """Broadcast an instance-shared 2-D tensor onto the instance axis.
+
+    Multiplying by an all-ones ``(instances, 1, 1)`` stack is a bitwise
+    identity per element (IEEE ``x * 1.0``), so the shared layer-0
+    voltages stay exact while gaining the lead axis the batched
+    surrogate evaluation needs.
+    """
+    if tensor.ndim >= 3:
+        return tensor
+    return tensor * Tensor(np.ones((instances, 1, 1)))
+
+
+def stacked_power_inputs(v_z: Tensor, instances: int, limit: int) -> tuple[Tensor, int, int]:
+    """Stacked twin of :meth:`PrintedActivation.power_inputs`."""
+    v_z = stacked_subsample_rows(v_z, limit)
+    batch, n = v_z.shape[-2], v_z.shape[-1]
+    return v_z.reshape(instances, batch * n, 1), batch, n
+
+
 class EnsembleProgram:
     """A fixed-shape instance-stacked forward+power program over one net.
 
@@ -408,40 +456,13 @@ class EnsembleProgram:
 
     # ------------------------------------------------------------------
     def _extend_inputs(self, crossbar: CrossbarLayer, signal: Tensor) -> Tensor:
-        """Append bias/ground rails; the shared layer-0 input stays 2-D."""
-        if signal.ndim == 2:
-            return crossbar.extend_inputs(signal)
-        batch = signal.shape[-2]
-        bias = Tensor(np.full((self.instances, batch, 1), crossbar.bias_voltage))
-        ground = Tensor(np.zeros((self.instances, batch, 1)))
-        return concatenate([signal, bias, ground], axis=-1)
+        return stacked_extend_inputs(crossbar, signal, self.instances)
 
     def _subsample_rows(self, v_ext: Tensor) -> Tensor:
-        """Deterministic stride subsample to the power batch limit."""
-        batch = v_ext.shape[-2]
-        limit = self.net.config.power_batch_limit
-        if batch <= limit:
-            return v_ext
-        stride = batch // limit
-        index = np.arange(0, batch, stride)[:limit]
-        if v_ext.ndim == 2:
-            return v_ext[(index, slice(None))]
-        return v_ext[(Ellipsis, index, slice(None))]
+        return stacked_subsample_rows(v_ext, self.net.config.power_batch_limit)
 
     def _stacked(self, tensor: Tensor) -> Tensor:
-        """Broadcast an instance-shared 2-D tensor onto the instance axis.
-
-        Multiplying by an all-ones ``(instances, 1, 1)`` stack is a bitwise
-        identity per element (IEEE ``x * 1.0``), so the shared layer-0
-        voltages stay exact while gaining the lead axis the batched
-        surrogate evaluation needs.
-        """
-        if tensor.ndim >= 3:
-            return tensor
-        return tensor * Tensor(np.ones((self.instances, 1, 1)))
+        return stacked_broadcast(tensor, self.instances)
 
     def _power_inputs(self, v_z: Tensor, limit: int) -> tuple[Tensor, int, int]:
-        """Stacked twin of :meth:`PrintedActivation.power_inputs`."""
-        v_z = self._subsample_rows(v_z)
-        batch, n = v_z.shape[-2], v_z.shape[-1]
-        return v_z.reshape(self.instances, batch * n, 1), batch, n
+        return stacked_power_inputs(v_z, self.instances, limit)

@@ -45,6 +45,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -123,6 +124,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--n-seeds", type=int, default=2)
     sweep.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for the sweep runs (results identical to --jobs 1)")
+    sweep.add_argument("--vectorized", action="store_true",
+                       help="train the sweep as instance-stacked fleets — one captured "
+                            "graph steps a whole chunk of (α, seed) points per epoch "
+                            "(bit-identical per-point results)")
+    sweep.add_argument("--instance-chunk", type=int, default=64, metavar="N",
+                       help="sweep points per stacked fleet when --vectorized (default 64)")
+    sweep.add_argument("--json-out", default=None, metavar="FILE",
+                       help="also write the per-point sweep results as JSON "
+                            "(atomic temp-file + rename)")
     _add_abort_flag(sweep)
     _add_common(sweep)
 
@@ -401,6 +411,23 @@ def cmd_train(args, run_logger=None, run_ctx=None) -> int:
     return 0 if result.feasible else 1
 
 
+def _write_json_atomic(path: str | Path, payload: dict) -> None:
+    """Write ``payload`` to ``path`` via temp file + ``os.replace``.
+
+    Readers polling the file (CI gates, dashboards) never observe a
+    half-written document — the same convention the surrogate cache uses.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
 def _task_progress(run_logger):
     """The per-task progress callback wired into parallel experiment runs."""
     from repro.parallel import TaskProgressReporter
@@ -422,10 +449,38 @@ def cmd_sweep(args, run_logger=None) -> int:
         n_alphas=args.n_alphas, n_seeds=args.n_seeds, config=config,
         n_jobs=args.jobs, progress=_task_progress(run_logger),
         on_error=args.on_task_error,
+        vectorized=args.vectorized, instance_chunk=args.instance_chunk,
     )
     print(render_fig5_rows(comparison))
     budgets_mw = [r.budget_w * 1e3 for r in comparison.al_records]
     print(fig5_canvas(comparison.front, comparison.al_points(), budgets_mw))
+    if args.json_out:
+        sweep_result = comparison.sweep
+        # (α, seed) labels pair positionally with results; with dropped
+        # (errored) points the alignment is unknown, so label as None.
+        pairs = [(float(a), s) for a in sweep_result.alphas for s in sweep_result.seeds]
+        if len(pairs) != len(sweep_result.results):
+            pairs = [(None, None)] * len(sweep_result.results)
+        payload = {
+            "dataset": args.dataset,
+            "seed": args.seed,
+            "vectorized": bool(args.vectorized),
+            "n_alphas": args.n_alphas,
+            "n_seeds": args.n_seeds,
+            "n_runs": sweep_result.n_runs,
+            "n_errors": len(sweep_result.errors),
+            "points": [
+                {
+                    "alpha": alpha,
+                    "seed": seed,
+                    "test_accuracy": r.test_accuracy,
+                    "power_w": r.power,
+                    "epochs_run": r.epochs_run,
+                }
+                for (alpha, seed), r in zip(pairs, sweep_result.results)
+            ],
+        }
+        _write_json_atomic(args.json_out, payload)
     return 0
 
 
@@ -500,8 +555,6 @@ def cmd_montecarlo(args, run_logger=None) -> int:
     )
     print(report.summary())
     if args.json_out:
-        import json
-
         payload = {
             "dataset": args.dataset,
             "seed": args.seed,
@@ -515,9 +568,7 @@ def cmd_montecarlo(args, run_logger=None) -> int:
             "accuracies": report.accuracies.tolist(),
             "powers": report.powers.tolist(),
         }
-        with open(args.json_out, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        _write_json_atomic(args.json_out, payload)
     return 0
 
 

@@ -322,12 +322,17 @@ def run_pareto_comparison(
     n_jobs: int = 1,
     progress=None,
     on_error: str = "continue",
+    vectorized: bool = False,
+    instance_chunk: int = 64,
 ) -> ParetoComparison:
     """Fig. 5: penalty sweep Pareto front vs single-run AL optima.
 
     Paper scale is ``n_alphas=50, n_seeds=10`` (500 runs); defaults are
     reduced.  The AL side runs exactly one training per budget.  Both the
     sweep and the AL runs shard over ``n_jobs`` worker processes.
+    ``vectorized=True`` trains the sweep as instance-stacked fleets of up
+    to ``instance_chunk`` (α, seed) points per captured program (see
+    :func:`repro.training.penalty.penalty_pareto_sweep`).
     """
     config = config or ExperimentConfig()
     split = dataset_split(dataset_name, seed=config.seed)
@@ -343,6 +348,8 @@ def run_pareto_comparison(
         net_spec=spec,
         progress=progress,
         on_error=on_error,
+        vectorized=vectorized,
+        instance_chunk=instance_chunk,
     )
     front = pareto_front(sweep.points())
 

@@ -118,6 +118,16 @@ def _run_detail(run_dir: Path) -> dict:
         for e in events
         if e.get("type") == "alert"
     ]
+    fleet = [
+        {
+            "chunk_index": e.get("chunk_index"),
+            "instances": e.get("instances"),
+            "epoch": e.get("epoch"),
+            "duration_s": e.get("duration_s"),
+        }
+        for e in events
+        if e.get("type") == "fleet"
+    ]
     manifest = load_manifest_safe(run_dir)
     return {
         "summary": summary_to_dict(summary),
@@ -128,6 +138,7 @@ def _run_detail(run_dir: Path) -> dict:
         },
         "trajectory": trajectory,
         "alerts": alerts,
+        "fleet": fleet,
         "n_events": len(events),
     }
 
@@ -439,6 +450,17 @@ async function loadRuns() {
       <td>${mw(r.final.power_w)}</td><td>${r.n_alerts}</td>
       <td class="muted">${esc(r.created || "")}</td></tr>`).join("");
 }
+function fleetTable(rows) {
+  if (!rows.length) return "";
+  const total = rows.reduce((n, e) => n + (e.instances || 0), 0);
+  return `<h2>fleet chunks (${rows.length} — ${total} instances)</h2>
+    <table><thead><tr><th>chunk</th><th>instances</th><th>epochs</th>
+    <th>duration_s</th><th>inst/s</th></tr></thead><tbody>` +
+    rows.map(e => `<tr><td>${e.chunk_index ?? "-"}</td><td>${e.instances}</td>
+      <td>${e.epoch}</td><td>${fmt(e.duration_s, 2)}</td>
+      <td>${e.duration_s > 0 ? fmt(e.instances / e.duration_s, 1) : "-"}</td></tr>`).join("") +
+    "</tbody></table>";
+}
 function trajTable(rows) {
   if (!rows.length) return "<p class='muted'>(no epoch events)</p>";
   return `<table><thead><tr><th>epoch</th><th>loss</th><th>val_acc</th>
@@ -457,6 +479,7 @@ async function loadDetail(ref) {
        seed ${esc(s.seed ?? "-")} · ${s.n_epochs} epochs ·
        ${d.n_events} events · config ${esc(s.config_fingerprint.slice(0, 12))}</p>
     <h2>trajectory</h2>${trajTable(d.trajectory)}
+    ${fleetTable(d.fleet || [])}
     <h2>alerts (${d.alerts.length})</h2>
     ${d.alerts.length ? "<ul>" + d.alerts.map(a =>
         `<li><b>${esc(a.kind)}</b> @ epoch ${a.epoch}: ${esc(a.message)}</li>`

@@ -99,6 +99,14 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[type, ...]]] = {
         "duration_s": (float, int),
         "vectorized": (bool,),
     },
+    # One trained fleet chunk (repro.training.fleet): how many real
+    # instances it trained, how many epochs the fleet loop executed, and
+    # its wall time.  The vectorized-sweep twin of "montecarlo".
+    "fleet": {
+        "instances": (int,),
+        "epoch": (int,),
+        "duration_s": (float, int),
+    },
     # One HTTP request handled by the serving layer (repro.serving.server):
     # endpoint path, response status, number of feature rows processed and
     # wall time.  Offline `repro predict` emits the same shape with
@@ -123,6 +131,7 @@ OPTIONAL_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
     "task": {"error": (str,), "worker_pid": (int,)},
     "task_end": {"error": (str,)},
     "montecarlo": {"chunk_index": (int,), "start": (int,)},
+    "fleet": {"chunk_index": (int,)},
     "serve": {"error": (str,), "batch_rows": (int,)},
     "alert": {"value": (float, int)},
     "run_end": {"metrics": (dict,)},

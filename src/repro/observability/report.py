@@ -147,6 +147,26 @@ def render_report(events: list[dict], source: str = "", kernels: dict | None = N
             lines.append(f"  ... and {len(failed) - 5} more failures")
         sections.append("\n".join(lines))
 
+    fleet = [e for e in events if e.get("type") == "fleet"]
+    if fleet:
+        instances = sum(e["instances"] for e in fleet)
+        total_s = sum(e["duration_s"] for e in fleet)
+        rate = instances / total_s if total_s > 0 else 0.0
+        lines = [
+            f"fleet chunks: {len(fleet)}  "
+            f"({instances} instances, {total_s:.1f} s, {rate:.1f} instances/s)"
+        ]
+        for e in fleet[:8]:
+            chunk = e.get("chunk_index")
+            label = "chunk" if chunk is None else f"chunk {chunk}"
+            lines.append(
+                f"  {label}: {e['instances']} instances × {e['epoch']} epochs "
+                f"in {e['duration_s']:.2f} s"
+            )
+        if len(fleet) > 8:
+            lines.append(f"  ... and {len(fleet) - 8} more chunks")
+        sections.append("\n".join(lines))
+
     alerts = [e for e in events if e.get("type") == "alert"]
     if alerts:
         lines = [f"health alerts: {len(alerts)}"]

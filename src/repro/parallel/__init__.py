@@ -25,6 +25,7 @@ from repro.parallel.telemetry import (
 )
 from repro.parallel.tasks import (
     BudgetTask,
+    FleetSweepChunkTask,
     MaxPowerTask,
     MonteCarloChunkTask,
     NetworkSpec,
@@ -40,6 +41,7 @@ __all__ = [
     "map_tasks",
     "TaskProgressReporter",
     "BudgetTask",
+    "FleetSweepChunkTask",
     "MaxPowerTask",
     "MonteCarloChunkTask",
     "NetworkSpec",

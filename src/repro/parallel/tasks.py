@@ -56,12 +56,14 @@ class NetworkSpec:
         )
         return af, neg
 
-    def build(self, seed: int) -> "PrintedNeuralNetwork":
+    def build(self, seed: int, surrogates=None) -> "PrintedNeuralNetwork":
         from repro.circuits import PNCConfig, PrintedNeuralNetwork
         from repro.datasets import load_dataset
 
         dataset = load_dataset(self.dataset)
-        af, neg = self.surrogates()
+        # ``surrogates`` lets fleet builders fetch once and share the same
+        # objects across every member network of a chunk.
+        af, neg = self.surrogates() if surrogates is None else surrogates
         return PrintedNeuralNetwork(
             dataset.n_features,
             dataset.n_classes,
@@ -158,6 +160,54 @@ class PenaltyTask:
             reference_power=self.reference_power,
             settings=self.settings,
             callbacks=worker_callbacks(phase="penalty"),
+        )
+
+
+@dataclass(frozen=True)
+class FleetSweepChunkTask:
+    """One vectorized chunk of a penalty Pareto sweep.
+
+    Holds a contiguous group of ``(α, seed)`` points sharing one fleet
+    structure key, trained together through
+    :func:`repro.training.fleet.train_fleet` as a single instance-stacked
+    program.  ``indices`` are the points' positions in the serial sweep
+    order, so the caller can reassemble results in the exact order the
+    per-point task list produces.  ``instances`` fixes the program width
+    (tail chunks are padded inside ``train_fleet``).
+    """
+
+    spec: NetworkSpec
+    pairs: tuple  # ((alpha, seed), ...)
+    indices: tuple  # original sweep positions, same length as pairs
+    reference_power: float = 1.0e-3
+    settings: "TrainerSettings | None" = None
+    instances: int | None = None
+    chunk_index: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"fleet:{self.spec.dataset}:c{self.chunk_index}x{len(self.pairs)}"
+
+    def run(self) -> "list[TrainResult]":
+        from repro.parallel.telemetry import worker_run_logger
+        from repro.training.fleet import train_fleet
+        from repro.training.penalty import PenaltyObjective
+
+        surrogates = self.spec.surrogates()
+        split = self.spec.split()
+        nets = [self.spec.build(seed, surrogates=surrogates) for _alpha, seed in self.pairs]
+        objectives = [
+            PenaltyObjective(alpha=float(alpha), reference_power=self.reference_power)
+            for alpha, _seed in self.pairs
+        ]
+        return train_fleet(
+            nets,
+            split,
+            objectives,
+            settings=self.settings,
+            instances=self.instances,
+            run_logger=worker_run_logger(),
+            chunk_index=self.chunk_index,
         )
 
 

@@ -7,6 +7,10 @@
   updates (Eqs. 3–4),
 - :mod:`repro.training.penalty` — the penalty-based baseline ``L + α·P``
   of [13], including the multi-run Pareto sweep,
+- :mod:`repro.training.fleet` — vectorized fleet training: one captured
+  forward/backward/Adam schedule steps a whole stack of (network,
+  objective) instances per epoch, bit-identical per instance to
+  ``train_model``,
 - :mod:`repro.training.finetune` — the paper's post-training fine-tuning:
   prune masks m^C / m^N, then constrained retraining,
 - :mod:`repro.training.pareto` — Pareto dominance and front extraction,
@@ -20,6 +24,7 @@ from repro.training.augmented_lagrangian import (
     train_power_constrained,
     augmented_lagrangian_term,
 )
+from repro.training.fleet import FleetProgram, fleet_structure_key, train_fleet
 from repro.training.penalty import PenaltyObjective, train_penalty, penalty_pareto_sweep, train_unconstrained
 from repro.training.pareto import pareto_front, dominates, hypervolume_2d
 from repro.training.finetune import generate_masks, finetune
@@ -34,6 +39,9 @@ __all__ = [
     "AugmentedLagrangianObjective",
     "train_power_constrained",
     "augmented_lagrangian_term",
+    "FleetProgram",
+    "fleet_structure_key",
+    "train_fleet",
     "PenaltyObjective",
     "train_penalty",
     "penalty_pareto_sweep",

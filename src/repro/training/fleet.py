@@ -1,0 +1,843 @@
+"""Vectorized fleet training: one captured graph trains N instances.
+
+The seed/variation sweeps behind the paper's aggregate tables train many
+*independent* printed networks — same topology and split, different seeds
+(and, for penalty sweeps, different α).  The serial loop pays N full Python
+training runs for that.  :class:`FleetProgram` stacks the whole fleet into
+one tensor program with a leading instance axis:
+
+- every crossbar θ becomes an ``(instances, M+2, N)`` :class:`Parameter`
+  stack, every activation u an ``(instances, 1, 1)`` stack,
+- the AL dual state rides along as ``(instances, 1, 1)`` *leaf* tensors
+  (λ, μ/2, budget, 1/budget, inactive value), refreshed in place per epoch
+  so per-instance multiplier updates ``λᵢ ← max(0, λᵢ + μᵢ·cᵢ)`` never
+  invalidate the captured program,
+- the loss is a per-instance ``(instances, 1, 1)`` stack seeded with ones —
+  no cross-instance reduction exists anywhere in the program, so instance
+  ``i``'s gradients are exactly the serial run's.
+
+One recorded forward+backward schedule then steps the whole fleet per
+replay, with per-instance Adam learning rates carried through stacked
+``lr_scale`` arrays (see :meth:`repro.autograd.optim.Adam.refresh_lr_scales`)
+and per-instance plateau schedulers/early stopping handled in plain Python
+around the replay.
+
+Bit-identity contract (same bar as the Monte-Carlo ensemble): every
+per-instance loss/power/val-accuracy trace and every final
+:class:`~repro.training.trainer.TrainResult` equals the serial
+:func:`~repro.training.trainer.train_model` run bit for bit, for both the
+augmented-Lagrangian and penalty objectives.  Chunks shorter than the
+program width are padded with replicas of instance 0 (plus cloned
+objectives); padded slots get full symmetric bookkeeping but their results
+are discarded, and no real slot can read a pad slot's values (asserted by
+the property-based tests).
+"""
+
+from __future__ import annotations
+
+import logging
+from time import perf_counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd import optim
+from repro.autograd.graph import (
+    CapturedGraph,
+    GraphCaptureError,
+    mark_recapture,
+    mark_replay_epoch,
+)
+from repro.autograd.nn import Parameter
+from repro.autograd.tensor import Tensor, constant_of, graph_capture, no_grad
+from repro.circuits.activations import q_tensor_from_u
+from repro.circuits.crossbar import _EPS_G
+from repro.circuits.ensemble import (
+    stacked_broadcast,
+    stacked_extend_inputs,
+    stacked_power_inputs,
+    stacked_subsample_rows,
+)
+from repro.circuits.pnc import PrintedNeuralNetwork
+from repro.datasets.splits import DataSplit
+from repro.observability.callbacks import EpochEvent, TraceRecorder
+from repro.observability.metrics import get_registry
+from repro.power.counts import (
+    soft_column_activity,
+    soft_row_negativity,
+    straight_through_column_activity,
+    straight_through_row_negativity,
+)
+from repro.power.crossbar_power import crossbar_power_matrix_signed
+from repro.training.augmented_lagrangian import AugmentedLagrangianObjective
+from repro.training.penalty import PenaltyObjective
+from repro.training.trainer import (
+    _POWER_VIOLATION,
+    TrainResult,
+    TrainerSettings,
+    _accuracy_only,
+    _objective_multiplier,
+    evaluate_model,
+)
+
+logger = logging.getLogger(__name__)
+
+_FLEET_INSTANCES = get_registry().counter(
+    "fleet_instances_total", "real (non-pad) instances trained through fleet programs"
+)
+_FLEET_STEP_SECONDS = get_registry().histogram(
+    "fleet_step_seconds", "wall time of one fleet epoch step (all instances)"
+)
+
+
+def fleet_structure_key(objective) -> tuple:
+    """Program-structure key: instances sharing a key can share one graph.
+
+    The AL program's shape depends only on the warmup boundary (all other
+    schedule state lives in value-refreshed leaves); the penalty program's
+    only structural switch is ``α == 0`` (the power path drops out of the
+    loss entirely).
+    """
+    if isinstance(objective, AugmentedLagrangianObjective):
+        return ("al", objective.warmup_epochs)
+    if isinstance(objective, PenaltyObjective):
+        return ("penalty", objective.alpha == 0.0)
+    raise TypeError(
+        f"fleet training supports AL and penalty objectives, got {type(objective).__name__}"
+    )
+
+
+def _clone_objective(objective):
+    """Fresh objective with identical hyperparameters (for pad slots)."""
+    if isinstance(objective, AugmentedLagrangianObjective):
+        clone = AugmentedLagrangianObjective(
+            power_budget=objective.power_budget,
+            mu=objective.mu,
+            multiplier_every=objective.multiplier_every,
+            mu_growth=objective.mu_growth,
+            warmup_epochs=objective.warmup_epochs,
+            anneal_epochs=objective.anneal_epochs,
+            anneal_start_factor=objective.anneal_start_factor,
+            feasibility_rtol=objective.feasibility_rtol,
+            multiplier=objective.multiplier,
+        )
+        clone.mu = objective.mu
+        return clone
+    return PenaltyObjective(
+        alpha=objective.alpha, reference_power=objective.reference_power
+    )
+
+
+def _same_surrogate(a, b) -> bool:
+    """Whether two fitted surrogates compute the same function.
+
+    ``NetworkSpec.build`` reloads surrogates from the cache per call, so
+    fleet members may hold distinct objects with identical weights; identity
+    is accepted fast, equal weights + normalization otherwise.
+    """
+    if a is b:
+        return True
+    if a is None or b is None:
+        return False
+    pa = [p.data for p in a.network.parameters()]
+    pb = [p.data for p in b.network.parameters()]
+    if len(pa) != len(pb):
+        return False
+    if not all(x.shape == y.shape and np.array_equal(x, y) for x, y in zip(pa, pb)):
+        return False
+    na, nb = a.normalization, b.normalization
+    return (
+        np.array_equal(np.asarray(na.log_mask), np.asarray(nb.log_mask))
+        and np.array_equal(na.mean, nb.mean)
+        and np.array_equal(na.std, nb.std)
+    )
+
+
+class _InstanceLr:
+    """Per-instance ``.lr`` view for :class:`~repro.autograd.optim.ReduceLROnPlateau`.
+
+    The plateau scheduler only reads and writes ``optimizer.lr``; pointing
+    it at one instance's slot keeps its float arithmetic (``max(lr·factor,
+    min_lr)``) identical to the serial per-run scheduler.
+    """
+
+    def __init__(self, program: "FleetProgram", index: int):
+        self._program = program
+        self._index = index
+
+    @property
+    def lr(self) -> float:
+        return float(self._program._lrs[self._index])
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        self._program.set_instance_lr(self._index, float(value))
+
+
+class FleetProgram:
+    """Instance-stacked training program over ``len(nets)`` member networks.
+
+    All members must share topology, config, PDK and surrogates (checked);
+    ``instances`` fixes the program width — members beyond ``len(nets)`` are
+    pad replicas of member 0.
+    """
+
+    def __init__(
+        self,
+        nets: Sequence[PrintedNeuralNetwork],
+        objectives: Sequence,
+        split: DataSplit,
+        settings: TrainerSettings,
+        instances: int | None = None,
+    ):
+        if not nets:
+            raise ValueError("fleet requires at least one network")
+        if len(objectives) != len(nets):
+            raise ValueError("one objective per network required")
+        k = len(nets)
+        n = k if instances is None else int(instances)
+        if n < k:
+            raise ValueError("instances must be >= len(nets)")
+
+        ref = nets[0]
+        self._structure_key = fleet_structure_key(objectives[0])
+        for objective in objectives[1:]:
+            if fleet_structure_key(objective) != self._structure_key:
+                raise ValueError("all fleet objectives must share one structure key")
+        self._check_members(nets, ref)
+
+        self.split = split
+        self.settings = settings
+        self.instances = n
+        self.n_real = k
+        self._members = [nets[i] if i < k else nets[0] for i in range(n)]
+        self.objectives = list(objectives) + [
+            _clone_objective(objectives[0]) for _ in range(n - k)
+        ]
+        self._ref = ref
+        self.n_layers = ref.n_layers
+        self.signal_weight = ref.config.signal_health_weight
+
+        # Per-instance learning rates, shared into every parameter's
+        # lr_scale so the fused Adam applies instance ``i``'s rate to slice
+        # ``i`` of every stacked leaf (u parameters at the serial 0.2 ratio).
+        self._lrs = np.full(n, float(settings.lr))
+        self._lr_theta = self._lrs.reshape(n, 1, 1).copy()
+        self._lr_u = self._lr_theta * 0.2
+        self._lr_dirty = False
+
+        # Trainable leaves: θ stacks and u stacks, serial registration order
+        # (crossbar_0, activation_0, crossbar_1, ...).
+        self._theta_params: list[Parameter] = []
+        self._u_params: list[list[Parameter]] = []
+        for layer in range(self.n_layers):
+            stack = np.stack(
+                [member.crossbars()[layer].theta.data for member in self._members]
+            )
+            theta = Parameter(stack, name=f"crossbar_{layer}.theta")
+            theta.lr_scale = self._lr_theta
+            self._theta_params.append(theta)
+            layer_us: list[Parameter] = []
+            activation = ref.activations()[layer]
+            for j in range(activation.space.dimension):
+                values = np.array(
+                    [
+                        float(getattr(member.activations()[layer], f"u_{j}").data)
+                        for member in self._members
+                    ]
+                ).reshape(n, 1, 1)
+                u = Parameter(values, name=f"activation_{layer}.u_{j}")
+                u.lr_scale = self._lr_u
+                layer_us.append(u)
+            self._u_params.append(layer_us)
+
+        # Per-instance logit scales (no gradient — serial scale is a float).
+        self._logit_t = Tensor(
+            np.array([member.logit_scale for member in self._members]).reshape(n, 1, 1)
+        )
+
+        # Objective leaves.  AL: the five PHR leaves as (n, 1, 1) stacks,
+        # value-refreshed per epoch.  Penalty: the fixed per-instance scale.
+        if self._structure_key[0] == "al":
+            self._lam_t = Tensor(np.zeros((n, 1, 1)))
+            self._half_mu_t = Tensor(np.zeros((n, 1, 1)))
+            self._budget_t = Tensor(np.ones((n, 1, 1)))
+            self._inv_budget_t = Tensor(np.ones((n, 1, 1)))
+            self._inactive_t = Tensor(np.zeros((n, 1, 1)))
+        elif not self._structure_key[1]:
+            self._penalty_scale_t = Tensor(
+                np.array(
+                    [o.alpha / o.reference_power for o in self.objectives]
+                ).reshape(n, 1, 1)
+            )
+
+        self._x = Tensor(split.x_train)
+        self._x_val = None if split.x_val is split.x_train else Tensor(split.x_val)
+
+        self._eager = not settings.capture_graph
+        self._step: CapturedGraph | None = None
+        self._eval: CapturedGraph | None = None
+        self._val: CapturedGraph | None = None
+        self._step_outputs: tuple[Tensor, Tensor] | None = None
+        self._eval_outputs: tuple[Tensor, Tensor] | None = None
+        self._val_logits: Tensor | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_members(nets: Sequence[PrintedNeuralNetwork], ref: PrintedNeuralNetwork) -> None:
+        cfg = ref.config
+        ref_act = ref.activations()[0]
+        if cfg.power_mode == "surrogate":
+            shared = ref_act.surrogate
+            if any(a.surrogate is not shared for a in ref.activations()):
+                raise ValueError("fleet requires one shared activation surrogate per network")
+        for net in nets:
+            if net.n_layers != ref.n_layers:
+                raise ValueError("fleet members must share the topology")
+            c = net.config
+            if (
+                c.kind != cfg.kind
+                or c.power_mode != cfg.power_mode
+                or c.count_mode != cfg.count_mode
+                or c.power_batch_limit != cfg.power_batch_limit
+                or c.signal_health_weight != cfg.signal_health_weight
+                or c.signal_health_floor != cfg.signal_health_floor
+            ):
+                raise ValueError("fleet members must share the PNC config")
+            if not (c.pdk is cfg.pdk or c.pdk == cfg.pdk):
+                raise ValueError("fleet members must share the PDK")
+            if not np.array_equal(net.neg_q, ref.neg_q):
+                raise ValueError("fleet members must share the negation design")
+            for crossbar, ref_crossbar in zip(net.crossbars(), ref.crossbars()):
+                if crossbar.theta.data.shape != ref_crossbar.theta.data.shape:
+                    raise ValueError("fleet members must share crossbar shapes")
+                if crossbar.bias_voltage != ref_crossbar.bias_voltage:
+                    raise ValueError("fleet members must share the bias voltage")
+            for activation in net.activations():
+                if activation.space.dimension != ref_act.space.dimension:
+                    raise ValueError("fleet members must share the design space")
+            if cfg.power_mode == "surrogate":
+                if not _same_surrogate(net.neg_surrogate, ref.neg_surrogate):
+                    raise ValueError("fleet members must share the negation surrogate")
+                for activation in net.activations():
+                    if not _same_surrogate(activation.surrogate, ref_act.surrogate):
+                        raise ValueError("fleet members must share the activation surrogate")
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in range(self.n_layers):
+            params.append(self._theta_params[layer])
+            params.extend(self._u_params[layer])
+        return params
+
+    def set_instance_lr(self, index: int, value: float) -> None:
+        """Write one instance's learning rate into the shared scale stacks."""
+        self._lrs[index] = value
+        self._lr_theta[index, 0, 0] = value
+        self._lr_u[index, 0, 0] = value * 0.2
+        self._lr_dirty = True
+
+    # ------------------------------------------------------------------
+    def _effective_theta(self, layer: int) -> Tensor:
+        """Masked θ stack; mask structure is read fresh at every capture.
+
+        Mirrors :meth:`CrossbarLayer.effective_theta` slice by slice
+        (positive mask first, then keep mask).  ``set_masks`` on any member
+        bumps the graph version, so the next ``run_step`` lands here again
+        and re-bakes the stacked masks.
+        """
+        theta: Tensor = self._theta_params[layer]
+        crossbars = [member.crossbars()[layer] for member in self._members]
+        positives = [c._positive_mask for c in crossbars]
+        keeps = [c._keep_mask for c in crossbars]
+        has_positive = [m is not None for m in positives]
+        has_keep = [m is not None for m in keeps]
+        if any(has_positive) and not all(has_positive):
+            raise ValueError("fleet members must agree on positive-mask presence per layer")
+        if any(has_keep) and not all(has_keep):
+            raise ValueError("fleet members must agree on keep-mask presence per layer")
+        if all(has_positive):
+            theta = theta.abs().where(np.stack(positives), theta)
+        if all(has_keep):
+            theta = theta.where(np.stack(keeps), Tensor(np.zeros_like(theta.data)))
+        return theta
+
+    def _health_term(self, signal: Tensor) -> Tensor:
+        """Per-instance twin of ``PrintedNeuralNetwork._health_term`` → (n,)."""
+        floor = self._ref.config.signal_health_floor
+        if self.signal_weight <= 0.0 or floor <= 0.0:
+            return Tensor(0.0)
+        mean = signal.mean(axis=-2, keepdims=True)
+        centered = signal - mean
+        variance = (centered * centered).mean(axis=-2)
+        std = (variance + 1e-12).sqrt()
+        shortfall = (Tensor(np.full(std.shape, floor)) - std).relu()
+        return (shortfall * shortfall).mean(axis=-1)
+
+    def _forward_power(self) -> tuple[Tensor, Tensor, Tensor, Tensor, Tensor]:
+        """Stacked twin of ``PrintedNeuralNetwork._forward_with_power``.
+
+        Node-for-node transcription of the serial two-pass assembly: the
+        same fresh input extensions (three per layer), the same fresh q
+        materializations (two sets per layer) and per-layer negation q, the
+        same reduction order — so instance slices reproduce the serial
+        forward and backward bit for bit.
+        """
+        ref = self._ref
+        config = ref.config
+        n = self.instances
+        threshold = config.pdk.prune_threshold_us
+        straight = config.count_mode == "straight_through"
+        limit = config.power_batch_limit
+        crossbar_power = Tensor(0.0)
+        health_penalty = Tensor(0.0)
+
+        # Pass 1 — signal path.
+        per_layer: list[tuple[Tensor, Tensor, Tensor]] = []
+        signal: Tensor = self._x
+        for layer in range(self.n_layers):
+            crossbar = ref.crossbars()[layer]
+            activation = ref.activations()[layer]
+            theta = self._effective_theta(layer)
+            v_ext = stacked_extend_inputs(crossbar, signal, n)
+            numerator = v_ext @ theta
+            denominator = theta.abs().sum(axis=-2, keepdims=True) + _EPS_G
+            v_z = numerator / denominator
+            per_layer.append((signal, v_z, theta))
+            q_cols = [
+                q_tensor_from_u(activation.space, j, u)
+                for j, u in enumerate(self._u_params[layer])
+            ]
+            v_out, _ = activation.transfer.output_and_power(v_z, q_cols)
+            if activation.training and activation.GRADIENT_LEAK > 0.0:
+                v_out = v_out + (v_z - v_z.detach()) * activation.GRADIENT_LEAK
+            signal = v_out
+            health_penalty = health_penalty + self._health_term(signal)
+
+        # Pass 2 — power assembly (crossbar term + activity coefficients).
+        row_activities: list[Tensor] = []
+        col_activities: list[Tensor] = []
+        for layer, (layer_in, v_z, theta) in enumerate(per_layer):
+            crossbar = ref.crossbars()[layer]
+            v_ext = stacked_extend_inputs(crossbar, layer_in, n)
+            matrix = crossbar_power_matrix_signed(theta, v_ext, -v_ext, v_z)
+            crossbar_power = crossbar_power + matrix.sum(axis=(-2, -1))
+            if straight:
+                row_activities.append(
+                    straight_through_row_negativity(theta, threshold=threshold)
+                )
+                col_activities.append(
+                    straight_through_column_activity(theta, threshold=threshold)
+                )
+            else:
+                row_activities.append(soft_row_negativity(theta, threshold=threshold))
+                col_activities.append(soft_column_activity(theta, threshold=threshold))
+
+        activation_power = Tensor(0.0)
+        negation_power = Tensor(0.0)
+        if config.power_mode == "surrogate":
+            # P^N — one stacked MLP call over all layers, serial group order.
+            neg_groups: list[tuple[list[Tensor], Tensor]] = []
+            neg_shapes: list[tuple[int, int]] = []
+            for layer, (layer_in, _v_z, _theta) in enumerate(per_layer):
+                crossbar = ref.crossbars()[layer]
+                v_ext = stacked_extend_inputs(crossbar, layer_in, n)
+                v_sub = stacked_broadcast(stacked_subsample_rows(v_ext, limit), n)
+                batch, rows = v_sub.shape[-2], v_sub.shape[-1]
+                q = [Tensor(v) for v in ref.neg_q]
+                neg_groups.append((q, v_sub.reshape(n, batch * rows, 1)))
+                neg_shapes.append((batch, rows))
+            neg_outputs = ref.neg_surrogate.predict_tensor_batched(neg_groups)
+            for (batch, rows), output, row_activity in zip(
+                neg_shapes, neg_outputs, row_activities
+            ):
+                per_row = output.reshape(n, batch, rows).mean(axis=-2)
+                negation_power = negation_power + (row_activity * per_row).sum(axis=-1)
+
+            # P^AF — fresh q materializations per layer (second serial set).
+            shared = ref.activations()[0].surrogate
+            af_groups: list[tuple[list[Tensor], Tensor]] = []
+            af_shapes: list[tuple[int, int]] = []
+            for layer, (_layer_in, v_z, _theta) in enumerate(per_layer):
+                activation = ref.activations()[layer]
+                q_cols = [
+                    q_tensor_from_u(activation.space, j, u)
+                    for j, u in enumerate(self._u_params[layer])
+                ]
+                flat, batch, n_cols = stacked_power_inputs(v_z, n, limit)
+                af_groups.append((q_cols, flat))
+                af_shapes.append((batch, n_cols))
+            af_outputs = shared.predict_tensor_batched(af_groups)
+            for (batch, n_cols), output, col_activity in zip(
+                af_shapes, af_outputs, col_activities
+            ):
+                per_circuit = output.reshape(n, batch, n_cols).mean(axis=-2)
+                activation_power = activation_power + (col_activity * per_circuit).sum(
+                    axis=-1
+                )
+        else:
+            from repro.pdk.transfer import NegationModel
+
+            for layer, (layer_in, v_z, _theta) in enumerate(per_layer):
+                crossbar = ref.crossbars()[layer]
+                activation = ref.activations()[layer]
+                v_ext = stacked_extend_inputs(crossbar, layer_in, n)
+                v_sub = stacked_broadcast(stacked_subsample_rows(v_ext, limit), n)
+                model = NegationModel(pdk=config.pdk)
+                q = [Tensor(v) for v in ref.neg_q]
+                _, per_sample = model.output_and_power(v_sub, q)
+                per_row = per_sample.mean(axis=-2)
+                negation_power = negation_power + (
+                    row_activities[layer] * per_row
+                ).sum(axis=-1)
+                q_cols = [
+                    q_tensor_from_u(activation.space, j, u)
+                    for j, u in enumerate(self._u_params[layer])
+                ]
+                _, af_power = activation.transfer.output_and_power(v_z, q_cols)
+                per_circuit = af_power.mean(axis=-2)
+                activation_power = activation_power + (
+                    col_activities[layer] * per_circuit
+                ).sum(axis=-1)
+
+        logits = signal * self._logit_t
+        return logits, crossbar_power, activation_power, negation_power, health_penalty
+
+    # ------------------------------------------------------------------
+    def _prepare_epoch(self, epoch: int) -> None:
+        """Refresh the per-instance AL leaves (value-only; replay-safe)."""
+        if self._structure_key[0] != "al":
+            return
+        for i, objective in enumerate(self.objectives):
+            budget = objective.effective_budget(epoch)
+            self._lam_t.data[i] = objective.multiplier
+            self._half_mu_t.data[i] = 0.5 * objective.mu
+            self._budget_t.data[i] = budget
+            self._inv_budget_t.data[i] = 1.0 / budget
+            self._inactive_t.data[i] = -(objective.multiplier**2) / (2.0 * objective.mu)
+
+    def _epoch_key(self, epoch: int):
+        if self._structure_key[0] == "al":
+            return 0 if epoch < self._structure_key[1] else 1
+        return 0
+
+    def _forward_step(self, epoch: int) -> tuple[Tensor, Tensor]:
+        logits, crossbar_p, activation_p, negation_p, health = self._forward_power()
+        task_vec = F.instance_cross_entropy(logits, self.split.y_train)
+        power = (crossbar_p + activation_p) + negation_p
+        power3 = power.reshape(-1, 1, 1)
+        if self._structure_key[0] == "al":
+            if epoch < self._structure_key[1]:
+                total = task_vec
+            else:
+                c = (power3 - self._budget_t) * self._inv_budget_t
+                active = constant_of(
+                    lambda cd, lam, hm: ((lam + 2.0 * hm * cd) >= 0.0).astype(np.float64),
+                    c,
+                    self._lam_t,
+                    self._half_mu_t,
+                )
+                branch = c * self._lam_t + (c * c) * self._half_mu_t
+                total = task_vec + branch.where(active, self._inactive_t)
+        elif self._structure_key[1]:
+            total = task_vec
+        else:
+            total = task_vec + power3 * self._penalty_scale_t
+        if self.signal_weight > 0.0:
+            total = total + health.reshape(-1, 1, 1) * self.signal_weight
+        return task_vec, total
+
+    def _abandon_capture(self) -> None:
+        logger.debug("fleet graph capture unavailable; running eagerly", exc_info=True)
+        self._eager = True
+        self._step = self._eval = self._val = None
+
+    def run_step(self, epoch: int) -> tuple[Tensor, Tensor]:
+        """One fleet epoch's forward + backward; ``(task_vec, total)``."""
+        self._prepare_epoch(epoch)
+        if self._eager:
+            task_vec, total = self._forward_step(epoch)
+            total.backward(np.ones_like(total.data))
+            return task_vec, total
+        key = self._epoch_key(epoch)
+        if self._step is not None and self._step.is_valid(key):
+            self._step.replay_forward()
+            self._step.replay_backward()
+            mark_replay_epoch()
+            return self._step_outputs
+        if self._step is not None:
+            mark_recapture()
+        with graph_capture():
+            task_vec, total = self._forward_step(epoch)
+        try:
+            self._step = CapturedGraph((task_vec, total), backward_root=total, epoch_key=key)
+        except GraphCaptureError:
+            self._abandon_capture()
+        self._step_outputs = (task_vec, total)
+        if self._step is not None:
+            self._step.replay_backward()
+        else:
+            total.backward(np.ones_like(total.data))
+        return task_vec, total
+
+    # ------------------------------------------------------------------
+    def run_eval(self) -> tuple[Tensor, np.ndarray]:
+        """Post-step forward; ``(logits, per-instance power array)``."""
+        if not self._eager and self._eval is not None and self._eval.is_valid():
+            self._eval.replay_forward()
+            logits, power = self._eval_outputs
+            return logits, power.data.reshape(self.instances).copy()
+        if self._eager:
+            with no_grad():
+                logits, cp, ap, np_, _health = self._forward_power()
+                power = (cp + ap) + np_
+            return logits, power.data.reshape(self.instances).copy()
+        if self._eval is not None:
+            mark_recapture()
+        with no_grad(), graph_capture():
+            logits, cp, ap, np_, _health = self._forward_power()
+            power = (cp + ap) + np_
+        try:
+            self._eval = CapturedGraph((logits, power))
+        except GraphCaptureError:
+            self._abandon_capture()
+        self._eval_outputs = (logits, power)
+        return logits, power.data.reshape(self.instances).copy()
+
+    def _forward_signal(self, x: Tensor) -> Tensor:
+        """Stacked twin of ``PrintedNeuralNetwork.forward`` (power-free)."""
+        ref = self._ref
+        signal = x
+        for layer in range(self.n_layers):
+            crossbar = ref.crossbars()[layer]
+            activation = ref.activations()[layer]
+            theta = self._effective_theta(layer)
+            v_ext = stacked_extend_inputs(crossbar, signal, self.instances)
+            numerator = v_ext @ theta
+            denominator = theta.abs().sum(axis=-2, keepdims=True) + _EPS_G
+            v_z = numerator / denominator
+            q_cols = [
+                q_tensor_from_u(activation.space, j, u)
+                for j, u in enumerate(self._u_params[layer])
+            ]
+            v_out, _ = activation.transfer.output_and_power(v_z, q_cols)
+            if activation.training and activation.GRADIENT_LEAK > 0.0:
+                v_out = v_out + (v_z - v_z.detach()) * activation.GRADIENT_LEAK
+            signal = v_out
+        return signal * self._logit_t
+
+    def val_accuracies(self, post_logits: Tensor) -> np.ndarray:
+        """Per-instance validation accuracy, reusing logits when val is train."""
+        if self._x_val is None:
+            return F.instance_accuracy(post_logits, self.split.y_val)
+        if not self._eager and self._val is not None and self._val.is_valid():
+            self._val.replay_forward()
+            return F.instance_accuracy(self._val_logits, self.split.y_val)
+        if self._eager:
+            with no_grad():
+                logits = self._forward_signal(self._x_val)
+            return F.instance_accuracy(logits, self.split.y_val)
+        if self._val is not None:
+            mark_recapture()
+        with no_grad(), graph_capture():
+            logits = self._forward_signal(self._x_val)
+        try:
+            self._val = CapturedGraph((logits,))
+        except GraphCaptureError:
+            self._abandon_capture()
+        self._val_logits = logits
+        return F.instance_accuracy(logits, self.split.y_val)
+
+    # ------------------------------------------------------------------
+    def project_(self) -> None:
+        """Stacked post-step projection; per-slice twin of the serial one."""
+        gmax = self._ref.config.pdk.conductance_max_us
+        for theta in self._theta_params:
+            data = theta.data
+            magnitude = np.abs(data)
+            sign = np.where(data >= 0, 1.0, -1.0)
+            clipped = np.minimum(magnitude, gmax)
+            np.multiply(sign, clipped, out=data)
+            np.abs(data[:, -1, :], out=data[:, -1, :])
+        for layer_us in self._u_params:
+            for u in layer_us:
+                np.clip(u.data, -10.0, 10.0, out=u.data)
+
+    def instance_state(self, index: int) -> dict[str, np.ndarray]:
+        """Instance ``index``'s parameters as a serial ``state_dict``."""
+        state: dict[str, np.ndarray] = {}
+        for layer in range(self.n_layers):
+            state[f"crossbar_{layer}.theta"] = self._theta_params[layer].data[index].copy()
+            for j, u in enumerate(self._u_params[layer]):
+                state[f"activation_{layer}.u_{j}"] = np.array(u.data[index, 0, 0])
+        return state
+
+
+def train_fleet(
+    nets: Sequence[PrintedNeuralNetwork],
+    split: DataSplit,
+    objectives: Sequence,
+    settings: TrainerSettings | None = None,
+    instances: int | None = None,
+    run_logger=None,
+    chunk_index: int | None = None,
+) -> list[TrainResult]:
+    """Train ``len(nets)`` networks as one vectorized fleet.
+
+    Drop-in batched twin of calling
+    :func:`~repro.training.trainer.train_model` per ``(net, objective)``
+    pair: returns one :class:`TrainResult` per real network, bit-identical
+    to the serial loop's (traces, checkpoints, final metrics).  ``instances``
+    optionally pads the program to a fixed width so tail chunks reuse a
+    captured program shape.
+    """
+    settings = settings or TrainerSettings()
+    program = FleetProgram(nets, objectives, split, settings, instances=instances)
+    n = program.instances
+    k = program.n_real
+    objectives = program.objectives
+
+    optimizer = optim.Adam(program.parameters(), lr=1.0)
+    schedulers = [
+        optim.ReduceLROnPlateau(
+            _InstanceLr(program, i),
+            patience=settings.patience,
+            factor=settings.lr_factor,
+            min_lr=settings.min_lr,
+            mode="max",
+        )
+        for i in range(n)
+    ]
+    recorders = [TraceRecorder(settings.trace_every) for _ in range(n)]
+    budgets = [getattr(objective, "power_budget", None) for objective in objectives]
+
+    best_val = np.full(n, -1.0)
+    best_states: list[dict[str, np.ndarray] | None] = [None] * n
+    best_epochs = np.full(n, -1, dtype=int)
+    fallback_power = np.full(n, np.inf)
+    fallback_states: list[dict[str, np.ndarray] | None] = [None] * n
+    stale = np.zeros(n, dtype=int)
+    stopped = np.zeros(n, dtype=bool)
+    last_epoch = np.zeros(n, dtype=int)
+
+    fleet_start = perf_counter()
+    epochs_executed = 0
+    for epoch in range(settings.epochs):
+        if stopped[:k].all():
+            break
+        epochs_executed = epoch + 1
+        epoch_start = perf_counter()
+        optimizer.zero_grad()
+        task_vec, _total = program.run_step(epoch)
+        if program._lr_dirty:
+            optimizer.refresh_lr_scales()
+            program._lr_dirty = False
+        optimizer.step()
+        program.project_()
+        step_time = perf_counter() - epoch_start
+        _FLEET_STEP_SECONDS.observe(step_time)
+
+        eval_start = perf_counter()
+        post_logits, power_values = program.run_eval()
+        # Dual updates run before validation accuracy, exactly as in the
+        # serial loop (multiplier traces pair with this epoch's power).
+        for i in range(n):
+            if not stopped[i]:
+                objectives[i].on_epoch_end(float(power_values[i]), epoch)
+        accuracies = program.val_accuracies(post_logits)
+        eval_time = perf_counter() - eval_start
+        epoch_time = perf_counter() - epoch_start
+
+        violation: float | None = None
+        for i in range(n):
+            if stopped[i]:
+                continue
+            last_epoch[i] = epoch
+            power_value = float(power_values[i])
+            val_accuracy = float(accuracies[i])
+            feasible_now = objectives[i].is_feasible(power_value)
+            if i < k and budgets[i]:
+                instance_violation = max(0.0, (power_value - budgets[i]) / budgets[i])
+                violation = (
+                    instance_violation
+                    if violation is None
+                    else max(violation, instance_violation)
+                )
+            is_best = feasible_now and val_accuracy > best_val[i]
+            if is_best:
+                best_val[i] = val_accuracy
+                best_states[i] = program.instance_state(i)
+                best_epochs[i] = epoch
+                stale[i] = 0
+            else:
+                stale[i] += 1
+            if power_value < fallback_power[i]:
+                fallback_power[i] = power_value
+                fallback_states[i] = program.instance_state(i)
+            schedulers[i].step(val_accuracy if feasible_now else -1.0)
+            event = EpochEvent(
+                epoch=epoch,
+                loss=float(task_vec.data[i, 0, 0]),
+                power=power_value,
+                val_accuracy=val_accuracy,
+                feasible=feasible_now,
+                lr=float(program._lrs[i]),
+                multiplier=_objective_multiplier(objectives[i]),
+                is_best=is_best,
+                epoch_time_s=epoch_time,
+                epoch_step_time_s=step_time,
+                epoch_eval_time_s=eval_time,
+            )
+            recorders[i].on_epoch(event)
+            if program._lrs[i] <= settings.min_lr and stale[i] >= settings.early_stop_stale:
+                stopped[i] = True
+        if violation is not None:
+            _POWER_VIOLATION.set(violation)
+
+    _FLEET_INSTANCES.inc(k)
+    if run_logger is not None and run_logger.enabled:
+        fields = {
+            "instances": k,
+            "epoch": epochs_executed,
+            "duration_s": perf_counter() - fleet_start,
+        }
+        if chunk_index is not None:
+            fields["chunk_index"] = int(chunk_index)
+        run_logger.emit("fleet", **fields)
+
+    # Finalize each real instance through the serial evaluation path.
+    results: list[TrainResult] = []
+    for i in range(k):
+        net = nets[i]
+        if best_states[i] is not None:
+            net.load_state_dict(best_states[i])
+            chosen_epoch = int(best_epochs[i])
+        elif fallback_states[i] is not None:
+            net.load_state_dict(fallback_states[i])
+            chosen_epoch = -1
+        else:
+            chosen_epoch = -1
+        train_accuracy, power = evaluate_model(net, split.x_train, split.y_train)
+        val_accuracy = _accuracy_only(net, split.x_val, split.y_val)
+        test_accuracy = _accuracy_only(net, split.x_test, split.y_test)
+        results.append(
+            TrainResult(
+                train_accuracy=train_accuracy,
+                val_accuracy=val_accuracy,
+                test_accuracy=test_accuracy,
+                power=power,
+                feasible=objectives[i].is_feasible(power),
+                device_count=net.device_count(),
+                epochs_run=int(last_epoch[i]) + 1,
+                best_epoch=chosen_epoch,
+                loss_trace=recorders[i].loss_trace,
+                power_trace=recorders[i].power_trace,
+                val_accuracy_trace=recorders[i].val_accuracy_trace,
+                multiplier_trace=recorders[i].multiplier_trace,
+                state=net.state_dict(),
+                counts=net.hard_counts(),
+            )
+        )
+    return results

@@ -124,6 +124,8 @@ def penalty_pareto_sweep(
     net_spec=None,
     progress=None,
     on_error: str = "continue",
+    vectorized: bool = False,
+    instance_chunk: int = 64,
 ) -> ParetoSweepResult:
     """The baseline's multi-run sweep: ``n_alphas × n_seeds`` trainings.
 
@@ -141,11 +143,70 @@ def penalty_pareto_sweep(
     ``on_error`` are forwarded to :func:`repro.parallel.map_tasks` —
     ``on_error="cancel"`` fail-fasts the sweep, recording the skipped
     points as ``TaskError(kind="cancelled")`` entries in ``errors``.
+
+    ``vectorized=True`` trains the sweep as instance-stacked fleets
+    (:func:`repro.training.fleet.train_fleet`): the (α, seed) points are
+    grouped by fleet structure key (``α == 0`` points separately from
+    ``α > 0``), chunked to at most ``instance_chunk`` instances, and each
+    chunk runs as one :class:`repro.parallel.FleetSweepChunkTask` — shardable
+    across the pool like any other task.  Per-point results are bit-identical
+    to the serial per-run path and land in ``results`` in the same order; a
+    failed chunk records one error entry for the whole chunk.  Requires
+    ``net_spec``.
     """
     alphas = list(np.linspace(alpha_range[0], alpha_range[1], n_alphas))
     seeds = list(range(n_seeds))
     sweep = ParetoSweepResult(alphas=alphas, seeds=seeds)
     logger.info("penalty Pareto sweep: %d α values × %d seeds = %d runs", n_alphas, n_seeds, n_alphas * n_seeds)
+
+    if vectorized:
+        if net_spec is None:
+            raise ValueError("vectorized sweeps require net_spec")
+        if instance_chunk < 1:
+            raise ValueError("instance_chunk must be >= 1")
+        from repro.parallel import FleetSweepChunkTask, map_tasks
+        from repro.training.fleet import fleet_structure_key
+
+        points = [
+            (index, float(alpha), seed)
+            for index, (alpha, seed) in enumerate(
+                (alpha, seed) for alpha in alphas for seed in seeds
+            )
+        ]
+        # Group by structure key preserving sweep order within each group,
+        # then chunk; every chunk's fleet shares one captured program shape.
+        groups: dict = {}
+        for index, alpha, seed in points:
+            key = fleet_structure_key(
+                PenaltyObjective(alpha=alpha, reference_power=reference_power)
+            )
+            groups.setdefault(key, []).append((index, alpha, seed))
+        tasks = []
+        for group in groups.values():
+            for offset in range(0, len(group), instance_chunk):
+                chunk = group[offset : offset + instance_chunk]
+                tasks.append(
+                    FleetSweepChunkTask(
+                        spec=net_spec,
+                        pairs=tuple((alpha, seed) for _i, alpha, seed in chunk),
+                        indices=tuple(i for i, _alpha, _seed in chunk),
+                        reference_power=reference_power,
+                        settings=settings,
+                        instances=min(instance_chunk, len(group)),
+                        chunk_index=len(tasks),
+                    )
+                )
+        placed: list = [None] * len(points)
+        for task, outcome in zip(
+            tasks, map_tasks(tasks, n_jobs=n_jobs, progress=progress, on_error=on_error)
+        ):
+            if outcome.ok:
+                for index, result in zip(task.indices, outcome.value):
+                    placed[index] = result
+            else:
+                sweep.errors.append(outcome.error)
+        sweep.results.extend(result for result in placed if result is not None)
+        return sweep
 
     if net_spec is not None:
         from repro.parallel import PenaltyTask, map_tasks

@@ -157,6 +157,82 @@ class TestRecapture:
         assert objective.graph_epoch_key(15) not in keys
 
 
+class TestFleetRecapture:
+    """`set_masks` mid-fleet must invalidate the stacked effective-θ graph."""
+
+    FLIP_EPOCH = 4
+
+    def _run_fleet(self, masks_for=None):
+        """Drive a 2-instance fleet; at FLIP_EPOCH install masks per member.
+
+        ``masks_for`` maps member index → (keep, force_positive) masks;
+        members not listed get empty masks so the fleet's mask-presence
+        uniformity holds.  Returns per-epoch per-instance loss bytes and
+        the metrics delta.
+        """
+        from repro.circuits import PNCConfig
+        from repro.training import TrainerSettings
+        from repro.training.fleet import FleetProgram
+        from repro.training.penalty import PenaltyObjective
+        from repro.autograd.optim import Adam
+        from repro.datasets import load_dataset, train_val_test_split
+
+        data = load_dataset("iris")
+        data_split = train_val_test_split(data, seed=0)
+        nets = [
+            PrintedNeuralNetwork(
+                data.n_features, data.n_classes, PNCConfig(power_mode="analytic"),
+                np.random.default_rng(seed),
+            )
+            for seed in (0, 1)
+        ]
+        program = FleetProgram(
+            nets, [PenaltyObjective(alpha=0.3) for _ in nets], data_split,
+            TrainerSettings(epochs=8, capture_graph=True),
+        )
+        optimizer = Adam(program.parameters(), lr=1.0)
+        registry = get_registry()
+        before = registry.snapshot()
+        losses: list[list[bytes]] = [[], []]
+        for epoch in range(8):
+            if masks_for is not None and epoch == self.FLIP_EPOCH:
+                for index, net in enumerate(nets):
+                    keep, positive = masks_for.get(index, (None, None))
+                    net.crossbar_0.set_masks(keep, positive)
+            optimizer.zero_grad()
+            task, _total = program.run_step(epoch)
+            optimizer.step()
+            program.project_()
+            for i in range(2):
+                losses[i].append(task.data[i].tobytes())
+        return losses, snapshot_delta(before, registry.snapshot())
+
+    def test_empty_masks_force_recapture_without_value_change(self):
+        plain, plain_delta = self._run_fleet(masks_for=None)
+        flipped, flip_delta = self._run_fleet(masks_for={})
+        # the flip invalidates the stacked effective-θ program: at least
+        # one extra re-record on top of whatever the plain run needed
+        assert flip_delta.get("graph_recapture_total", 0) >= \
+            plain_delta.get("graph_recapture_total", 0) + 1
+        # empty masks are a values no-op: both instances' traces unchanged
+        assert plain == flipped
+
+    def test_pruning_mask_changes_only_the_masked_instance(self):
+        plain, _ = self._run_fleet(masks_for=None)
+        shape = (6, 3)  # iris crossbar_0 θ: (n_features + bias + neg rows, classes)
+        prune = np.ones(shape, dtype=bool)
+        prune[0, :] = False  # drop the first input row of member 0 only
+        flipped, flip_delta = self._run_fleet(
+            masks_for={0: (prune, None), 1: (np.ones(shape, dtype=bool), None)}
+        )
+        assert flip_delta.get("graph_recapture_total", 0) >= 1
+        # per-instance effective-θ stacks re-baked: the pruned member's loss
+        # moves from the flip epoch on, the all-keep member's never does
+        assert plain[0][:self.FLIP_EPOCH] == flipped[0][:self.FLIP_EPOCH]
+        assert plain[0][self.FLIP_EPOCH:] != flipped[0][self.FLIP_EPOCH:]
+        assert plain[1] == flipped[1]
+
+
 class TestCapturedGraphUnit:
     def _program(self):
         with graph_capture():

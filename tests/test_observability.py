@@ -81,6 +81,9 @@ class TestEventSchema:
                 "instances": 64, "duration_s": 0.12, "vectorized": True,
                 "chunk_index": 2, "start": 128,
             },
+            "fleet": {
+                "instances": 16, "epoch": 7, "duration_s": 0.8, "chunk_index": 1,
+            },
             "run_end": {"exit_code": 0, "duration_s": 1.5, "metrics": {"forward_calls": 3.0}},
         }
         return {"type": event_type, "ts": time.time(), **samples[event_type]}

@@ -262,3 +262,98 @@ class TestCircuitProperties:
         assert n_train + n_val + n_test == data.n_samples
         for labels in (split.y_train, split.y_val, split.y_test):
             assert set(np.unique(labels)) <= set(range(data.n_classes))
+
+
+class TestFleetPadIsolation:
+    """Padded tail slots of a fleet must never leak into real instances.
+
+    A :class:`~repro.training.fleet.FleetProgram` pads to a fixed width with
+    clones of member 0; the stacked forward/backward/Adam schedule runs the
+    pad slots through every kernel.  The isolation property: arbitrarily
+    perturbing the pad slots' parameter leaves changes *nothing* in the real
+    slots — not a loss byte, not a gradient, not a λ update.
+    """
+
+    N_REAL = 2
+    INSTANCES = 4
+    N_EPOCHS = 4
+
+    @staticmethod
+    def _problem():
+        from repro.circuits import PNCConfig, PrintedNeuralNetwork
+        from repro.datasets.splits import DataSplit
+
+        rng = np.random.default_rng(7)
+        x = rng.uniform(-0.6, 0.6, size=(24, 3))
+        y = rng.integers(0, 2, size=24).astype(np.int64)
+        split = DataSplit(x, y, x, y, x, y)
+
+        def make_net(seed):
+            return PrintedNeuralNetwork(
+                3, 2, PNCConfig(power_mode="analytic"), np.random.default_rng(seed)
+            )
+
+        return make_net, split
+
+    def _run(self, perturb_rng=None, scale=0.0):
+        """Train a padded fleet; return real-slot traces and states as bytes."""
+        from repro.autograd.optim import Adam
+        from repro.training.augmented_lagrangian import AugmentedLagrangianObjective
+        from repro.training.fleet import FleetProgram
+        from repro.training.trainer import TrainerSettings
+
+        make_net, split = self._problem()
+        nets = [make_net(seed) for seed in range(self.N_REAL)]
+        objectives = [
+            AugmentedLagrangianObjective(
+                power_budget=2e-4, mu=3.0, multiplier_every=1, warmup_epochs=1
+            )
+            for _ in nets
+        ]
+        program = FleetProgram(
+            nets, objectives, split, TrainerSettings(epochs=self.N_EPOCHS),
+            instances=self.INSTANCES,
+        )
+        if perturb_rng is not None:
+            for param in program.parameters():
+                pad = param.data[self.N_REAL:]
+                pad += perturb_rng.normal(size=pad.shape) * scale
+        optimizer = Adam(program.parameters(), lr=1.0)
+        records = []
+        for epoch in range(self.N_EPOCHS):
+            optimizer.zero_grad()
+            task, _total = program.run_step(epoch)
+            grads = tuple(
+                param.grad[:self.N_REAL].tobytes() for param in program.parameters()
+            )
+            optimizer.step()
+            program.project_()
+            _logits, powers = program.run_eval()
+            for i, objective in enumerate(program.objectives):
+                objective.on_epoch_end(float(powers[i]), epoch)
+            records.append((
+                task.data[:self.N_REAL].tobytes(),
+                grads,
+                powers[:self.N_REAL].tobytes(),
+                tuple(o.multiplier for o in program.objectives[:self.N_REAL]),
+                tuple(o.mu for o in program.objectives[:self.N_REAL]),
+            ))
+        states = [
+            {k: v.tobytes() for k, v in sorted(program.instance_state(i).items())}
+            for i in range(self.N_REAL)
+        ]
+        return records, states
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.floats(min_value=0.01, max_value=0.5, allow_nan=False),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_pad_perturbation_never_leaks_into_real_instances(self, noise_seed, scale):
+        if not hasattr(self, "_baseline"):
+            type(self)._baseline = self._run()
+        perturbed = self._run(np.random.default_rng(noise_seed), scale)
+        base_records, base_states = self._baseline
+        records, states = perturbed
+        assert records == base_records
+        assert states == base_states
