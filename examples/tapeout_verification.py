@@ -1,72 +1,66 @@
-"""Tape-out check: verify a trained pNC against its full flat netlist.
+"""Tape-out walkthrough: train, compile to tiles, and re-verify the bundle.
 
 The training model evaluates the circuit layer by layer with idealized
-interfaces.  Before committing a design to ink, flatten the WHOLE classifier
-— every crossbar resistor, negation circuit and activation circuit — into a
-single netlist, solve its DC operating point with the MNA simulator, and
-compare decisions, output voltages and power against the layered model.
-Also writes the flattened design as a standard ``.cir`` SPICE file.
+interfaces; ink on foil is a grid of physically constrained crossbar tiles.
+This example drives the ``repro compile`` CLI end to end — the same
+commands a sign-off flow would script:
+
+1. ``repro train iris --run-dir runs`` — train under a power budget and
+   freeze the model as a ``.pnz`` artifact inside the run directory,
+2. ``repro compile --run latest --tile-rows 4 --tile-cols 2`` — pack the
+   trained classifier onto tiles smaller than its largest layer, write one
+   SPICE netlist + test-vector file per tile, and DC-solve every tile
+   group against the layered model's expected voltages and decisions,
+3. ``repro compile --verify-only compiled`` — re-verify the bundle purely
+   from the files on disk (what a foundry or CI gate would run).
 
 Run:  python examples/tapeout_verification.py
 """
 
 from __future__ import annotations
 
+import sys
+import tempfile
 from pathlib import Path
 
-import numpy as np
-
-from repro import (
-    ActivationKind,
-    PNCConfig,
-    PrintedNeuralNetwork,
-    TrainerSettings,
-    get_cached_surrogate,
-    load_dataset,
-    train_power_constrained,
-    train_val_test_split,
-)
-from repro.circuits import export_network, verify_against_model
-from repro.spice.export import save_spice_file
+from repro.cli import main as repro
 
 DATASET = "iris"
-ACTIVATION = ActivationKind.RELU
-SETTINGS = TrainerSettings(epochs=250, patience=80)
+TILE_ROWS = 4  # extended crossbar rows per tile (iris layer 0 has 6)
+TILE_COLS = 2  # crossbar columns per tile
 
 
-def main() -> None:
-    print(f"== Tape-out verification on '{DATASET}' with {ACTIVATION.value} ==")
-    data = load_dataset(DATASET)
-    split = train_val_test_split(data, seed=0)
-    af = get_cached_surrogate(ACTIVATION, n_q=800, epochs=60)
-    neg = get_cached_surrogate("negation", n_q=500, epochs=60)
+def run(argv: list[str]) -> int:
+    print(f"\n$ repro {' '.join(argv)}")
+    return repro(argv)
 
-    net = PrintedNeuralNetwork(
-        data.n_features, data.n_classes, PNCConfig(kind=ACTIVATION),
-        np.random.default_rng(2), af, neg,
-    )
-    result = train_power_constrained(net, split, power_budget=3e-4, settings=SETTINGS)
-    print(f"trained: acc {result.test_accuracy * 100:.1f}%  "
-          f"P {result.power * 1e3:.4f} mW  feasible={result.feasible}  "
-          f"devices={net.device_count()}")
 
-    print("\n[1/3] flat-netlist verification (ideal negation — matches the model)")
-    report = verify_against_model(net, split.x_test, n_samples=12, negation="ideal")
-    print(report.summary())
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="tapeout-"))
+    runs = str(workdir / "runs")
+    bundle = str(workdir / "compiled")
 
-    print("\n[2/3] flat-netlist verification (real printed negation circuits)")
-    report_real = verify_against_model(net, split.x_test, n_samples=12, negation="circuit")
-    print(report_real.summary())
+    print(f"== Tape-out walkthrough on '{DATASET}' (working dir: {workdir}) ==")
 
-    print("\n[3/3] exporting the flattened design as SPICE")
-    exported = export_network(net, split.x_test[0], negation="circuit")
-    out_path = Path("pnc_flat.cir")
-    save_spice_file(exported.circuit, out_path, title=f"pNC {DATASET} {ACTIVATION.value}")
-    n_r = len(exported.circuit.resistors)
-    n_m = len(exported.circuit.transistors)
-    print(f"wrote {out_path} — {n_r} resistors, {n_m} transistors, "
-          f"{len(exported.circuit.nodes())} nodes")
+    # [1/3] Train a budgeted classifier; --run-dir freezes model.pnz.
+    code = run(["train", DATASET, "--af", "p-ReLU", "--epochs", "120",
+                "--run-dir", runs])
+    if code not in (0, 1):  # 1 = converged infeasible; still compilable
+        return code
+
+    # [2/3] Compile the frozen run onto tiles smaller than its largest
+    # layer, with per-tile SPICE re-verification and vector export.
+    code = run(["compile", "--run", "latest", "--dir", runs,
+                "--tile-rows", str(TILE_ROWS), "--tile-cols", str(TILE_COLS),
+                "--out", bundle])
+    if code != 0:
+        return code
+
+    # [3/3] Sign off the bundle from disk alone — checksums, re-parsed
+    # netlists, re-solved vectors.  Tamper with any tile file and this
+    # exits non-zero.
+    return run(["compile", "--verify-only", bundle])
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

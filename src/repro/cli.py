@@ -17,6 +17,8 @@ Exposes the main workflows as subcommands::
     python -m repro.cli export --run latest -o m.pnz  # freeze a trained model
     python -m repro.cli serve m.pnz --port 8080       # batched HTTP inference
     python -m repro.cli predict m.pnz --input x.csv   # offline per-row predict
+    python -m repro.cli compile --run latest --tile-rows 8 --tile-cols 4
+    python -m repro.cli compile --verify-only compiled  # re-verify a bundle
 
 Every command prints plain text (tables / ASCII charts) and is deterministic
 given its ``--seed``.
@@ -145,6 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes for the grid cells (results identical to --jobs 1)")
     grid.add_argument("--no-capture", action="store_true",
                       help="disable captured-graph replay; run every epoch eagerly")
+    grid.add_argument("--json-out", default=None, metavar="FILE",
+                      help="also write the per-cell grid results as JSON "
+                           "(atomic temp-file + rename)")
     _add_abort_flag(grid)
 
     circuits = sub.add_parser("circuits", help="print the printed-AF circuit summary table")
@@ -276,6 +281,43 @@ def build_parser() -> argparse.ArgumentParser:
     dashboard.add_argument("--max-requests", type=int, default=None, metavar="N",
                            help="shut down cleanly after N requests (smoke tests)")
 
+    compile_p = sub.add_parser(
+        "compile",
+        help="compile a trained model onto constrained crossbar tiles with "
+             "per-tile SPICE sign-off and test-vector export",
+    )
+    source = compile_p.add_mutually_exclusive_group()
+    source.add_argument("--run", default=None,
+                        help="run directory, run id, unique id prefix, or 'latest' "
+                             "(uses the run's frozen model.pnz)")
+    source.add_argument("--artifact", default=None, metavar="PATH",
+                        help="a .pnz bundle written by 'repro export' or a train run")
+    source.add_argument("--verify-only", default=None, metavar="DIR",
+                        help="re-verify an existing compiled bundle instead of compiling")
+    compile_p.add_argument("--dir", default="runs", metavar="BASE",
+                           help="run registry base directory (default: runs)")
+    compile_p.add_argument("--tile-rows", type=int, default=8, metavar="N",
+                           help="max extended crossbar rows per tile (default 8)")
+    compile_p.add_argument("--tile-cols", type=int, default=4, metavar="N",
+                           help="max crossbar columns per tile (default 4)")
+    compile_p.add_argument("--tile-power", type=float, default=None, metavar="W",
+                           help="max estimated dissipation per tile in watts")
+    compile_p.add_argument("--tile-devices", type=int, default=None, metavar="N",
+                           help="max printed components per tile")
+    compile_p.add_argument("--out", default="compiled", metavar="DIR",
+                           help="bundle output directory (default: compiled)")
+    compile_p.add_argument("--vectors", type=int, default=8, metavar="N",
+                           help="test vectors to export per tile (default 8)")
+    compile_p.add_argument("--negation", choices=("ideal", "circuit"), default="ideal",
+                           help="negation circuit model in the tile netlists")
+    compile_p.add_argument("--tolerance", type=float, default=None, metavar="V",
+                           help="max |dV| on activation outputs (default 0.05; "
+                                "--verify-only defaults to the bundle's compiled value)")
+    compile_p.add_argument("--dataset", default=None,
+                           help="stimulus dataset (default: the artifact's training dataset)")
+    compile_p.add_argument("--seed", type=int, default=0,
+                           help="stimulus split/RNG seed when the artifact has none")
+
     predict = sub.add_parser("predict", help="offline per-row prediction from a frozen artifact")
     predict.add_argument("artifact", help="a .pnz bundle written by 'repro export' or a train run")
     predict.add_argument("--input", default="-", metavar="PATH",
@@ -285,7 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     for subparser in (datasets, train, sweep, grid, circuits, mc, report, profile_cmd,
                       runs_list, runs_index, runs_query, runs_show, runs_compare, runs_prune,
-                      export, serve, predict, dashboard):
+                      export, serve, predict, dashboard, compile_p):
         _add_obs_flags(subparser)
 
     return parser
@@ -496,6 +538,28 @@ def cmd_grid(args, run_logger=None) -> int:
                                on_error=args.on_task_error)
     print(render_table1(records))
     print(render_fig4_rows(records))
+    if args.json_out:
+        payload = {
+            "datasets": list(args.datasets),
+            "budgets": [float(b) for b in args.budgets],
+            "seed": args.seed,
+            "records": [
+                {
+                    "dataset": r.dataset,
+                    "kind": r.kind.value,
+                    "budget_fraction": r.budget_fraction,
+                    "budget_w": r.budget_w,
+                    "max_power_w": r.max_power_w,
+                    "test_accuracy": r.result.test_accuracy,
+                    "power_w": r.result.power,
+                    "feasible": r.result.feasible,
+                    "device_count": r.result.device_count,
+                    "epochs_run": r.result.epochs_run,
+                }
+                for r in records
+            ],
+        }
+        _write_json_atomic(args.json_out, payload)
     return 0
 
 
@@ -763,6 +827,147 @@ def cmd_export(args) -> int:
     return 0
 
 
+def _compile_stimulus(meta: dict, dataset_override: str | None, seed: int,
+                      in_features: int) -> tuple[np.ndarray, dict]:
+    """Stimulus rows for compilation: the model's test split, or random rows.
+
+    Prefers ``--dataset``, then the dataset recorded in the artifact's
+    provenance config; falls back to seeded uniform rows when neither names
+    a loadable dataset.  Returns ``(rows, stimulus_info)``.
+    """
+    config = meta.get("provenance", {}).get("config", {}) or {}
+    dataset = dataset_override or config.get("dataset")
+    seed = config.get("seed", seed) if dataset_override is None else seed
+    if dataset is not None:
+        from repro.datasets import load_dataset, train_val_test_split
+
+        try:
+            data = load_dataset(dataset)
+        except (KeyError, ValueError) as exc:
+            if dataset_override is not None:
+                raise ValueError(f"unknown stimulus dataset {dataset!r}") from exc
+        else:
+            if data.n_features == in_features:
+                split = train_val_test_split(data, seed=int(seed or 0))
+                return split.x_test, {"dataset": dataset, "split": "test",
+                                      "seed": int(seed or 0)}
+            logger.warning("artifact dataset %s has %d features, model wants %d; "
+                           "using random stimulus", dataset, data.n_features, in_features)
+    rng = np.random.default_rng(seed or 0)
+    return rng.random((64, in_features)), {"dataset": None, "split": "random",
+                                           "seed": int(seed or 0)}
+
+
+def cmd_compile(args, run_logger=None) -> int:
+    from repro.compile import (
+        BundleError,
+        InfeasibleError,
+        TileConstraints,
+        compile_model,
+        verify_bundle,
+    )
+
+    # --verify-only: sign off an existing bundle from disk, nothing else.
+    if args.verify_only:
+        try:
+            report = verify_bundle(args.verify_only, tolerance_v=args.tolerance)
+        except BundleError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            if run_logger is not None:
+                run_logger.emit("compile", phase="verify", tiles=0, duration_s=0.0,
+                                status="failed", error=str(exc))
+            return 5
+        print(report.summary())
+        if run_logger is not None:
+            run_logger.emit("compile", phase="verify", tiles=report.n_tiles,
+                            duration_s=report.duration_s,
+                            status="ok" if report.ok else "failed",
+                            vectors=report.n_vectors)
+        return 0 if report.ok else 5
+
+    from repro.serving.artifact import ArtifactError, RUN_ARTIFACT_NAME, load_artifact
+
+    if args.artifact:
+        source = Path(args.artifact)
+    else:
+        from repro.observability import resolve_run
+
+        try:
+            run_dir = resolve_run(args.run or "latest", args.dir)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        source = run_dir / RUN_ARTIFACT_NAME
+        if not source.is_file():
+            print(f"error: {run_dir.name} has no {RUN_ARTIFACT_NAME} "
+                  "(only 'train --run-dir' runs freeze a model)", file=sys.stderr)
+            return 2
+    try:
+        model = load_artifact(source)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        constraints = TileConstraints(
+            max_rows=args.tile_rows,
+            max_cols=args.tile_cols,
+            max_devices=args.tile_devices,
+            max_power_w=args.tile_power,
+        )
+        stimulus, stimulus_info = _compile_stimulus(
+            model.meta, args.dataset, args.seed, model.in_features
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    provenance = {
+        "artifact": str(source),
+        "artifact_provenance": model.meta.get("provenance", {}),
+        "power": model.meta.get("power", {}),
+        "stimulus": stimulus_info,
+    }
+    print(f"compiling {source} "
+          f"(tile {args.tile_rows}x{args.tile_cols}"
+          + (f", {args.tile_devices} devices" if args.tile_devices else "")
+          + (f", {args.tile_power:g} W" if args.tile_power else "") + ")")
+    try:
+        result = compile_model(
+            model.net,
+            constraints,
+            stimulus,
+            args.out,
+            n_vectors=args.vectors,
+            negation=args.negation,
+            tolerance_v=0.05 if args.tolerance is None else args.tolerance,
+            provenance=provenance,
+            run_logger=run_logger,
+        )
+    except InfeasibleError as exc:
+        print("error: constraints are infeasible", file=sys.stderr)
+        json.dump(exc.diagnostic, sys.stderr, indent=2)
+        print(file=sys.stderr)
+        if run_logger is not None:
+            run_logger.emit("compile", phase="place", tiles=0, duration_s=0.0,
+                            status="infeasible", error=str(exc))
+        return 4
+
+    print(f"{'tile':10s} {'rows':>9s} {'cols':>7s} {'owner':>5s} "
+          f"{'devices':>7s} {'est power':>11s}")
+    for tile in result.layout.tiles:
+        print(f"{tile.id:10s} {tile.row_start:4d}-{tile.row_end:<4d} "
+              f"{tile.col_start:3d}-{tile.col_end:<3d} {'yes' if tile.owner else 'no':>5s} "
+              f"{tile.devices:7d} {tile.est_power_w * 1e6:8.2f} µW")
+    routes = result.layout.routes
+    print(f"{result.layout.n_tiles} tiles, {len(routes)} inter-tile routes "
+          f"({sum(1 for r in routes if r.kind == 'summing')} summing, "
+          f"{sum(1 for r in routes if r.kind == 'signal')} signal)")
+    print(f"bundle: {result.bundle_dir}")
+    print(result.report.summary())
+    return 0 if result.report.ok else 5
+
+
 def _read_feature_rows(path: str, fmt: str) -> np.ndarray:
     """Feature rows from CSV or JSON text ('-' = stdin); shape (n, features)."""
     text = sys.stdin.read() if path == "-" else Path(path).read_text(encoding="utf-8")
@@ -916,6 +1121,8 @@ def _dispatch(args, run_logger, run_ctx=None) -> int:
         return cmd_dashboard(args)
     if args.command == "predict":
         return cmd_predict(args, run_logger)
+    if args.command == "compile":
+        return cmd_compile(args, run_logger)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -1,0 +1,128 @@
+"""The versioned ``compiled/`` bundle: layout manifest + tiles + vectors.
+
+Bundle layout::
+
+    <out>/
+      manifest.json            # written LAST — its presence marks completion
+      tiles/t{L}r{B}c{G}.cir   # one SPICE netlist per tile
+      vectors/t{L}r{B}c{G}.json# stimulus / expected-response vectors per tile
+
+The manifest records the format tag and schema version, provenance (the
+frozen artifact's metadata when compiling from one), the tile constraints,
+the placed layout (layers, tiles, routes), stimulus info, and a sha256
+checksum of every tile and vector file.  :func:`verify_checksums` makes
+tampering detectable before any simulation runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+from repro.compile.constraints import CompileError
+
+COMPILED_FORMAT = "repro-pnc-compiled"
+COMPILED_SCHEMA_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+TILE_DIR = "tiles"
+VECTOR_DIR = "vectors"
+
+
+class BundleError(CompileError):
+    """A compiled bundle that is missing, malformed, or tampered with."""
+
+
+def file_sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(65536), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def tile_netlist_path(tile_id: str) -> str:
+    return f"{TILE_DIR}/{tile_id}.cir"
+
+
+def tile_vectors_path(tile_id: str) -> str:
+    return f"{VECTOR_DIR}/{tile_id}.json"
+
+
+def write_bundle(
+    out_dir: str | Path,
+    manifest: dict,
+    netlists: dict[str, str],
+    vectors: dict[str, dict],
+) -> Path:
+    """Write tiles + vectors, checksum them, then write the manifest.
+
+    ``netlists``/``vectors`` map tile id → SPICE text / vector payload.
+    The manifest gains ``format``, ``schema_version``, ``created`` and
+    ``checksums`` fields here; everything else is the caller's.
+    """
+    out = Path(out_dir)
+    (out / TILE_DIR).mkdir(parents=True, exist_ok=True)
+    (out / VECTOR_DIR).mkdir(parents=True, exist_ok=True)
+
+    checksums: dict[str, str] = {}
+    for tile_id, text in netlists.items():
+        rel = tile_netlist_path(tile_id)
+        path = out / rel
+        path.write_text(text)
+        checksums[rel] = file_sha256(path)
+    for tile_id, payload in vectors.items():
+        rel = tile_vectors_path(tile_id)
+        path = out / rel
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        checksums[rel] = file_sha256(path)
+
+    manifest = {
+        "format": COMPILED_FORMAT,
+        "schema_version": COMPILED_SCHEMA_VERSION,
+        "created": time.time(),
+        **manifest,
+        "checksums": checksums,
+    }
+    manifest_path = out / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(manifest, indent=1, sort_keys=True) + "\n")
+    return out
+
+
+def load_manifest(bundle_dir: str | Path) -> dict:
+    """Read and structurally validate a bundle manifest."""
+    path = Path(bundle_dir) / MANIFEST_NAME
+    if not path.is_file():
+        raise BundleError(f"not a compiled bundle (no {MANIFEST_NAME}): {bundle_dir}")
+    try:
+        manifest = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BundleError(f"{path}: manifest is not valid JSON ({exc})") from exc
+    if manifest.get("format") != COMPILED_FORMAT:
+        raise BundleError(f"{path}: not a {COMPILED_FORMAT} manifest")
+    version = manifest.get("schema_version")
+    if version != COMPILED_SCHEMA_VERSION:
+        raise BundleError(
+            f"{path}: unsupported schema version {version!r} "
+            f"(this build reads {COMPILED_SCHEMA_VERSION})"
+        )
+    for key in ("constraints", "tiles", "layers", "routes", "checksums"):
+        if key not in manifest:
+            raise BundleError(f"{path}: manifest missing {key!r}")
+    return manifest
+
+
+def verify_checksums(bundle_dir: str | Path, manifest: dict) -> None:
+    """Raise :class:`BundleError` on any missing or modified bundle file."""
+    out = Path(bundle_dir)
+    for rel, expected in manifest["checksums"].items():
+        path = out / rel
+        if not path.is_file():
+            raise BundleError(f"bundle file missing: {rel}")
+        actual = file_sha256(path)
+        if actual != expected:
+            raise BundleError(
+                f"checksum mismatch for {rel}: manifest {expected[:12]}…, file {actual[:12]}… "
+                f"(bundle modified after compile)"
+            )

@@ -1,0 +1,79 @@
+"""Per-tile physical constraints and structured compile diagnostics.
+
+A printed classifier is ultimately partitioned onto crossbar *tiles* — the
+largest array one print pass can realize with acceptable yield.  A
+:class:`TileConstraints` captures the tile envelope the compiler must pack
+every layer into:
+
+- ``max_rows`` — extended crossbar rows per tile (signal rows plus the bias
+  and pull-down rail rows of θ),
+- ``max_cols`` — crossbar columns (output neurons) per tile,
+- ``max_devices`` — printed component budget per tile (crossbar resistors +
+  negation circuits + activation circuits, using the same component counts
+  as :meth:`PrintedNeuralNetwork.device_count`),
+- ``max_power_w`` — estimated dissipation budget per tile in watts.
+
+Infeasible constraint sets never fail with a bare exception: the compiler
+raises :class:`InfeasibleError` carrying a JSON-safe ``diagnostic`` dict
+that names the layer, the offending column/tile, the violated limit and the
+smallest achievable value, so callers (CLI, CI) can render or persist it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+
+
+class CompileError(RuntimeError):
+    """A compile request that cannot be honored (bad inputs, bad bundle)."""
+
+
+class InfeasibleError(CompileError):
+    """The model cannot be packed under the given tile constraints.
+
+    ``diagnostic`` is a JSON-safe dict::
+
+        {"reason": "tile_power" | "tile_devices" | "tile_geometry",
+         "layer": int, "column": int | None,
+         "value": float, "limit": float,
+         "message": str, "constraints": {...}}
+    """
+
+    def __init__(self, message: str, diagnostic: dict):
+        super().__init__(message)
+        self.diagnostic = dict(diagnostic)
+
+
+@dataclass(frozen=True)
+class TileConstraints:
+    """The physical envelope of one crossbar tile."""
+
+    max_rows: int
+    max_cols: int
+    max_devices: int | None = None
+    max_power_w: float | None = None
+
+    def __post_init__(self):
+        if self.max_rows < 1:
+            raise CompileError(f"max_rows must be >= 1, got {self.max_rows}")
+        if self.max_cols < 1:
+            raise CompileError(f"max_cols must be >= 1, got {self.max_cols}")
+        if self.max_devices is not None and self.max_devices < 1:
+            raise CompileError(f"max_devices must be >= 1, got {self.max_devices}")
+        if self.max_power_w is not None and self.max_power_w <= 0:
+            raise CompileError(f"max_power_w must be positive, got {self.max_power_w}")
+
+    def as_dict(self) -> dict:
+        """JSON-safe view, embedded in manifests and diagnostics."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TileConstraints":
+        return cls(
+            max_rows=int(payload["max_rows"]),
+            max_cols=int(payload["max_cols"]),
+            max_devices=(None if payload.get("max_devices") is None
+                         else int(payload["max_devices"])),
+            max_power_w=(None if payload.get("max_power_w") is None
+                         else float(payload["max_power_w"])),
+        )

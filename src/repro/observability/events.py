@@ -117,6 +117,16 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[type, ...]]] = {
         "rows": (int,),
         "duration_s": (float, int),
     },
+    # One phase of the compile-to-hardware backend (repro.compile): place,
+    # netlist, bundle, verify.  ``tiles`` is the placed tile count and
+    # ``status`` is "ok" / "failed" — a failed verify phase means the
+    # written bundle does not reproduce the layered model.
+    "compile": {
+        "phase": (str,),
+        "tiles": (int,),
+        "duration_s": (float, int),
+        "status": (str,),
+    },
     # One per process; carries the exit code and a metrics snapshot.
     "run_end": {"exit_code": (int,), "duration_s": (float, int)},
 }
@@ -133,6 +143,7 @@ OPTIONAL_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
     "montecarlo": {"chunk_index": (int,), "start": (int,)},
     "fleet": {"chunk_index": (int,)},
     "serve": {"error": (str,), "batch_rows": (int,)},
+    "compile": {"layers": (int,), "vectors": (int,), "out": (str,), "error": (str,)},
     "alert": {"value": (float, int)},
     "run_end": {"metrics": (dict,)},
 }

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, cmd_datasets, cmd_circuits, main
@@ -68,3 +70,55 @@ class TestFastCommands:
     def test_main_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCompileParser:
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile"])
+        assert args.run is None and args.artifact is None and args.verify_only is None
+        assert args.tile_rows == 8 and args.tile_cols == 4
+        assert args.tile_power is None and args.tile_devices is None
+        assert args.out == "compiled" and args.vectors == 8
+        assert args.negation == "ideal" and args.tolerance is None
+
+    def test_compile_source_flags_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "--run", "latest",
+                                       "--artifact", "m.pnz"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "--run", "latest",
+                                       "--verify-only", "compiled"])
+
+    def test_compile_full_flags(self):
+        args = build_parser().parse_args([
+            "compile", "--artifact", "m.pnz", "--tile-rows", "4",
+            "--tile-cols", "2", "--tile-power", "5e-5", "--tile-devices", "40",
+            "--negation", "circuit", "--vectors", "3", "--out", "b",
+        ])
+        assert args.artifact == "m.pnz"
+        assert (args.tile_rows, args.tile_cols) == (4, 2)
+        assert args.tile_power == 5e-5 and args.tile_devices == 40
+        assert args.negation == "circuit" and args.vectors == 3 and args.out == "b"
+
+    def test_grid_json_out_flag(self):
+        args = build_parser().parse_args(["grid", "iris", "--json-out", "g.json"])
+        assert args.json_out == "g.json"
+        assert build_parser().parse_args(["grid", "iris"]).json_out is None
+
+
+class TestWriteJsonAtomic:
+    def test_writes_payload_and_leaves_no_temp_files(self, tmp_path):
+        from repro.cli import _write_json_atomic
+
+        target = tmp_path / "out.json"
+        _write_json_atomic(target, {"b": 2, "a": [1, 2]})
+        assert json.loads(target.read_text()) == {"a": [1, 2], "b": 2}
+        assert list(tmp_path.iterdir()) == [target]  # no .tmp leftovers
+
+    def test_overwrites_existing_file(self, tmp_path):
+        from repro.cli import _write_json_atomic
+
+        target = tmp_path / "out.json"
+        target.write_text("{\"stale\": true}")
+        _write_json_atomic(target, {"fresh": True})
+        assert json.loads(target.read_text()) == {"fresh": True}

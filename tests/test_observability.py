@@ -84,6 +84,10 @@ class TestEventSchema:
             "fleet": {
                 "instances": 16, "epoch": 7, "duration_s": 0.8, "chunk_index": 1,
             },
+            "compile": {
+                "phase": "verify", "tiles": 8, "duration_s": 0.4, "status": "ok",
+                "layers": 2, "vectors": 4, "out": "compiled",
+            },
             "run_end": {"exit_code": 0, "duration_s": 1.5, "metrics": {"forward_calls": 3.0}},
         }
         return {"type": event_type, "ts": time.time(), **samples[event_type]}

@@ -1,0 +1,148 @@
+"""Golden-text coverage for repro.spice.export in isolation.
+
+The ``.cir`` text is a contract: external SPICE engines re-read it, the
+compile backend's :func:`repro.compile.parse_spice_text` inverts it, and
+bundle checksums assume it is deterministic.  These tests pin the exact
+card formats (node sanitization, ``%.6g`` value formatting, EGT model
+naming) and the parser round-trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit
+from repro.spice.egt import EGTModel
+from repro.spice.export import save_spice_file, to_spice_text
+from repro.compile.netlist_io import NetlistParseError, parse_spice_text
+
+
+class TestGoldenText:
+    def test_full_golden_netlist(self):
+        c = Circuit("golden")
+        c.add_vsource("vdd", "vdd", "0", 1.0)
+        c.add_resistor("r1", "vdd", "out", 100e3)
+        c.add_vcvs("eneg", "neg", "0", "out", "0", -1.0)
+        c.add_egt("m1", "out", "in", "gnd", 20e-6, 200e-6)
+        text = to_spice_text(c)
+        assert text == (
+            "* golden\n"
+            "Rr1 vdd out 100000\n"
+            "Vvdd vdd 0 DC 1\n"
+            "Eeneg neg 0 out 0 -1\n"
+            "Mm1 out in 0 0 negt0 W=2e-05 L=0.0002\n"
+            ".model negt0 nmos (* printed nEGT, EKV-like: "
+            "vth=0.2 k=0.0001 n=1.2 phi=0.04 *)\n"
+            ".op\n"
+            ".end\n"
+        )
+
+    def test_title_defaults_to_circuit_name_and_override(self):
+        c = Circuit("mycirc")
+        c.add_resistor("r", "a", "0", 1.0)
+        assert to_spice_text(c).startswith("* mycirc\n")
+        assert to_spice_text(c, title="custom title").startswith("* custom title\n")
+
+    def test_node_sanitization(self):
+        c = Circuit("nodes")
+        c.add_resistor("r one", "n.a+b", "gnd", 10.0)
+        text = to_spice_text(c)
+        # Non-identifier characters become underscores; every ground alias
+        # collapses to the canonical "0".
+        assert "Rr_one n_a_b 0 10\n" in text
+
+    def test_ground_aliases_collapse(self):
+        c = Circuit("grounds")
+        c.add_resistor("ra", "x", "0", 1.0)
+        c.add_resistor("rb", "y", "gnd", 1.0)
+        c.add_resistor("rc", "z", "GND", 1.0)
+        lines = to_spice_text(c).splitlines()
+        assert lines[1:4] == ["Rra x 0 1", "Rrb y 0 1", "Rrc z 0 1"]
+
+    def test_value_formatting_is_6g(self):
+        c = Circuit("values")
+        c.add_resistor("r1", "a", "0", 123456.789)  # 6 significant digits
+        c.add_resistor("r2", "b", "0", 1.0e-7)
+        c.add_vsource("v1", "a", "0", -0.123456789)
+        text = to_spice_text(c)
+        assert "Rr1 a 0 123457\n" in text
+        assert "Rr2 b 0 1e-07\n" in text
+        assert "Vv1 a 0 DC -0.123457\n" in text
+
+    def test_distinct_egt_models_get_distinct_cards(self):
+        c = Circuit("models")
+        fast = EGTModel(vth=0.1, k=2.0e-4, n=1.1, phi=0.05)
+        c.add_egt("m1", "d1", "g", "0", 1e-5, 1e-4)  # default model
+        c.add_egt("m2", "d2", "g", "0", 1e-5, 1e-4, model=fast)
+        c.add_egt("m3", "d3", "g", "0", 1e-5, 1e-4)  # default again
+        text = to_spice_text(c)
+        assert "Mm1 d1 g 0 0 negt0 " in text
+        assert "Mm2 d2 g 0 0 negt1 " in text
+        assert "Mm3 d3 g 0 0 negt0 " in text  # shared model → shared card
+        assert text.count(".model negt0 ") == 1
+        assert text.count(".model negt1 ") == 1
+        assert "vth=0.1 k=0.0002 n=1.1 phi=0.05" in text
+
+    def test_save_spice_file(self, tmp_path):
+        c = Circuit("file")
+        c.add_resistor("r", "a", "0", 42.0)
+        path = tmp_path / "out.cir"
+        save_spice_file(c, path, title="saved")
+        assert path.read_text() == to_spice_text(c, title="saved")
+
+
+class TestRoundTrip:
+    def _example(self) -> Circuit:
+        c = Circuit("rt")
+        c.add_vsource("vdd", "vdd", "0", 1.0)
+        c.add_vsource("vss", "vss", "0", -1.0)
+        c.add_resistor("r0", "vdd", "z0", 52348.123)
+        c.add_resistor("r1", "neg", "z0", 1.0 / 33.3e-6)
+        c.add_vcvs("eneg", "neg", "0", "x1", "0", -1.0)
+        c.add_egt("m0", "z0", "x0", "vss", 21.5e-6, 198.7e-6,
+                  model=EGTModel(vth=0.25, k=1.5e-4, n=1.3, phi=0.03))
+        c.add_egt("m1", "a0", "z0", "0", 20e-6, 200e-6)
+        return c
+
+    def test_parse_inverts_export(self):
+        original = self._example()
+        parsed = parse_spice_text(to_spice_text(original))
+        assert parsed.name == "rt"
+        assert [r.name for r in parsed.resistors] == ["r0", "r1"]
+        assert [s.name for s in parsed.sources] == ["vdd", "vss"]
+        assert [e.name for e in parsed.vcvs] == ["eneg"]
+        assert [t.name for t in parsed.transistors] == ["m0", "m1"]
+        assert parsed.transistors[0].model == EGTModel(vth=0.25, k=1.5e-4, n=1.3, phi=0.03)
+        assert parsed.vcvs[0].gain == -1.0
+
+    def test_reexport_is_text_identical(self):
+        # %.6g values re-parse to floats that render to the same %.6g text,
+        # so parse → export is a fixed point: the bundle checksum of a
+        # re-exported netlist cannot drift.
+        text = to_spice_text(self._example())
+        assert to_spice_text(parse_spice_text(text), title="rt") == text
+
+    def test_parsed_circuit_solves_like_original(self):
+        from repro.spice import solve_dc
+
+        original = self._example()
+        parsed = parse_spice_text(to_spice_text(original))
+        op_a = solve_dc(original)
+        op_b = solve_dc(parsed)
+        # Values round to 6 significant digits in the text, so operating
+        # points agree to that precision (not bit-exactly).
+        for node in original.nodes():
+            assert op_a.voltage(node) == pytest.approx(op_b.voltage(node), abs=1e-5)
+
+    def test_values_survive_at_6_digits(self):
+        original = self._example()
+        parsed = parse_spice_text(to_spice_text(original))
+        assert parsed.resistors[0].resistance == pytest.approx(52348.123, rel=1e-5)
+        assert parsed.transistors[0].width == pytest.approx(21.5e-6, rel=1e-5)
+
+    def test_unparseable_line_raises_with_line_number(self):
+        with pytest.raises(NetlistParseError, match="line 2"):
+            parse_spice_text("* bad\nXsub 1 2 3 opamp\n.end\n")
+
+    def test_undefined_model_raises(self):
+        with pytest.raises(NetlistParseError, match="undefined model"):
+            parse_spice_text("* bad\nMm1 d g 0 0 ghost W=1e-05 L=0.0001\n.end\n")
